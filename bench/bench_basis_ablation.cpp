@@ -1,0 +1,82 @@
+// E7 — Steering-basis ablation. The paper's conclusion argues the
+// predefined steering configurations should be "relatively orthogonal to
+// one another". This experiment compares the reconstructed Table-1 basis
+// against a clustered (three int-leaning configs), a degenerate (one
+// config repeated) and a balanced basis, across all workload mixes.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace steersim;
+
+int main() {
+  bench::print_header("E7", "steering-basis ablation (orthogonality)");
+
+  std::vector<Program> programs;
+  std::vector<std::string> names;
+  for (const MixSpec& mix : standard_mixes()) {
+    programs.push_back(generate_synthetic(single_phase(mix, 64, 400, 83)));
+    names.push_back(mix.name);
+  }
+  programs.push_back(generate_synthetic(alternating_phases(4096, 4, 83)));
+  names.push_back("phased(int/fp)");
+
+  const auto bases = all_bases();
+  std::vector<std::function<double()>> jobs;
+  for (const auto& program : programs) {
+    for (const auto& basis : bases) {
+      jobs.emplace_back([&program, &basis] {
+        MachineConfig cfg;
+        cfg.steering = basis;
+        cfg.loader.num_slots = basis.num_slots;
+        return simulate(program, cfg, {.kind = PolicyKind::kSteered})
+            .stats.ipc();
+      });
+    }
+  }
+  const auto flat = parallel_map(jobs);
+
+  std::vector<std::string> headers = {"workload"};
+  for (const auto& basis : bases) {
+    headers.push_back(basis.name);
+  }
+  Table table(headers);
+  std::size_t k = 0;
+  std::vector<double> geo(bases.size(), 1.0);
+  for (std::size_t r = 0; r < programs.size(); ++r) {
+    std::vector<std::string> row = {names[r]};
+    for (std::size_t b = 0; b < bases.size(); ++b) {
+      row.push_back(Table::num(flat[k]));
+      geo[b] *= flat[k];
+      ++k;
+    }
+    table.add_row(row);
+  }
+  std::vector<std::string> geo_row = {"geomean"};
+  for (auto& g : geo) {
+    geo_row.push_back(Table::num(
+        std::pow(g, 1.0 / static_cast<double>(programs.size())), 3));
+  }
+  table.add_row(geo_row);
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::printf(
+      "\nBasis contents (RFU counts [ALU MDU LSU FPA FPM] per preset):\n");
+  for (const auto& basis : bases) {
+    std::printf("  %-10s:", basis.name.c_str());
+    for (unsigned p = 0; p < kNumPresetConfigs; ++p) {
+      std::printf(" [");
+      for (const FuType t : kAllFuTypes) {
+        std::printf("%u", basis.presets[p][fu_index(t)]);
+      }
+      std::printf("]");
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape: the orthogonal Table-1 basis wins the geomean; "
+      "clustered/degenerate bases match it on integer code but collapse on "
+      "fp/mem mixes — supporting the paper's orthogonality conclusion.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E11 (extension) — the paper's stated future work: "dynamically
+// reconfigure without using predefined configurations". Compares the
+// preset-based steered manager against GreedyPolicy (EWMA-smoothed demand,
+// greedy fabric packing through the real loader), and against the steered
+// manager with the hysteresis extension (confirm=4), across mixes, phased
+// code, and repack-interval settings.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace steersim;
+
+int main() {
+  bench::print_header(
+      "E11", "preset-free greedy steering vs the paper's preset basis");
+
+  MachineConfig cfg;
+  std::vector<Program> programs;
+  std::vector<std::string> names;
+  for (const MixSpec& mix : standard_mixes()) {
+    programs.push_back(generate_synthetic(single_phase(mix, 64, 400, 123)));
+    names.push_back(mix.name);
+  }
+  programs.push_back(generate_synthetic(alternating_phases(4096, 4, 123)));
+  names.push_back("phased(int/fp)");
+
+  std::vector<PolicySpec> policies;
+  policies.push_back({.kind = PolicyKind::kSteered});
+  policies.push_back({.kind = PolicyKind::kSteered, .confirm = 4});
+  policies.push_back({.kind = PolicyKind::kGreedy});
+  policies.push_back({.kind = PolicyKind::kOracle});
+
+  const auto grid = bench::run_grid(programs, cfg, policies);
+  bench::print_ipc_table(names, cfg, policies, grid);
+
+  std::printf("\nchurn comparison (slots rewritten per run):\n");
+  Table churn({"workload", "steered", "steered-confirm4", "greedy"});
+  for (std::size_t r = 0; r < programs.size(); ++r) {
+    churn.add_row({names[r], Table::num(grid[r][0].loader.slots_rewritten),
+                   Table::num(grid[r][1].loader.slots_rewritten),
+                   Table::num(grid[r][2].loader.slots_rewritten)});
+  }
+  std::fputs(churn.to_string().c_str(), stdout);
+
+  std::printf("\ngreedy repack-interval sweep (phased workload):\n");
+  const unsigned intervals[] = {8, 16, 32, 64, 128};
+  std::vector<std::function<SimResult()>> jobs;
+  for (const unsigned interval : intervals) {
+    jobs.emplace_back([&programs, &cfg, interval] {
+      return simulate(programs.back(), cfg,
+                      {.kind = PolicyKind::kGreedy, .interval = interval});
+    });
+  }
+  const auto rows = parallel_map(jobs);
+  Table sweep({"repack interval", "IPC", "slots rewritten"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    sweep.add_row({Table::num(std::uint64_t{intervals[i]}),
+                   Table::num(rows[i].stats.ipc()),
+                   Table::num(rows[i].loader.slots_rewritten)});
+  }
+  std::fputs(sweep.to_string().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: greedy competes with (and on some mixes beats) "
+      "the preset basis because it can shape the fabric to the exact "
+      "demand vector, at the price of more design complexity (a packer "
+      "instead of three stored bitstreams) and interval tuning; hysteresis "
+      "cuts steered churn on fluctuating mixes with little IPC cost.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E10 — End-to-end kernel study: every kernel in the library on the full
+// policy roster, with per-kernel cycle counts, unit-utilization notes, and
+// the dataflow ILP ceiling (oracle limit study) to separate
+// workload-bound from machine-bound kernels.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/ilp_bound.hpp"
+#include "workload/kernels.hpp"
+
+using namespace steersim;
+
+int main() {
+  bench::print_header("E10", "kernel library across the policy roster");
+
+  MachineConfig cfg;
+  std::vector<Program> programs;
+  std::vector<std::string> names;
+  for (const auto& kernel : kernel_library()) {
+    programs.push_back(kernel.assemble_program());
+    names.push_back(kernel.name);
+  }
+
+  const auto policies = standard_policies();
+  const auto grid = bench::run_grid(programs, cfg, policies);
+  bench::print_ipc_table(names, cfg, policies, grid);
+
+  std::printf("\nper-kernel detail (steered policy, with the dataflow ILP "
+              "ceiling):\n");
+  Table detail({"kernel", "instructions", "cycles", "IPC",
+                "dataflow-max IPC", "extracted %", "mispredict %",
+                "trace-cache hit %", "slots rewritten"});
+  for (std::size_t r = 0; r < programs.size(); ++r) {
+    const SimResult& s = grid[r][0];
+    const IlpBound bound = compute_ilp_bound(programs[r]);
+    detail.add_row(
+        {names[r], Table::num(s.stats.retired), Table::num(s.stats.cycles),
+         Table::num(s.stats.ipc()), Table::num(bound.max_ipc()),
+         Table::num(100.0 * s.stats.ipc() / bound.max_ipc(), 1),
+         Table::num(100.0 * s.stats.mispredict_rate(), 1),
+         Table::num(100.0 * s.trace_cache.hit_rate(), 1),
+         Table::num(s.loader.slots_rewritten)});
+  }
+  std::fputs(detail.to_string().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: serial-dependency kernels (fib, newton_sqrt) sit "
+      "near 100%% of their dataflow ceiling for every policy — the "
+      "workload, not the machine, is the limit; parallel kernels (saxpy, "
+      "vector_scale, memcpy) leave ceiling headroom and separate the "
+      "policies, with steered tracking the best static choice per "
+      "kernel.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// E15 (extension) — lookahead steering / configuration prefetching.
+// [7] uses the trace cache + pre-decoders to determine upcoming resource
+// needs; steersim's trace lines carry pre-decoded requirement counts, and
+// the lookahead variant of the steered policy merges them into the CEM
+// input, starting rewrites before the instructions even dispatch. The
+// benefit should grow with reconfiguration latency (more time to hide).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace steersim;
+
+int main() {
+  bench::print_header(
+      "E15", "lookahead steering (trace-cache pre-decode prefetch)");
+
+  const Program phased =
+      generate_synthetic(alternating_phases(2048, 8, 191));
+  // Tight loops maximize trace-cache residency, i.e. lookahead coverage.
+  const Program tight_int =
+      generate_synthetic(single_phase(int_heavy_mix(), 8, 4000, 191));
+  const Program tight_fp =
+      generate_synthetic(single_phase(fp_heavy_mix(), 8, 4000, 191));
+
+  const unsigned latencies[] = {2, 8, 32, 128};
+  std::vector<std::function<std::array<double, 2>()>> jobs;
+  for (const Program* program : {&phased, &tight_int, &tight_fp}) {
+    for (const unsigned lat : latencies) {
+      jobs.emplace_back([program, lat] {
+        MachineConfig cfg;
+        cfg.loader.cycles_per_slot = lat;
+        const double reactive =
+            simulate(*program, cfg, {.kind = PolicyKind::kSteered})
+                .stats.ipc();
+        const double lookahead =
+            simulate(*program, cfg,
+                     {.kind = PolicyKind::kSteered, .lookahead = true})
+                .stats.ipc();
+        return std::array<double, 2>{reactive, lookahead};
+      });
+    }
+  }
+  const auto rows = parallel_map(jobs);
+
+  const char* workload_names[] = {"phased(int/fp)", "tight int loop",
+                                  "tight fp loop"};
+  Table table({"workload", "cycles/slot", "reactive IPC", "lookahead IPC",
+               "delta %"});
+  std::size_t k = 0;
+  for (const char* wname : workload_names) {
+    for (const unsigned lat : latencies) {
+      const auto& [reactive, lookahead] = rows[k++];
+      table.add_row({wname, Table::num(std::uint64_t{lat}),
+                     Table::num(reactive), Table::num(lookahead),
+                     Table::num(100.0 * (lookahead - reactive) / reactive,
+                                2)});
+    }
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nMeasured shape (a deliberate negative result): one trace of lead "
+      "time (~16 instructions, ~4 cycles) is too short to hide slot "
+      "rewrites, and inside a steady phase the queue already carries the "
+      "same demand signature the annotation adds — so lookahead moves IPC "
+      "by well under 1%% either way. Useful prefetching would need "
+      "phase-level prediction (seeing the NEXT phase's demand), not "
+      "next-trace pre-decode; this bounds what [7]-style pre-decode "
+      "annotations can buy the steering manager.\n");
+  return 0;
+}

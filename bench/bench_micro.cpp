@@ -1,0 +1,187 @@
+// E9 — Micro-throughput of the configuration-management circuits
+// themselves (google-benchmark): the selection unit's four stages, the
+// CEM generators, the loader's diff/step, Eq. 1 evaluation, and wake-up
+// array operations. These are the structures the paper argues must be
+// "fast and efficient"; this benchmark pins their software-model cost.
+#include <benchmark/benchmark.h>
+
+#include "config/loader.hpp"
+#include "config/selection_unit.hpp"
+#include "config/availability.hpp"
+#include "core/processor.hpp"
+#include "frontend/trace_cache.hpp"
+#include "memory/cache.hpp"
+#include "sched/select_logic.hpp"
+#include "sim/runner.hpp"
+#include "workload/synthetic.hpp"
+
+namespace steersim {
+namespace {
+
+const SteeringSet kSet = default_steering_set();
+
+void BM_UnitDecode(benchmark::State& state) {
+  unsigned op = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        unit_decode(static_cast<Opcode>(op++ % kNumOpcodes)));
+  }
+}
+BENCHMARK(BM_UnitDecode);
+
+void BM_RequirementsEncode(benchmark::State& state) {
+  const Opcode ops[] = {Opcode::kAdd, Opcode::kLw,   Opcode::kMul,
+                        Opcode::kFadd, Opcode::kFmul, Opcode::kSw,
+                        Opcode::kSub};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_requirements(ops));
+  }
+}
+BENCHMARK(BM_RequirementsEncode);
+
+void BM_CemApprox(benchmark::State& state) {
+  const FuCounts req = {3, 1, 2, 0, 1};
+  const FuCounts avail = {5, 2, 3, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cem_error_approx(req, avail));
+  }
+}
+BENCHMARK(BM_CemApprox);
+
+void BM_CemExact(benchmark::State& state) {
+  const FuCounts req = {3, 1, 2, 0, 1};
+  const FuCounts avail = {5, 2, 3, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cem_error_exact(req, avail));
+  }
+}
+BENCHMARK(BM_CemExact);
+
+void BM_FullSelection(benchmark::State& state) {
+  const ConfigSelectionUnit unit(kSet);
+  const Opcode ops[] = {Opcode::kAdd, Opcode::kLw,   Opcode::kMul,
+                        Opcode::kFadd, Opcode::kFmul, Opcode::kSw,
+                        Opcode::kSub};
+  const FuCounts current = {2, 1, 2, 1, 1};
+  const std::array<unsigned, kNumCandidates> cost = {0, 6, 8, 8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.select(ops, current, cost));
+  }
+}
+BENCHMARK(BM_FullSelection);
+
+void BM_Equation1(benchmark::State& state) {
+  const auto alloc = kSet.preset_allocation(0);
+  SlotMask avail;
+  for (unsigned i = 0; i < 8; ++i) {
+    avail.set(i);
+  }
+  const bool ffu_avail[] = {true, true, true, true, true};
+  for (auto _ : state) {
+    const auto rv = ResourceVector::build(alloc, avail, kSet.ffu, ffu_avail);
+    for (const FuType t : kAllFuTypes) {
+      benchmark::DoNotOptimize(rv.available(t));
+    }
+  }
+}
+BENCHMARK(BM_Equation1);
+
+void BM_LoaderDiffAndStep(benchmark::State& state) {
+  LoaderParams params;
+  params.cycles_per_slot = 4;
+  const auto target_a = kSet.preset_allocation(0);
+  const auto target_b = kSet.preset_allocation(2);
+  ConfigurationLoader loader(params, AllocationVector(8));
+  bool flip = false;
+  for (auto _ : state) {
+    loader.request(flip ? target_a : target_b);
+    loader.step(SlotMask{});
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_LoaderDiffAndStep);
+
+void BM_WakeupRequestExecution(benchmark::State& state) {
+  WakeupArray array(static_cast<unsigned>(state.range(0)));
+  for (unsigned i = 0; i < array.num_entries(); ++i) {
+    EntryMask deps;
+    if (i > 0) {
+      deps.set(i - 1);
+    }
+    array.insert(i % 2 == 0 ? FuType::kIntAlu : FuType::kLsu, deps, i);
+  }
+  ResourceAvail avail;
+  avail.fill(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.request_execution(avail));
+  }
+}
+BENCHMARK(BM_WakeupRequestExecution)->Arg(7)->Arg(15)->Arg(31);
+
+void BM_DataCacheAccess(benchmark::State& state) {
+  DataCache cache(CacheParams{});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr));
+    addr = (addr + 8) % (1 << 16);
+  }
+}
+BENCHMARK(BM_DataCacheAccess);
+
+void BM_OracleGreedyPack(benchmark::State& state) {
+  const FuCounts required = {4, 1, 2, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OraclePolicy::pack(required, kSet.ffu, kSet.num_slots));
+  }
+}
+BENCHMARK(BM_OracleGreedyPack);
+
+void BM_TraceCacheObserve(benchmark::State& state) {
+  TraceCache tc(64, 16);
+  const Instruction add = make_rr(Opcode::kAdd, 1, 2, 3);
+  const Instruction bne = make_branch(Opcode::kBne, 1, 0, -7);
+  std::uint32_t pc = 0;
+  for (auto _ : state) {
+    // Steady 8-instruction loop commit stream.
+    if (pc < 7) {
+      tc.observe_retired(pc, add, pc + 1);
+      ++pc;
+    } else {
+      tc.observe_retired(7, bne, 0);
+      pc = 0;
+    }
+  }
+  benchmark::DoNotOptimize(tc.stats().installs);
+}
+BENCHMARK(BM_TraceCacheObserve);
+
+void BM_ProcessorCycle(benchmark::State& state) {
+  const Program program =
+      generate_synthetic(single_phase(mixed_mix(), 64, 1000000, 3));
+  MachineConfig cfg;
+  auto cpu = make_processor(program, cfg, PolicySpec{});
+  for (auto _ : state) {
+    cpu->step();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(cpu->stats().retired));
+}
+BENCHMARK(BM_ProcessorCycle);
+
+void BM_EndToEndKiloInstructions(benchmark::State& state) {
+  const Program program =
+      generate_synthetic(single_phase(mixed_mix(), 64, 16, 3));
+  MachineConfig cfg;
+  for (auto _ : state) {
+    auto cpu = make_processor(program, cfg, PolicySpec{});
+    cpu->run(1'000'000);
+    benchmark::DoNotOptimize(cpu->stats().retired);
+  }
+}
+BENCHMARK(BM_EndToEndKiloInstructions);
+
+}  // namespace
+}  // namespace steersim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// E16 (extension) — boundary of the paper's premise: how much of the
+// steering benefit depends on functional units being NON-pipelined
+// (occupied for their full latency)? With fully pipelined units
+// (initiation interval 1), one unit of a type can sustain one op/cycle,
+// so duplicated units — and therefore configuration steering — should
+// matter much less. This ablation measures exactly that.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace steersim;
+
+int main() {
+  bench::print_header(
+      "E16", "pipelined vs non-pipelined functional units");
+
+  std::vector<Program> programs;
+  std::vector<std::string> names;
+  for (const MixSpec& mix : standard_mixes()) {
+    programs.push_back(generate_synthetic(single_phase(mix, 64, 400, 211)));
+    names.push_back(mix.name);
+  }
+  programs.push_back(generate_synthetic(alternating_phases(4096, 4, 211)));
+  names.push_back("phased(int/fp)");
+
+  std::vector<std::function<std::array<SimResult, 4>()>> jobs;
+  for (const auto& program : programs) {
+    jobs.emplace_back([&program] {
+      MachineConfig serial;
+      MachineConfig piped;
+      piped.pipelined_units = true;
+      return std::array<SimResult, 4>{
+          simulate(program, serial, {.kind = PolicyKind::kSteered}),
+          simulate(program, serial, {.kind = PolicyKind::kStaticFfu}),
+          simulate(program, piped, {.kind = PolicyKind::kSteered}),
+          simulate(program, piped, {.kind = PolicyKind::kStaticFfu})};
+    });
+  }
+  const auto rows = parallel_map(jobs);
+
+  Table table({"workload", "serial steered", "serial ffu", "serial gain",
+               "piped steered", "piped ffu", "piped gain"});
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto& [ss, sf, ps, pf] = std::tuple{rows[r][0], rows[r][1],
+                                              rows[r][2], rows[r][3]};
+    table.add_row({names[r], Table::num(ss.stats.ipc()),
+                   Table::num(sf.stats.ipc()),
+                   Table::num(ss.stats.ipc() / sf.stats.ipc(), 3),
+                   Table::num(ps.stats.ipc()),
+                   Table::num(pf.stats.ipc()),
+                   Table::num(ps.stats.ipc() / pf.stats.ipc(), 3)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: pipelining raises everyone's absolute IPC, and "
+      "the steering gain compresses toward 1 — a single pipelined unit of "
+      "each type already sustains ~1 op/cycle/type, so extra copies only "
+      "help when multiple same-type ops are ready in the SAME cycle. The "
+      "residual gain isolates that same-cycle-burst component of the "
+      "paper's benefit; the non-pipelined column isolates the occupancy "
+      "component. Real FPGAs sit between (dividers iterate; adders "
+      "pipeline), so the truth is bracketed by these two columns.\n");
+  return 0;
+}

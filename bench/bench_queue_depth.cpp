@@ -1,0 +1,73 @@
+// E6 — Machine-shape scaling: how the steering win varies with instruction
+// queue depth (wake-up array rows) and fetch/retire width. The paper fixes
+// the queue at 7 entries (3-bit arithmetic); this sweep shows what deeper
+// queues change.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace steersim;
+
+int main() {
+  bench::print_header("E6", "queue-depth / machine-width scaling");
+
+  const Program program =
+      generate_synthetic(alternating_phases(4096, 4, 15));
+
+  struct Shape {
+    unsigned fetch, queue, ruu, retire;
+  };
+  const Shape shapes[] = {{2, 4, 16, 2},
+                          {4, 7, 32, 4},  // the paper's 7-entry queue
+                          {4, 15, 32, 4},
+                          {8, 31, 32, 8}};
+
+  std::vector<PolicySpec> policies;
+  policies.push_back({.kind = PolicyKind::kSteered});
+  policies.push_back({.kind = PolicyKind::kStaticFfu});
+  policies.push_back({.kind = PolicyKind::kOracle});
+
+  std::vector<std::function<std::vector<SimResult>()>> jobs;
+  for (const auto& shape : shapes) {
+    jobs.emplace_back([&program, &policies, shape] {
+      MachineConfig cfg;
+      cfg.fetch_width = shape.fetch;
+      cfg.queue_entries = shape.queue;
+      cfg.ruu_entries = shape.ruu;
+      cfg.retire_width = shape.retire;
+      std::vector<SimResult> row;
+      for (const auto& p : policies) {
+        row.push_back(simulate(program, cfg, p));
+      }
+      return row;
+    });
+  }
+  const auto rows = parallel_map(jobs);
+
+  const MachineConfig label_cfg;
+  Table table({"fetch/queue/ruu/retire", "steered IPC", "static-ffu IPC",
+               "oracle IPC", "steering gain", "avg queue occupancy"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& s = shapes[i];
+    const double occ =
+        static_cast<double>(rows[i][0].stats.queue_occupancy_sum) /
+        static_cast<double>(rows[i][0].stats.cycles);
+    table.add_row({std::to_string(s.fetch) + "/" + std::to_string(s.queue) +
+                       "/" + std::to_string(s.ruu) + "/" +
+                       std::to_string(s.retire),
+                   Table::num(rows[i][0].stats.ipc()),
+                   Table::num(rows[i][1].stats.ipc()),
+                   Table::num(rows[i][2].stats.ipc()),
+                   Table::num(rows[i][0].stats.ipc() /
+                                  rows[i][1].stats.ipc(),
+                              3),
+                   Table::num(occ, 2)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: absolute IPC grows with machine width; the "
+      "steering gain over static-ffu grows too (a wider machine exposes "
+      "more simultaneous demand for duplicated units), while the 3-bit "
+      "requirement encoders saturate gracefully past 7 entries.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E8 — Selector policy details: (a) the tie-break rule (paper's
+// favour-current-then-least-reconfiguration vs least-reconfiguration-only
+// vs naive lowest-index) and (b) the steering decision interval. Both
+// control configuration churn on workloads whose queue contents fluctuate.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace steersim;
+
+int main() {
+  bench::print_header("E8", "tie-break rule and steering interval");
+
+  std::vector<Program> programs;
+  std::vector<std::string> names;
+  for (const MixSpec& mix :
+       {int_heavy_mix(), mixed_mix(), fp_heavy_mix()}) {
+    programs.push_back(generate_synthetic(single_phase(mix, 64, 400, 97)));
+    names.push_back(mix.name);
+  }
+  programs.push_back(generate_synthetic(alternating_phases(4096, 4, 97)));
+  names.push_back("phased(int/fp)");
+
+  MachineConfig cfg;
+
+  std::printf("(a) tie-break rules\n");
+  std::vector<PolicySpec> tb;
+  tb.push_back({.kind = PolicyKind::kSteered,
+                .tie_break = TieBreak::kPaper});
+  tb.push_back({.kind = PolicyKind::kSteered,
+                .tie_break = TieBreak::kLeastReconfig});
+  tb.push_back({.kind = PolicyKind::kSteered,
+                .tie_break = TieBreak::kLowestIndex});
+  const auto tb_grid = bench::run_grid(programs, cfg, tb);
+  Table table_tb({"workload", "paper IPC", "least-reconfig IPC",
+                  "naive IPC", "paper rewrites", "naive rewrites"});
+  for (std::size_t r = 0; r < programs.size(); ++r) {
+    table_tb.add_row({names[r], Table::num(tb_grid[r][0].stats.ipc()),
+                      Table::num(tb_grid[r][1].stats.ipc()),
+                      Table::num(tb_grid[r][2].stats.ipc()),
+                      Table::num(tb_grid[r][0].loader.slots_rewritten),
+                      Table::num(tb_grid[r][2].loader.slots_rewritten)});
+  }
+  std::fputs(table_tb.to_string().c_str(), stdout);
+
+  std::printf("\n(b) steering decision interval (paper rule, phased "
+              "workload):\n");
+  const unsigned intervals[] = {1, 2, 4, 8, 16, 32, 64};
+  std::vector<std::function<SimResult()>> jobs;
+  for (const unsigned interval : intervals) {
+    jobs.emplace_back([&programs, &cfg, interval] {
+      return simulate(programs.back(), cfg,
+                      {.kind = PolicyKind::kSteered, .interval = interval});
+    });
+  }
+  const auto rows = parallel_map(jobs);
+  Table table_iv({"interval (cycles)", "IPC", "targets requested",
+                  "slots rewritten"});
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    table_iv.add_row({Table::num(std::uint64_t{intervals[i]}),
+                      Table::num(rows[i].stats.ipc()),
+                      Table::num(rows[i].loader.targets_requested),
+                      Table::num(rows[i].loader.slots_rewritten)});
+  }
+  std::fputs(table_iv.to_string().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: the paper's favour-current rule cuts rewrites "
+      "versus the naive rule at equal-or-better IPC (it damps churn); "
+      "a modest interval trades a little adaptation speed for markedly "
+      "fewer rewrites.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the repro/bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "sim/table.hpp"
+#include "workload/synthetic.hpp"
+
+namespace steersim::bench {
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n=== %s: %s ===\n\n", id.c_str(), title.c_str());
+}
+
+/// Runs every (program, policy) pair in parallel; results are indexed
+/// [program][policy].
+inline std::vector<std::vector<SimResult>> run_grid(
+    const std::vector<Program>& programs, const MachineConfig& config,
+    const std::vector<PolicySpec>& policies,
+    std::uint64_t max_cycles = 50'000'000) {
+  std::vector<std::function<SimResult()>> jobs;
+  jobs.reserve(programs.size() * policies.size());
+  for (const auto& program : programs) {
+    for (const auto& policy : policies) {
+      jobs.emplace_back([&program, &config, &policy, max_cycles] {
+        return simulate(program, config, policy, max_cycles);
+      });
+    }
+  }
+  const auto flat = parallel_map(jobs);
+  std::vector<std::vector<SimResult>> grid(programs.size());
+  std::size_t k = 0;
+  for (auto& row : grid) {
+    for (std::size_t c = 0; c < policies.size(); ++c) {
+      row.push_back(flat[k++]);
+    }
+  }
+  return grid;
+}
+
+/// IPC table: one row per program, one column per policy.
+inline void print_ipc_table(const std::vector<std::string>& program_names,
+                            const MachineConfig& config,
+                            const std::vector<PolicySpec>& policies,
+                            const std::vector<std::vector<SimResult>>& grid) {
+  std::vector<std::string> headers = {"workload"};
+  for (const auto& policy : policies) {
+    headers.push_back(policy.label(config.steering));
+  }
+  Table table(headers);
+  for (std::size_t r = 0; r < grid.size(); ++r) {
+    std::vector<std::string> row = {program_names[r]};
+    for (const auto& result : grid[r]) {
+      row.push_back(Table::num(result.stats.ipc()));
+    }
+    table.add_row(row);
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+}
+
+}  // namespace steersim::bench

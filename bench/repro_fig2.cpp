@@ -1,0 +1,81 @@
+// F2 — regenerates paper Figure 2: the four-stage configuration selection
+// unit, traced stage by stage on a 7-entry instruction queue. Shows the
+// one-hot unit-decoder outputs (stage 1), the 3-bit requirement counts
+// (stage 2), the per-candidate configuration error metrics (stage 3), and
+// the 2-bit selection (stage 4), for several representative queues.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "config/selection_unit.hpp"
+#include "isa/instruction.hpp"
+
+using namespace steersim;
+
+namespace {
+
+void trace_queue(const ConfigSelectionUnit& unit, const std::string& label,
+                 const std::vector<Opcode>& ops, const FuCounts& current) {
+  std::array<unsigned, kNumCandidates> cost{};
+  for (unsigned p = 0; p < kNumPresetConfigs; ++p) {
+    cost[p + 1] = 8;  // cold fabric: every preset needs a full rewrite
+  }
+  const SelectionTrace trace = unit.select(ops, current, cost);
+
+  std::printf("queue '%s' (current configured units:", label.c_str());
+  for (const FuType t : kAllFuTypes) {
+    std::printf(" %u", current[fu_index(t)]);
+  }
+  std::printf(")\n");
+
+  Table stage1({"entry", "opcode", "unit decoder one-hot [FPM FPA LSU MDU "
+                "ALU]"});
+  for (unsigned i = 0; i < trace.num_entries; ++i) {
+    stage1.add_row({Table::num(std::uint64_t{i + 1}),
+                    std::string(op_info(ops[i]).mnemonic),
+                    format_bits(trace.one_hots[i].raw(), kNumFuTypes)});
+  }
+  std::fputs(stage1.to_string().c_str(), stdout);
+
+  std::printf("stage 2 (requirements encoder, 3-bit counts): ");
+  for (const FuType t : kAllFuTypes) {
+    std::printf("%s=%s ", std::string(fu_type_name(t)).c_str(),
+                format_bits(trace.required[fu_index(t)], 3).c_str());
+  }
+  std::printf("\nstage 3 (configuration error metrics): ");
+  const char* names[] = {"current", "config1", "config2", "config3"};
+  for (unsigned c = 0; c < kNumCandidates; ++c) {
+    std::printf("%s=%.0f ", names[c], trace.errors[c]);
+  }
+  std::printf("\nstage 4 (minimal error selection, 2-bit): %s -> %s\n\n",
+              format_bits(trace.selection, 2).c_str(),
+              names[trace.selection]);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("F2", "Fig. 2 — configuration selection unit trace");
+
+  const SteeringSet set = default_steering_set();
+  const ConfigSelectionUnit unit(set);
+  const FuCounts ffu_only = {1, 1, 1, 1, 1};
+
+  trace_queue(unit, "integer-dominated",
+              {Opcode::kAdd, Opcode::kSub, Opcode::kXor, Opcode::kAdd,
+               Opcode::kMul, Opcode::kLw, Opcode::kAdd},
+              ffu_only);
+  trace_queue(unit, "memory-dominated",
+              {Opcode::kLw, Opcode::kSw, Opcode::kLw, Opcode::kLw,
+               Opcode::kFlw, Opcode::kLw, Opcode::kAdd},
+              ffu_only);
+  trace_queue(unit, "floating-point",
+              {Opcode::kFadd, Opcode::kFmul, Opcode::kFadd, Opcode::kFsqrt,
+               Opcode::kFlw, Opcode::kFsub, Opcode::kFmul},
+              ffu_only);
+  trace_queue(unit, "already matched (current = config 1 + FFUs)",
+              {Opcode::kAdd, Opcode::kSub, Opcode::kXor, Opcode::kAdd,
+               Opcode::kMul, Opcode::kLw, Opcode::kAdd},
+              set.preset_total(0));
+  return 0;
+}

@@ -1,0 +1,89 @@
+// F4/F5 — regenerates paper Figures 4 and 5: the dependency graph of the
+// worked 7-instruction example (Shift, Sub, Add, Mul, Load, FPMul, FPAdd)
+// and the wake-up array bit matrix it produces. The program is assembled,
+// dispatched through the real processor front end into the wake-up array,
+// and the matrix is dumped from the live structure.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "isa/assembler.hpp"
+
+using namespace steersim;
+
+int main() {
+  bench::print_header(
+      "F4/F5", "Figs. 4+5 — dependency graph and wake-up array example");
+
+  // The paper's example as a real program. Registers chosen so the
+  // dependency edges match Fig. 4 exactly:
+  //   Add  <- Shift, Sub ; Mult <- Sub ; FPMul <- Load ;
+  //   FPAdd <- Load, FPMul.  (Load here is an flw so its consumers are
+  //   the FP ops, exactly as the figure's FPMul/FPAdd consume it.)
+  const Program p = assemble(R"(
+  sll  r10, r1, r2     # Entry 1: Shift
+  sub  r11, r3, r4     # Entry 2: Sub
+  add  r12, r10, r11   # Entry 3: Add   <- entries 1, 2
+  mul  r13, r11, r5    # Entry 4: Mult  <- entry 2
+  flw  f10, 0(r6)      # Entry 5: Load
+  fmul f11, f10, f1    # Entry 6: FPMul <- entry 5
+  fadd f12, f10, f11   # Entry 7: FPAdd <- entries 5, 6
+  halt
+)",
+                             "fig4");
+
+  std::printf("Fig. 4 dependency graph (producer -> consumer):\n");
+  for (unsigned i = 0; i < 7; ++i) {
+    const Instruction& inst = p.code[i];
+    std::printf("  Entry %u: %-18s", i + 1, disassemble(inst).c_str());
+    std::printf("[%s]\n",
+                std::string(fu_type_name(fu_type_of(inst.op))).c_str());
+  }
+
+  // Run the processor just long enough to dispatch all 7 entries, with no
+  // resources available so nothing issues (freeze the array for dumping):
+  // easiest is to inspect after 2 cycles with a machine whose queue holds
+  // exactly 7 and whose fetch covers the block.
+  MachineConfig cfg;
+  cfg.fetch_width = 8;
+  cfg.use_trace_cache = false;
+  auto cpu = make_processor(p, cfg, PolicySpec{});
+  cpu->step();  // fetch
+  cpu->step();  // dispatch into RUU + wake-up array
+
+  const WakeupArray& array = cpu->wakeup();
+  std::printf("\nFig. 5 wake-up array (execution-unit-required one-hot + "
+              "result-required columns):\n");
+  Table matrix({"row", "instr", "ALU", "MDU", "LSU", "FPA", "FPM", "e1",
+                "e2", "e3", "e4", "e5", "e6", "e7"});
+  for (unsigned row = 0; row < 7; ++row) {
+    const WakeupEntry& e = array.entry(row);
+    std::vector<std::string> cells = {
+        Table::num(std::uint64_t{row + 1}),
+        std::string(op_info(p.code[row].op).mnemonic)};
+    for (const FuType t : kAllFuTypes) {
+      cells.push_back(e.fu == t ? "1" : ".");
+    }
+    for (unsigned col = 0; col < 7; ++col) {
+      cells.push_back(e.deps.test(col) ? "1" : ".");
+    }
+    matrix.add_row(cells);
+  }
+  std::fputs(matrix.to_string().c_str(), stdout);
+
+  std::printf("\nExpected (paper): entry 3 depends on 1,2; entry 4 on 2; "
+              "entry 6 on 5; entry 7 on 5,6; load row sets only the LSU "
+              "column; each row requires exactly one unit type.\n");
+
+  // Machine-check the figure's content.
+  const bool ok =
+      array.entry(2).deps.raw() == 0b0000011 &&
+      array.entry(3).deps.raw() == 0b0000010 &&
+      array.entry(5).deps.raw() == 0b0010000 &&
+      array.entry(6).deps.raw() == 0b0110000 &&
+      array.entry(4).fu == FuType::kLsu &&
+      array.entry(0).deps.none() && array.entry(1).deps.none() &&
+      array.entry(4).deps.none();
+  std::printf("figure content check: %s\n", ok ? "MATCH" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// F6 — regenerates paper Figure 6: the request/grant behaviour of the
+// wake-up logic, as a cycle-by-cycle trace of the Fig. 4/5 example
+// executing on the FFU-only machine (one unit of each type). Shows each
+// entry's request line, grant, countdown timer and result-available line,
+// verifying the scheduled bit and retirement-clearing semantics.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "sched/select_logic.hpp"
+
+using namespace steersim;
+
+int main() {
+  bench::print_header(
+      "F6", "Fig. 6 — wake-up logic request/grant/timer trace");
+
+  // The example array (rows as in Fig. 5). Latencies: ALU ops 1, Mul 4,
+  // Load 3, FPMul 5, FPAdd 3 — the project's latency table.
+  WakeupArray array(7);
+  struct Row {
+    const char* name;
+    FuType fu;
+    std::uint64_t deps;
+    unsigned latency;
+  };
+  const Row rows[] = {
+      {"Shift", FuType::kIntAlu, 0b0000000, 1},
+      {"Sub", FuType::kIntAlu, 0b0000000, 1},
+      {"Add", FuType::kIntAlu, 0b0000011, 1},
+      {"Mult", FuType::kIntMdu, 0b0000010, 4},
+      {"Load", FuType::kLsu, 0b0000000, 3},
+      {"FPMul", FuType::kFpMdu, 0b0010000, 5},
+      {"FPAdd", FuType::kFpAlu, 0b0110000, 3},
+  };
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    array.insert(rows[i].fu, EntryMask(rows[i].deps), i);
+  }
+
+  ResourceAvail avail;
+  avail.fill(true);  // one idle unit of each type every cycle (FFUs)
+  std::array<unsigned, kNumFuTypes> free_units = {1, 1, 1, 1, 1};
+  std::array<int, 7> busy_until{};
+  busy_until.fill(-1);
+
+  Table trace({"cycle", "requests", "grants", "timers [r0..r6]",
+               "result-available"});
+  unsigned granted_total = 0;
+  for (int cycle = 0; cycle < 16 && granted_total < 7; ++cycle) {
+    // Units free again once their occupant's latency elapsed.
+    std::array<unsigned, kNumFuTypes> free_now = free_units;
+    for (unsigned r = 0; r < 7; ++r) {
+      if (busy_until[r] >= cycle) {
+        --free_now[fu_index(array.entry(r).fu)];
+      }
+    }
+    const EntryMask requests = array.request_execution(avail);
+    const auto grants = select_oldest_first(array, requests,
+                                            array.age_order(), free_now);
+    std::string req_str, grant_str, timer_str, avail_str;
+    for (unsigned r = 0; r < 7; ++r) {
+      req_str += requests.test(r) ? rows[r].name + std::string(" ") : "";
+    }
+    for (const unsigned r : grants) {
+      array.grant(r, rows[r].latency);
+      busy_until[r] = cycle + static_cast<int>(rows[r].latency) - 1;
+      grant_str += rows[r].name + std::string(" ");
+      ++granted_total;
+    }
+    array.tick();
+    for (unsigned r = 0; r < 7; ++r) {
+      const WakeupEntry& e = array.entry(r);
+      timer_str += (e.scheduled ? std::to_string(e.timer) : "-") + " ";
+      avail_str += e.result_available ? "1" : ".";
+    }
+    trace.add_row({Table::num(std::uint64_t(cycle)),
+                   req_str.empty() ? "-" : req_str,
+                   grant_str.empty() ? "-" : grant_str, timer_str,
+                   avail_str});
+  }
+  std::fputs(trace.to_string().c_str(), stdout);
+
+  std::printf(
+      "\nSemantics demonstrated: a granted entry's scheduled bit stops it "
+      "re-requesting; an N-cycle instruction's available line asserts after "
+      "N end-of-cycle ticks (immediately usable by dependents the following "
+      "cycle); dependents (Add, Mult, FPMul, FPAdd) request only once every "
+      "needed column is available.\n");
+
+  // Retirement clearing (the paper's rule for removing entries).
+  array.retire(4);  // Load retires
+  std::printf("after retiring Load (row 5): FPAdd deps now 0b%s (the "
+              "retired entry's column cleared across the array)\n",
+              format_bits(array.entry(6).deps.raw(), 7).c_str());
+  return granted_total == 7 ? 0 : 1;
+}

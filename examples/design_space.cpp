@@ -1,0 +1,69 @@
+// Architect's example: define a custom steering basis and machine shape,
+// then evaluate it against the paper's Table-1 basis over the standard
+// workload mixes. Shows the configuration-as-data API: SteeringSet,
+// MachineConfig, LoaderParams.
+//
+//   $ ./examples/design_space
+#include <cstdio>
+
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "sim/table.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace steersim;
+
+  // A custom basis: suppose profiling says our deployment is 60% memory
+  // streaming, 40% fp — we trade the integer preset for a second
+  // memory-leaning one.
+  SteeringSet custom;
+  custom.name = "mem-tilted";
+  custom.num_slots = 8;
+  custom.ffu = {1, 1, 1, 1, 1};
+  custom.presets[0] = {2, 0, 6, 0, 0};  // pure streaming: 2 ALU + 6 LSU
+  custom.presets[1] = {1, 0, 4, 1, 0};  // stream + one FP-ALU
+  custom.presets[2] = {0, 0, 2, 1, 1};  // fp with enough load bandwidth
+  custom.preset_names = {"stream", "stream-fp", "fp"};
+  if (!custom.feasible()) {
+    std::fprintf(stderr, "custom basis exceeds the slot budget\n");
+    return 1;
+  }
+
+  // A wider machine than the paper's default.
+  MachineConfig wide;
+  wide.fetch_width = 8;
+  wide.queue_entries = 15;
+  wide.retire_width = 8;
+  wide.loader.cycles_per_slot = 8;
+
+  const auto evaluate = [&](const SteeringSet& basis) {
+    MachineConfig cfg = wide;
+    cfg.steering = basis;
+    cfg.loader.num_slots = basis.num_slots;
+    std::vector<std::function<double()>> jobs;
+    for (const MixSpec& mix : standard_mixes()) {
+      jobs.emplace_back([cfg, mix] {
+        const Program p = generate_synthetic(single_phase(mix, 64, 300, 19));
+        return simulate(p, cfg, PolicySpec{}).stats.ipc();
+      });
+    }
+    return parallel_map(jobs);
+  };
+
+  const auto table1 = evaluate(default_steering_set());
+  const auto tilted = evaluate(custom);
+
+  Table table({"mix", "table1 basis IPC", "mem-tilted basis IPC", "ratio"});
+  for (std::size_t i = 0; i < standard_mixes().size(); ++i) {
+    table.add_row({standard_mixes()[i].name, Table::num(table1[i]),
+                   Table::num(tilted[i]),
+                   Table::num(tilted[i] / table1[i], 3)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nReading: the tilted basis buys memory-mix IPC at the cost of the "
+      "integer corner — the basis is a deployment-time tuning knob, "
+      "exactly the design space the paper's conclusion points at.\n");
+  return 0;
+}

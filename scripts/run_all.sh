@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds, tests, and runs every reproduction/experiment binary, teeing the
+# outputs the repo's EXPERIMENTS.md references.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+{
+  for b in build/bench/*; do
+    [ -x "$b" ] && "$b"
+  done
+} 2>&1 | tee bench_output.txt

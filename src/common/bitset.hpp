@@ -1,0 +1,86 @@
+// Small fixed-capacity bitset backed by a single machine word.
+//
+// The hardware structures in this project (one-hot unit-decoder outputs,
+// wake-up array rows, resource allocation diffs) are all narrow bit vectors
+// with at most a few dozen bits; SmallBitset keeps them in one uint64_t so
+// the bit-level circuit models stay branch-free and cheap to copy.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+template <unsigned N>
+  requires(N >= 1 && N <= 64)
+class SmallBitset {
+ public:
+  constexpr SmallBitset() = default;
+
+  /// Constructs from a raw word; bits above N-1 must be clear.
+  constexpr explicit SmallBitset(std::uint64_t raw) : bits_(raw) {
+    STEERSIM_EXPECTS((raw & ~mask()) == 0);
+  }
+
+  static constexpr unsigned capacity() { return N; }
+
+  constexpr bool test(unsigned i) const {
+    STEERSIM_EXPECTS(i < N);
+    return (bits_ >> i) & 1u;
+  }
+  constexpr void set(unsigned i, bool value = true) {
+    STEERSIM_EXPECTS(i < N);
+    if (value) {
+      bits_ |= (std::uint64_t{1} << i);
+    } else {
+      bits_ &= ~(std::uint64_t{1} << i);
+    }
+  }
+  constexpr void reset(unsigned i) { set(i, false); }
+  constexpr void clear() { bits_ = 0; }
+
+  constexpr bool any() const { return bits_ != 0; }
+  constexpr bool none() const { return bits_ == 0; }
+  constexpr unsigned count() const {
+    return static_cast<unsigned>(std::popcount(bits_));
+  }
+  /// Index of the lowest set bit; requires any().
+  constexpr unsigned lowest() const {
+    STEERSIM_EXPECTS(any());
+    return static_cast<unsigned>(std::countr_zero(bits_));
+  }
+
+  constexpr std::uint64_t raw() const { return bits_; }
+
+  friend constexpr SmallBitset operator&(SmallBitset a, SmallBitset b) {
+    return SmallBitset(a.bits_ & b.bits_);
+  }
+  friend constexpr SmallBitset operator|(SmallBitset a, SmallBitset b) {
+    return SmallBitset(a.bits_ | b.bits_);
+  }
+  friend constexpr SmallBitset operator^(SmallBitset a, SmallBitset b) {
+    return SmallBitset(a.bits_ ^ b.bits_);
+  }
+  constexpr SmallBitset operator~() const {
+    return SmallBitset(~bits_ & mask());
+  }
+  constexpr SmallBitset& operator|=(SmallBitset other) {
+    bits_ |= other.bits_;
+    return *this;
+  }
+  constexpr SmallBitset& operator&=(SmallBitset other) {
+    bits_ &= other.bits_;
+    return *this;
+  }
+  friend constexpr bool operator==(SmallBitset, SmallBitset) = default;
+
+ private:
+  static constexpr std::uint64_t mask() {
+    return N == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << N) - 1);
+  }
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace steersim

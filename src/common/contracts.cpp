@@ -1,0 +1,16 @@
+#include "common/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace steersim {
+
+void contract_violation(const char* kind, const char* expr, const char* file,
+                        int line) {
+  std::fprintf(stderr, "steersim: %s violation: %s at %s:%d\n", kind, expr,
+               file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace steersim

@@ -1,0 +1,28 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines GSL
+// Expects/Ensures. Violations indicate programming errors inside the
+// simulator (never bad user input) and abort with a diagnostic.
+#pragma once
+
+namespace steersim {
+
+/// Invoked on contract violation; prints the diagnostic and aborts.
+/// Separated out so the macro expansion stays tiny and cold.
+[[noreturn]] void contract_violation(const char* kind, const char* expr,
+                                     const char* file, int line);
+
+}  // namespace steersim
+
+#define STEERSIM_EXPECTS(cond)                                              \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]]                                               \
+      ::steersim::contract_violation("Expects", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define STEERSIM_ENSURES(cond)                                              \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]]                                               \
+      ::steersim::contract_violation("Ensures", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define STEERSIM_UNREACHABLE(msg)                                         \
+  ::steersim::contract_violation("Unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,40 @@
+// N-bit saturating up/down counter (branch-predictor building block).
+#pragma once
+
+#include <cstdint>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+class SatCounter {
+ public:
+  /// `bits` in [1,8]; `initial` must fit in `bits`.
+  constexpr explicit SatCounter(unsigned bits = 2, std::uint8_t initial = 1)
+      : max_(static_cast<std::uint8_t>((1u << bits) - 1)), value_(initial) {
+    STEERSIM_EXPECTS(bits >= 1 && bits <= 8);
+    STEERSIM_EXPECTS(initial <= max_);
+  }
+
+  constexpr void increment() {
+    if (value_ < max_) {
+      ++value_;
+    }
+  }
+  constexpr void decrement() {
+    if (value_ > 0) {
+      --value_;
+    }
+  }
+  constexpr void update(bool taken) { taken ? increment() : decrement(); }
+
+  /// Predicts taken when the counter is in its upper half.
+  constexpr bool predict_taken() const { return value_ > max_ / 2; }
+  constexpr std::uint8_t value() const { return value_; }
+
+ private:
+  std::uint8_t max_;
+  std::uint8_t value_;
+};
+
+}  // namespace steersim

@@ -1,0 +1,91 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace steersim {
+
+void RunningStat::add(double x) {
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  STEERSIM_EXPECTS(hi > lo);
+  STEERSIM_EXPECTS(buckets >= 1);
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
+                                         static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  STEERSIM_EXPECTS(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  STEERSIM_EXPECTS(i < counts_.size());
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double p) const {
+  STEERSIM_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (total_ == 0) {
+    return lo_;
+  }
+  const auto target =
+      static_cast<std::uint64_t>(p * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > target) {
+      return bucket_lo(i);
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::to_string(int width) const {
+  std::string out;
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) {
+    peak = std::max(peak, c);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    out += format_double(bucket_lo(i), 2);
+    out += " | ";
+    out.append(bar, '#');
+    out += " ";
+    out += std::to_string(counts_[i]);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace steersim

@@ -1,0 +1,56 @@
+// Streaming statistics helpers used by the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace steersim {
+
+/// Welford streaming mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
+/// end buckets so totals always balance.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket_count(std::size_t i) const;
+  std::size_t buckets() const { return counts_.size(); }
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+  /// p in [0,1]; returns the lower edge of the bucket holding that quantile.
+  double quantile(double p) const;
+  std::string to_string(int width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace steersim

@@ -1,0 +1,68 @@
+#include "common/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+std::string format_double(double value, int precision) {
+  STEERSIM_EXPECTS(precision >= 0 && precision <= 17);
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string pad(std::string_view text, int width) {
+  const bool left_pad = width >= 0;
+  const auto target = static_cast<std::size_t>(left_pad ? width : -width);
+  if (text.size() >= target) {
+    return std::string(text);
+  }
+  std::string spaces(target - text.size(), ' ');
+  return left_pad ? spaces + std::string(text) : std::string(text) + spaces;
+}
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_bits(std::uint64_t value, unsigned bits) {
+  STEERSIM_EXPECTS(bits >= 1 && bits <= 64);
+  std::string out(bits, '0');
+  for (unsigned i = 0; i < bits; ++i) {
+    if ((value >> i) & 1u) {
+      out[bits - 1 - i] = '1';
+    }
+  }
+  return out;
+}
+
+}  // namespace steersim

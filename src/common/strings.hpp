@@ -1,0 +1,32 @@
+// Tiny string-formatting helpers shared by the table printer, the
+// disassembler and the repro binaries. Kept deliberately minimal; anything
+// fancier should go through Table/Csv in src/sim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace steersim {
+
+/// Fixed-precision decimal rendering ("3.14"); no locale, no scientific.
+std::string format_double(double value, int precision);
+
+/// Left-pads (or right-pads if width < 0) to |width| columns with spaces.
+std::string pad(std::string_view text, int width);
+
+/// Splits on a delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// True if `text` begins with `prefix`.
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Renders a bit pattern LSB-last ("0b101" style without the prefix),
+/// exactly `bits` characters wide.
+std::string format_bits(std::uint64_t value, unsigned bits);
+
+}  // namespace steersim

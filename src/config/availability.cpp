@@ -1,0 +1,59 @@
+#include "config/availability.hpp"
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+ResourceVector ResourceVector::build(const AllocationVector& rfu,
+                                     SlotMask rfu_available,
+                                     const FuCounts& ffu,
+                                     std::span<const bool> ffu_available) {
+  ResourceVector rv;
+  for (unsigned i = 0; i < rfu.num_slots(); ++i) {
+    rv.entries_.push_back(ResourceEntry{rfu.code(i), rfu_available.test(i)});
+  }
+  std::size_t ffu_idx = 0;
+  for (const FuType t : kAllFuTypes) {
+    for (unsigned n = 0; n < ffu[fu_index(t)]; ++n) {
+      STEERSIM_EXPECTS(ffu_idx < ffu_available.size());
+      rv.entries_.push_back(
+          ResourceEntry{encoding_of(t), ffu_available[ffu_idx++]});
+    }
+  }
+  STEERSIM_ENSURES(ffu_idx == ffu_available.size());
+  return rv;
+}
+
+bool ResourceVector::available(FuType t) const {
+  const std::uint8_t enc = encoding_of(t);
+  for (const auto& entry : entries_) {
+    if (entry.code == enc && entry.available) {
+      return true;
+    }
+  }
+  return false;
+}
+
+unsigned ResourceVector::count_available(FuType t) const {
+  const std::uint8_t enc = encoding_of(t);
+  unsigned count = 0;
+  for (const auto& entry : entries_) {
+    if (entry.code == enc && entry.available) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+unsigned ResourceVector::count_configured(FuType t) const {
+  const std::uint8_t enc = encoding_of(t);
+  unsigned count = 0;
+  for (const auto& entry : entries_) {
+    if (entry.code == enc) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace steersim

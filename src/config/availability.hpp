@@ -1,0 +1,54 @@
+// Resource availability computation (paper Sec. 4.2, Eq. 1, Fig. 7).
+//
+// The wake-up logic needs, per unit type t, a single wire
+//   available(t) = OR_i ( alloc[i] == enc(t)  AND  availability(i) )
+// over a combined resource vector holding the RFU slots followed by the
+// fixed functional units. Continuation-encoded slots match no type code, so
+// a multi-slot unit contributes exactly once (via its head slot).
+#pragma once
+
+#include <span>
+
+#include "common/fixed_vector.hpp"
+#include "config/allocation.hpp"
+
+namespace steersim {
+
+struct ResourceEntry {
+  std::uint8_t code = kEncEmpty;
+  bool available = false;  ///< the slot's "available" output port
+};
+
+inline constexpr unsigned kMaxResourceEntries =
+    kMaxRfuSlots + kNumFuTypes * 4;
+
+/// The combined resource allocation vector of Fig. 7 (reconfigurable slots
+/// followed by fixed resources) with per-entry availability signals.
+class ResourceVector {
+ public:
+  /// `rfu_available` carries one bit per RFU slot (a busy unit drives all of
+  /// its slots' bits low); `ffu_available` has one flag per fixed unit
+  /// instance, laid out in FuType order.
+  static ResourceVector build(const AllocationVector& rfu,
+                              SlotMask rfu_available, const FuCounts& ffu,
+                              std::span<const bool> ffu_available);
+
+  /// Eq. 1: is any unit of type t configured and available?
+  bool available(FuType t) const;
+
+  /// Population count variant: number of available units of type t (used by
+  /// the select stage to bound grants per cycle).
+  unsigned count_available(FuType t) const;
+
+  /// Number of units of type t configured at all (available or busy).
+  unsigned count_configured(FuType t) const;
+
+  std::span<const ResourceEntry> entries() const {
+    return {entries_.begin(), entries_.end()};
+  }
+
+ private:
+  FixedVector<ResourceEntry, kMaxResourceEntries> entries_;
+};
+
+}  // namespace steersim

@@ -1,0 +1,87 @@
+#include "config/circuit_cost.hpp"
+
+#include "config/selection_unit.hpp"
+#include "isa/opcode.hpp"
+
+namespace steersim {
+namespace {
+
+/// A CSA/ripple tree summing `operands` values of `bits` bits each:
+/// roughly (operands-1) adders of ~5*bits gates, depth log2(operands)
+/// levels of ~2*bits gate delays.
+CircuitCost adder_tree(unsigned operands, unsigned bits) {
+  if (operands <= 1) {
+    return {0, 0};
+  }
+  unsigned levels = 0;
+  for (unsigned n = operands; n > 1; n = (n + 1) / 2) {
+    ++levels;
+  }
+  return {(operands - 1) * 5 * bits, levels * 2 * bits};
+}
+
+}  // namespace
+
+CircuitCost unit_decoder_cost() {
+  // 7-bit opcode -> kNumOpcodes minterms (6 AND2 each after sharing) ->
+  // 5 OR trees of ~kNumOpcodes/5 inputs.
+  const unsigned minterms = kNumOpcodes;
+  const unsigned and_plane = minterms * 6;
+  const unsigned or_inputs = (minterms + kNumFuTypes - 1) / kNumFuTypes;
+  const unsigned or_trees = kNumFuTypes * (or_inputs - 1);
+  // Depth: ~3 levels of AND + log2(or_inputs) levels of OR.
+  unsigned or_depth = 0;
+  for (unsigned n = or_inputs; n > 1; n = (n + 1) / 2) {
+    ++or_depth;
+  }
+  return {and_plane + or_trees, 3 + or_depth};
+}
+
+CircuitCost requirements_encoder_cost(unsigned queue_entries) {
+  // Per FU type: sum `queue_entries` one-bit wires into a 3-bit count
+  // (population count = adder tree over 1-bit operands widening to 3),
+  // plus saturation (2 gates).
+  const CircuitCost per_type = adder_tree(queue_entries, 2) +
+                               CircuitCost{2, 1};
+  return CircuitCost::parallel(per_type, kNumFuTypes);
+}
+
+CircuitCost cem_approx_cost() {
+  // Per type: shift control from 2 high-order bits (2 gates, depth 1) +
+  // a 3-bit 2-stage barrel shifter (2 levels x 3 muxes x 3 gates).
+  const CircuitCost shifter = {2 + 2 * 3 * 3, 1 + 2 * 2};
+  // Sum of five 3-bit terms.
+  return CircuitCost::parallel(shifter, kNumFuTypes) + adder_tree(5, 3);
+}
+
+CircuitCost cem_exact_cost() {
+  // Per type: a 3/3-bit restoring array divider: 3 rows, each a 3-bit
+  // controlled subtractor (~18 gates) + quotient logic (~4), serial rows.
+  const CircuitCost divider = {3 * (18 + 4), 3 * 8};
+  // Quotients are up to 3 bits but fractional precision needs ~6 bits to
+  // order candidates as real division would; sum five 6-bit terms.
+  return CircuitCost::parallel(divider, kNumFuTypes) + adder_tree(5, 6);
+}
+
+CircuitCost minimal_error_selector_cost() {
+  // Tournament over 4 candidates: 3 compare-select nodes. Each: 3-bit
+  // magnitude comparator (~12 gates, depth 4) + tie-break compare on
+  // reconfiguration cost (~12 gates) + 2-bit index mux (~6 gates).
+  const CircuitCost node = {12 + 12 + 6, 4 + 2};
+  return {node.gates * 3, node.depth * 2};  // two tournament levels
+}
+
+CircuitCost selection_unit_cost(unsigned queue_entries, bool exact_divider) {
+  const CircuitCost decoders =
+      CircuitCost::parallel(unit_decoder_cost(), queue_entries);
+  const CircuitCost encoder = requirements_encoder_cost(queue_entries);
+  const CircuitCost cem = CircuitCost::parallel(
+      exact_divider ? cem_exact_cost() : cem_approx_cost(), kNumCandidates);
+  const CircuitCost selector = minimal_error_selector_cost();
+  // Gates add across stages; depth is the serial combinational path
+  // decoder -> encoder -> cem -> selector (parallel replication inside a
+  // stage leaves its depth unchanged).
+  return decoders + encoder + cem + selector;
+}
+
+}  // namespace steersim

@@ -1,0 +1,54 @@
+// Structural complexity estimates for the configuration-selection
+// circuits (gate count and logic depth in 2-input-gate equivalents).
+//
+// The paper justifies the barrel-shifter CEM by cost: a more accurate
+// divider "could be implemented, if desired, at the expense of increased
+// complexity and latency". These estimators put numbers on that trade
+// using standard textbook structures (one-hot decoders, carry-save adder
+// trees, mux-based barrel shifters, array dividers, comparator trees).
+// They are design-space estimates, not synthesis results; assumptions are
+// documented per function.
+#pragma once
+
+namespace steersim {
+
+struct CircuitCost {
+  unsigned gates = 0;  ///< 2-input gate equivalents
+  unsigned depth = 0;  ///< critical path in gate levels
+
+  CircuitCost operator+(const CircuitCost& other) const {
+    // Serial composition: gates add, depths add.
+    return {gates + other.gates, depth + other.depth};
+  }
+  static CircuitCost parallel(const CircuitCost& a, unsigned copies) {
+    // Parallel replication: gates scale, depth unchanged.
+    return {a.gates * copies, a.depth};
+  }
+};
+
+/// One unit decoder: opcode (7 bits) -> one-hot FU type (5 wires).
+/// AND-plane of ~kNumOpcodes product terms + 5 OR trees.
+CircuitCost unit_decoder_cost();
+
+/// Requirements encoder for `queue` entries: per type, a population count
+/// of `queue` one-hot wires into a 3-bit saturating sum (CSA tree).
+CircuitCost requirements_encoder_cost(unsigned queue_entries);
+
+/// One CEM generator, shift-approximate form (Fig. 3b/3c): five 3-bit
+/// barrel shifters (2-level mux) + control (2 gates each) + a 3-bit
+/// 5-operand adder tree.
+CircuitCost cem_approx_cost();
+
+/// One CEM generator with exact dividers: five 3-by-3 restoring array
+/// dividers (3 rows of controlled subtract/compare) + wider adder tree.
+CircuitCost cem_exact_cost();
+
+/// Minimal-error selector over 4 candidates: 3 compare-and-select stages
+/// (3-bit comparators + 2-bit index muxes) with tie-break logic.
+CircuitCost minimal_error_selector_cost();
+
+/// The whole 4-stage selection unit (Fig. 2) for a given queue size,
+/// with either CEM flavour (4 CEM generators: 3 presets + current).
+CircuitCost selection_unit_cost(unsigned queue_entries, bool exact_divider);
+
+}  // namespace steersim

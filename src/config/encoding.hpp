@@ -1,0 +1,87 @@
+// Functional-unit type encodings and slot costs (paper Table 1).
+//
+// Each slot of reconfigurable logic carries a 3-bit code naming the unit it
+// implements. A unit that spans multiple slots puts its type code in its
+// first slot and the special continuation code in the rest, so availability
+// logic (Eq. 1) counts each unit exactly once.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/contracts.hpp"
+#include "isa/fu_type.hpp"
+
+namespace steersim {
+
+inline constexpr std::uint8_t kEncEmpty = 0b000;
+inline constexpr std::uint8_t kEncIntAlu = 0b001;
+inline constexpr std::uint8_t kEncIntMdu = 0b010;
+inline constexpr std::uint8_t kEncLsu = 0b011;
+inline constexpr std::uint8_t kEncFpAlu = 0b100;
+inline constexpr std::uint8_t kEncFpMdu = 0b101;
+/// Slot holds a continuation of the multi-slot unit that starts earlier.
+inline constexpr std::uint8_t kEncContinuation = 0b111;
+
+constexpr std::uint8_t encoding_of(FuType t) {
+  switch (t) {
+    case FuType::kIntAlu:
+      return kEncIntAlu;
+    case FuType::kIntMdu:
+      return kEncIntMdu;
+    case FuType::kLsu:
+      return kEncLsu;
+    case FuType::kFpAlu:
+      return kEncFpAlu;
+    case FuType::kFpMdu:
+      return kEncFpMdu;
+  }
+  STEERSIM_UNREACHABLE("bad FuType");
+}
+
+/// Inverse of encoding_of; nullopt for empty/continuation/undefined codes.
+constexpr std::optional<FuType> type_from_encoding(std::uint8_t code) {
+  switch (code) {
+    case kEncIntAlu:
+      return FuType::kIntAlu;
+    case kEncIntMdu:
+      return FuType::kIntMdu;
+    case kEncLsu:
+      return FuType::kLsu;
+    case kEncFpAlu:
+      return FuType::kFpAlu;
+    case kEncFpMdu:
+      return FuType::kFpMdu;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Reconfigurable-slot footprint of a unit instance (Sec. 4.2: LSUs and
+/// Int-ALUs take one slot, Int-MDUs two, FP units three).
+constexpr unsigned slot_cost(FuType t) {
+  switch (t) {
+    case FuType::kIntAlu:
+      return 1;
+    case FuType::kIntMdu:
+      return 2;
+    case FuType::kLsu:
+      return 1;
+    case FuType::kFpAlu:
+      return 3;
+    case FuType::kFpMdu:
+      return 3;
+  }
+  STEERSIM_UNREACHABLE("bad FuType");
+}
+
+/// Total slots consumed by a per-type unit-count vector.
+constexpr unsigned slots_used(const FuCounts& counts) {
+  unsigned total = 0;
+  for (const FuType t : kAllFuTypes) {
+    total += counts[fu_index(t)] * slot_cost(t);
+  }
+  return total;
+}
+
+}  // namespace steersim

@@ -1,0 +1,178 @@
+#include "config/loader.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+ConfigurationLoader::ConfigurationLoader(const LoaderParams& params,
+                                         AllocationVector initial)
+    : params_(params), allocation_(std::move(initial)),
+      target_(allocation_) {
+  STEERSIM_EXPECTS(params.num_slots >= 1 &&
+                   params.num_slots <= kMaxRfuSlots);
+  STEERSIM_EXPECTS(params.cycles_per_slot >= 1);
+  STEERSIM_EXPECTS(params.max_concurrent_regions >= 1);
+  STEERSIM_EXPECTS(allocation_.num_slots() == params.num_slots);
+}
+
+void ConfigurationLoader::request(const AllocationVector& target) {
+  STEERSIM_EXPECTS(target.num_slots() == params_.num_slots);
+  if (target == target_) {
+    return;
+  }
+  target_ = target;
+  ++stats_.targets_requested;
+}
+
+bool ConfigurationLoader::region_satisfied(const SlotRegion& region) const {
+  if (allocation_.code(region.base) != encoding_of(region.type)) {
+    return false;
+  }
+  for (unsigned i = 1; i < region.len; ++i) {
+    if (allocation_.code(region.base + i) != kEncContinuation) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ConfigurationLoader::overlaps_active(unsigned base, unsigned len) const {
+  for (const auto& rewrite : active_) {
+    const unsigned lo = std::max(base, rewrite.region.base);
+    const unsigned hi = std::min(base + len,
+                                 rewrite.region.base + rewrite.region.len);
+    if (lo < hi) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SlotMask ConfigurationLoader::reconfiguring() const {
+  SlotMask mask;
+  for (const auto& rewrite : active_) {
+    for (unsigned i = 0; i < rewrite.region.len; ++i) {
+      mask.set(rewrite.region.base + i);
+    }
+  }
+  if (full_remaining_ > 0) {
+    for (unsigned i = 0; i < params_.num_slots; ++i) {
+      mask.set(i);
+    }
+  }
+  return mask;
+}
+
+unsigned ConfigurationLoader::reconfig_cost(
+    const AllocationVector& candidate) const {
+  STEERSIM_EXPECTS(candidate.num_slots() == params_.num_slots);
+  // Slots covered by candidate regions not yet implemented. Target-empty
+  // slots are don't-care: steering loads the units the chosen configuration
+  // specifies and leaves leftover capacity in place (it can only help).
+  unsigned cost = 0;
+  for (const auto& region : candidate.regions()) {
+    if (!region_satisfied(region)) {
+      cost += region.len;
+    }
+  }
+  return cost;
+}
+
+void ConfigurationLoader::step(SlotMask slot_busy) {
+  if (params_.partial) {
+    step_partial(slot_busy);
+  } else {
+    step_full(slot_busy);
+  }
+}
+
+void ConfigurationLoader::step_partial(SlotMask slot_busy) {
+  // Start rewrites for unsatisfied target regions whose slots are idle.
+  // Starting precedes the tick so a rewrite's first cycle is the cycle it
+  // begins (an N-cycle rewrite spans exactly N step() calls).
+  bool blocked = false;
+  for (const auto& region : target_.regions()) {
+    if (active_.size() >= params_.max_concurrent_regions) {
+      break;
+    }
+    if (region_satisfied(region) ||
+        overlaps_active(region.base, region.len)) {
+      continue;
+    }
+    // The region's own span must be idle...
+    bool busy = false;
+    for (unsigned i = 0; i < region.len; ++i) {
+      busy = busy || slot_busy.test(region.base + i);
+    }
+    // ...and so must any current unit that pokes into the span from outside
+    // (a busy unit drives all of its slots' busy bits, so checking the span
+    // already covers it; an idle overlapping unit may be evicted).
+    if (busy) {
+      blocked = true;
+      continue;
+    }
+    // Evict current units overlapping the span, then begin loading.
+    for (const auto& current : allocation_.regions()) {
+      const unsigned lo = std::max(current.base, region.base);
+      const unsigned hi =
+          std::min(current.base + current.len, region.base + region.len);
+      if (lo < hi) {
+        allocation_.clear_span(current.base, current.len);
+      }
+    }
+    allocation_.clear_span(region.base, region.len);
+    if (params_.instant) {
+      allocation_.write_region(region);
+      stats_.slots_rewritten += region.len;
+    } else {
+      active_.push_back(
+          Rewrite{region, params_.cycles_per_slot * region.len});
+    }
+    ++stats_.regions_started;
+  }
+  if (blocked) {
+    ++stats_.blocked_cycles;
+  }
+
+  // Tick in-flight rewrites; completed units come online.
+  for (auto it = active_.begin(); it != active_.end();) {
+    STEERSIM_ENSURES(it->remaining > 0);
+    if (--it->remaining == 0) {
+      allocation_.write_region(it->region);
+      stats_.slots_rewritten += it->region.len;
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ConfigurationLoader::step_full(SlotMask slot_busy) {
+  if (full_remaining_ == 0) {
+    const bool satisfied = std::ranges::all_of(
+        target_.regions(),
+        [this](const SlotRegion& r) { return region_satisfied(r); });
+    if (satisfied) {
+      return;
+    }
+    // Non-partial reconfiguration: the whole fabric is rewritten at once
+    // and only when every slot is idle.
+    if (slot_busy.any()) {
+      ++stats_.blocked_cycles;
+      return;
+    }
+    allocation_.clear_span(0, params_.num_slots);
+    full_remaining_ = params_.cycles_per_slot * params_.num_slots;
+  }
+  if (--full_remaining_ == 0) {
+    for (const auto& region : target_.regions()) {
+      allocation_.write_region(region);
+      stats_.slots_rewritten += region.len;
+    }
+    ++stats_.regions_started;
+  }
+}
+
+}  // namespace steersim

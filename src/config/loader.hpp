@@ -1,0 +1,88 @@
+// The configuration loader (paper Sec. 3.2).
+//
+// Owns the resource allocation vector, tracks in-flight slot rewrites, and
+// steers the fabric toward the configuration chosen by the selection unit:
+// each cycle it diffs the chosen configuration against the current one and
+// begins (partially) reconfiguring unit regions whose slots are idle.
+// Busy slots are skipped — that is what makes the active configuration a
+// hybrid overlap of steering configurations. A non-partial mode reproduces
+// the [7]-style baseline where the whole fabric must be rewritten at once.
+#pragma once
+
+#include <vector>
+
+#include "config/allocation.hpp"
+
+namespace steersim {
+
+struct LoaderParams {
+  unsigned num_slots = 8;
+  /// Partial-reconfiguration cost: cycles to rewrite one slot.
+  unsigned cycles_per_slot = 8;
+  /// Concurrent region rewrites (1 models a single ICAP-style config port).
+  unsigned max_concurrent_regions = 1;
+  /// false => full-fabric reconfiguration baseline (no partial rewrites).
+  bool partial = true;
+  /// Oracle mode: rewrites complete in the same cycle they start (busy
+  /// slots are still respected). Used only by the oracle upper bound.
+  bool instant = false;
+};
+
+struct LoaderStats {
+  std::uint64_t targets_requested = 0;  ///< distinct target changes
+  std::uint64_t regions_started = 0;
+  std::uint64_t slots_rewritten = 0;
+  /// Cycles in which at least one wanted region could not start because a
+  /// slot it needs was busy executing.
+  std::uint64_t blocked_cycles = 0;
+};
+
+class ConfigurationLoader {
+ public:
+  ConfigurationLoader(const LoaderParams& params, AllocationVector initial);
+
+  /// Sets the steering target (the configuration chosen by the selector).
+  /// In-flight rewrites for a previous target run to completion.
+  void request(const AllocationVector& target);
+  const AllocationVector& target() const { return target_; }
+
+  /// Advances one cycle. `slot_busy` marks slots whose unit is executing a
+  /// multi-cycle instruction (all slots of a busy unit are set).
+  void step(SlotMask slot_busy);
+
+  /// Units currently loaded and usable. Slots under rewrite are cleared, so
+  /// `allocation().counts()` is exactly the configured-unit count vector.
+  const AllocationVector& allocation() const { return allocation_; }
+
+  SlotMask reconfiguring() const;
+  bool idle() const { return active_.empty() && full_remaining_ == 0; }
+
+  /// Slots that would need rewriting to realize `candidate` from the
+  /// current allocation (the selector's least-reconfiguration tie-break).
+  unsigned reconfig_cost(const AllocationVector& candidate) const;
+
+  const LoaderStats& stats() const { return stats_; }
+  const LoaderParams& params() const { return params_; }
+
+ private:
+  struct Rewrite {
+    SlotRegion region;
+    unsigned remaining = 0;
+  };
+
+  /// True if `allocation_` already implements `region` exactly.
+  bool region_satisfied(const SlotRegion& region) const;
+  /// True if any slot of [base, base+len) is part of an active rewrite.
+  bool overlaps_active(unsigned base, unsigned len) const;
+  void step_partial(SlotMask slot_busy);
+  void step_full(SlotMask slot_busy);
+
+  LoaderParams params_;
+  AllocationVector allocation_;
+  AllocationVector target_;
+  std::vector<Rewrite> active_;
+  unsigned full_remaining_ = 0;  ///< full-reconfig mode countdown
+  LoaderStats stats_;
+};
+
+}  // namespace steersim

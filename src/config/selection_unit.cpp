@@ -1,0 +1,131 @@
+#include "config/selection_unit.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+UnitOneHot unit_decode(Opcode op) {
+  UnitOneHot one_hot;
+  one_hot.set(fu_index(fu_type_of(op)));
+  return one_hot;
+}
+
+FuCounts encode_requirements(std::span<const Opcode> ready_ops) {
+  FuCounts counts{};
+  for (const Opcode op : ready_ops) {
+    auto& c = counts[fu_index(fu_type_of(op))];
+    if (c < 7) {  // 3-bit saturating count
+      ++c;
+    }
+  }
+  return counts;
+}
+
+unsigned cem_error_approx(const FuCounts& required,
+                          const FuCounts& available) {
+  unsigned sum = 0;
+  for (unsigned t = 0; t < kNumFuTypes; ++t) {
+    const auto req = static_cast<unsigned>(required[t] & 0b111);
+    const auto avail = static_cast<std::uint8_t>(
+        std::min<unsigned>(available[t], 7));  // 3-bit quantity input
+    sum += req >> cem_shift_amount(avail);
+  }
+  // The paper sizes the adder tree at 3 bits because Σ_t required(t) <= 7
+  // (7-entry queue); the shifted terms can only be smaller.
+  return sum & 0b111;
+}
+
+double cem_error_exact(const FuCounts& required, const FuCounts& available) {
+  double sum = 0.0;
+  for (unsigned t = 0; t < kNumFuTypes; ++t) {
+    if (available[t] == 0) {
+      sum += static_cast<double>(required[t]) * kCemUnavailablePenalty;
+    } else {
+      sum += static_cast<double>(required[t]) /
+             static_cast<double>(available[t]);
+    }
+  }
+  return sum;
+}
+
+ConfigSelectionUnit::ConfigSelectionUnit(SteeringSet set, CemMode mode,
+                                         TieBreak tie_break)
+    : set_(std::move(set)), mode_(mode), tie_break_(tie_break) {
+  STEERSIM_EXPECTS(set_.feasible());
+}
+
+SelectionTrace ConfigSelectionUnit::select(
+    std::span<const Opcode> ready_ops, const FuCounts& current_total,
+    const std::array<unsigned, kNumCandidates>& reconfig_cost) const {
+  SelectionTrace trace;
+
+  // Stage 1: unit decoders (at most the queue capacity is wired up).
+  trace.num_entries = static_cast<unsigned>(
+      std::min<std::size_t>(ready_ops.size(), kQueueCapacity));
+  for (unsigned i = 0; i < trace.num_entries; ++i) {
+    trace.one_hots[i] = unit_decode(ready_ops[i]);
+  }
+
+  // Stage 2: resource requirements encoder (3-bit saturating counts; for
+  // machines with queues deeper than 7 the counts saturate exactly as the
+  // hardware encoders would).
+  SelectionTrace tail =
+      select_counts(encode_requirements(ready_ops), current_total,
+                    reconfig_cost);
+  tail.num_entries = trace.num_entries;
+  tail.one_hots = trace.one_hots;
+  return tail;
+}
+
+SelectionTrace ConfigSelectionUnit::select_counts(
+    const FuCounts& required, const FuCounts& current_total,
+    const std::array<unsigned, kNumCandidates>& reconfig_cost) const {
+  SelectionTrace trace;
+  trace.required = required;
+
+  // Stage 3: one CEM generator per candidate. Candidate 0 is the current
+  // configuration; candidates 1..3 are the predefined steering configs,
+  // evaluated with their full complement (preset + FFUs).
+  std::array<FuCounts, kNumCandidates> candidate_avail;
+  candidate_avail[0] = current_total;
+  for (unsigned p = 0; p < kNumPresetConfigs; ++p) {
+    candidate_avail[p + 1] = set_.preset_total(p);
+  }
+  for (unsigned c = 0; c < kNumCandidates; ++c) {
+    trace.errors[c] =
+        mode_ == CemMode::kShiftApprox
+            ? static_cast<double>(
+                  cem_error_approx(trace.required, candidate_avail[c]))
+            : cem_error_exact(trace.required, candidate_avail[c]);
+  }
+
+  // Stage 4: minimal error selection.
+  unsigned best = 0;
+  for (unsigned c = 1; c < kNumCandidates; ++c) {
+    const bool better = trace.errors[c] < trace.errors[best];
+    const bool tie = trace.errors[c] == trace.errors[best];
+    bool wins_tie = false;
+    switch (tie_break_) {
+      case TieBreak::kPaper:
+        // The current configuration (index 0) wins any tie it is part of;
+        // among tied presets the least reconfiguration wins.
+        wins_tie = best != 0 && reconfig_cost[c] < reconfig_cost[best];
+        break;
+      case TieBreak::kLeastReconfig:
+        wins_tie = reconfig_cost[c] < reconfig_cost[best];
+        break;
+      case TieBreak::kLowestIndex:
+        wins_tie = false;
+        break;
+    }
+    if (better || (tie && wins_tie)) {
+      best = c;
+    }
+  }
+  trace.selection = best;
+  return trace;
+}
+
+}  // namespace steersim

@@ -1,0 +1,124 @@
+// The configuration selection unit (paper Sec. 3.1, Figs. 2 and 3).
+//
+// Four combinational stages, modelled bit-faithfully:
+//   1. unit decoders        — per queue entry, a one-hot of the FU type
+//                             required by the instruction's opcode;
+//   2. requirements encoder — per type, a 3-bit count of required units
+//                             (queue holds at most 7 instructions, so the
+//                             counts and their sum fit in 3 bits);
+//   3. CEM generators       — per candidate configuration, an error metric
+//                             approximating Σ_t required(t)/available(t)
+//                             with a barrel shifter whose shift amount is
+//                             derived from the two high-order bits of the
+//                             3-bit available count (Fig. 3c);
+//   4. minimal error select — the 2-bit index of the winning configuration,
+//                             ties favouring the current configuration and
+//                             then the candidate needing the least
+//                             reconfiguration.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/bitset.hpp"
+#include "config/steering_set.hpp"
+#include "isa/opcode.hpp"
+
+namespace steersim {
+
+/// Instruction queue capacity assumed by the paper's 3-bit arithmetic.
+inline constexpr unsigned kQueueCapacity = 7;
+
+/// One-hot FU-type vector produced by a unit decoder (stage 1).
+using UnitOneHot = SmallBitset<kNumFuTypes>;
+
+UnitOneHot unit_decode(Opcode op);
+
+/// Stage 2: per-type 3-bit requirement counts, saturating at 7.
+FuCounts encode_requirements(std::span<const Opcode> ready_ops);
+
+/// Fig. 3c: shift amount (divisor exponent) from a 3-bit available count.
+/// High-order bit set -> shift 2 (divide by 4); next bit -> shift 1; else 0.
+constexpr unsigned cem_shift_amount(std::uint8_t avail) {
+  if ((avail & 0b100) != 0) {
+    return 2;
+  }
+  if ((avail & 0b010) != 0) {
+    return 1;
+  }
+  return 0;
+}
+
+/// Fig. 3b: the shift-approximated error metric for one candidate.
+/// Both inputs are 3-bit quantities per type; the five shifted terms are
+/// summed by the 3-bit adder tree (total <= 7 by the queue bound).
+unsigned cem_error_approx(const FuCounts& required, const FuCounts& available);
+
+/// Fig. 3a evaluated exactly (the "more accurate divider" the paper notes
+/// could be used at extra cost). Types with zero availability contribute
+/// required(t) * kCemUnavailablePenalty.
+double cem_error_exact(const FuCounts& required, const FuCounts& available);
+
+inline constexpr double kCemUnavailablePenalty = 8.0;
+
+enum class CemMode : std::uint8_t { kShiftApprox, kExactDivide };
+
+/// Tie-break rule used by the minimal-error selector (E8 ablation).
+enum class TieBreak : std::uint8_t {
+  /// Paper rule: favour the current configuration, then the candidate
+  /// needing the least reconfiguration.
+  kPaper,
+  /// Least reconfiguration only (current configuration not privileged).
+  kLeastReconfig,
+  /// Naive: first (lowest-index) candidate wins ties.
+  kLowestIndex,
+};
+
+struct SelectionTrace {
+  /// Stage 1 outputs, one per queue entry examined.
+  std::array<UnitOneHot, kQueueCapacity> one_hots{};
+  unsigned num_entries = 0;
+  /// Stage 2 output.
+  FuCounts required{};
+  /// Stage 3 outputs, candidate order: [0]=current, [1..3]=presets.
+  std::array<double, kNumCandidates> errors{};
+  /// Stage 4 output (2-bit selection).
+  unsigned selection = 0;
+};
+
+class ConfigSelectionUnit {
+ public:
+  explicit ConfigSelectionUnit(SteeringSet set,
+                               CemMode mode = CemMode::kShiftApprox,
+                               TieBreak tie_break = TieBreak::kPaper);
+
+  /// Runs the four stages.
+  ///   `ready_ops`        — opcodes of queue entries awaiting execution;
+  ///   `current_total`    — units of each type currently configured
+  ///                        (RFUs + FFUs), from the configuration loader;
+  ///   `reconfig_cost`    — per candidate, slots that would need rewriting
+  ///                        (0 for the current configuration).
+  SelectionTrace select(std::span<const Opcode> ready_ops,
+                        const FuCounts& current_total,
+                        const std::array<unsigned, kNumCandidates>&
+                            reconfig_cost) const;
+
+  /// Stages 3-4 only, with the requirement vector supplied directly
+  /// (lookahead steering merges queue and trace-cache requirements before
+  /// entering the CEM stage).
+  SelectionTrace select_counts(const FuCounts& required,
+                               const FuCounts& current_total,
+                               const std::array<unsigned, kNumCandidates>&
+                                   reconfig_cost) const;
+
+  const SteeringSet& steering_set() const { return set_; }
+  CemMode mode() const { return mode_; }
+  TieBreak tie_break() const { return tie_break_; }
+
+ private:
+  SteeringSet set_;
+  CemMode mode_;
+  TieBreak tie_break_;
+};
+
+}  // namespace steersim

@@ -1,0 +1,95 @@
+#include "config/steering_set.hpp"
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+namespace {
+
+constexpr FuCounts make_counts(std::uint8_t int_alu, std::uint8_t int_mdu,
+                               std::uint8_t lsu, std::uint8_t fp_alu,
+                               std::uint8_t fp_mdu) {
+  return FuCounts{int_alu, int_mdu, lsu, fp_alu, fp_mdu};
+}
+
+}  // namespace
+
+AllocationVector SteeringSet::preset_allocation(unsigned i) const {
+  STEERSIM_EXPECTS(i < kNumPresetConfigs);
+  return AllocationVector::place(presets[i], num_slots);
+}
+
+FuCounts SteeringSet::preset_total(unsigned i) const {
+  STEERSIM_EXPECTS(i < kNumPresetConfigs);
+  FuCounts total{};
+  for (unsigned t = 0; t < kNumFuTypes; ++t) {
+    total[t] = static_cast<std::uint8_t>(presets[i][t] + ffu[t]);
+  }
+  return total;
+}
+
+bool SteeringSet::feasible() const {
+  for (const auto& preset : presets) {
+    if (slots_used(preset) > num_slots) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SteeringSet default_steering_set() {
+  SteeringSet set;
+  set.name = "table1";
+  set.num_slots = kDefaultRfuSlots;
+  set.ffu = make_counts(1, 1, 1, 1, 1);
+  set.presets[0] = make_counts(4, 1, 2, 0, 0);
+  set.presets[1] = make_counts(2, 0, 3, 1, 0);
+  set.presets[2] = make_counts(1, 0, 1, 1, 1);
+  set.preset_names = {"integer", "memory", "float"};
+  STEERSIM_ENSURES(set.feasible());
+  return set;
+}
+
+SteeringSet clustered_basis() {
+  SteeringSet set;
+  set.name = "clustered";
+  set.num_slots = kDefaultRfuSlots;
+  set.ffu = make_counts(1, 1, 1, 1, 1);
+  set.presets[0] = make_counts(4, 1, 2, 0, 0);
+  set.presets[1] = make_counts(5, 0, 3, 0, 0);
+  set.presets[2] = make_counts(3, 1, 3, 0, 0);
+  set.preset_names = {"int-a", "int-b", "int-c"};
+  STEERSIM_ENSURES(set.feasible());
+  return set;
+}
+
+SteeringSet degenerate_basis() {
+  SteeringSet set;
+  set.name = "degenerate";
+  set.num_slots = kDefaultRfuSlots;
+  set.ffu = make_counts(1, 1, 1, 1, 1);
+  const FuCounts only = make_counts(2, 1, 1, 1, 0);
+  set.presets = {only, only, only};
+  set.preset_names = {"fixed-a", "fixed-b", "fixed-c"};
+  STEERSIM_ENSURES(set.feasible());
+  return set;
+}
+
+SteeringSet balanced_basis() {
+  SteeringSet set;
+  set.name = "balanced";
+  set.num_slots = kDefaultRfuSlots;
+  set.ffu = make_counts(1, 1, 1, 1, 1);
+  set.presets[0] = make_counts(2, 1, 1, 1, 0);
+  set.presets[1] = make_counts(1, 1, 2, 1, 0);
+  set.presets[2] = make_counts(2, 0, 2, 0, 1);
+  set.preset_names = {"bal-a", "bal-b", "bal-c"};
+  STEERSIM_ENSURES(set.feasible());
+  return set;
+}
+
+std::vector<SteeringSet> all_bases() {
+  return {default_steering_set(), clustered_basis(), degenerate_basis(),
+          balanced_basis()};
+}
+
+}  // namespace steersim

@@ -1,0 +1,57 @@
+// The steering-configuration basis (paper Table 1).
+//
+// Three predefined configurations of the 8 RFU slots, plus the fixed FFU
+// complement (one unit of every type). The exact per-configuration counts
+// are reconstructed — the transcription of Table 1 is numerically corrupt —
+// under the constraints the prose states: each predefined configuration
+// fills the 8-slot budget, the set is "relatively orthogonal", and every
+// type is always served by at least the FFUs. See DESIGN.md.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "config/allocation.hpp"
+
+namespace steersim {
+
+inline constexpr unsigned kDefaultRfuSlots = 8;
+inline constexpr unsigned kNumPresetConfigs = 3;
+/// Candidates considered by the selector: current + 3 presets.
+inline constexpr unsigned kNumCandidates = kNumPresetConfigs + 1;
+
+struct SteeringSet {
+  std::string name;
+  unsigned num_slots = kDefaultRfuSlots;
+  /// RFU-portion unit counts of Config 1..3.
+  std::array<FuCounts, kNumPresetConfigs> presets{};
+  std::array<std::string, kNumPresetConfigs> preset_names{};
+  /// Fixed functional units (always present).
+  FuCounts ffu{};
+
+  /// Canonical slot placement of preset `i` (0-based).
+  AllocationVector preset_allocation(unsigned i) const;
+
+  /// Total units provided when preset `i` is fully loaded (preset + FFUs).
+  FuCounts preset_total(unsigned i) const;
+
+  /// True if every preset fits the slot budget.
+  bool feasible() const;
+};
+
+/// The reconstructed Table 1 basis:
+///   FFUs:      1 IntAlu, 1 IntMdu, 1 Lsu, 1 FpAlu, 1 FpMdu
+///   Config 1:  4 IntAlu, 1 IntMdu, 2 Lsu            ("integer")
+///   Config 2:  2 IntAlu,           3 Lsu, 1 FpAlu   ("memory")
+///   Config 3:  1 IntAlu,           1 Lsu, 1 FpAlu, 1 FpMdu ("float")
+SteeringSet default_steering_set();
+
+/// Alternative bases for the E7 steering-basis ablation.
+SteeringSet clustered_basis();    ///< three near-identical int-leaning configs
+SteeringSet degenerate_basis();   ///< single repeated configuration
+SteeringSet balanced_basis();     ///< three copies of a balanced mix
+std::vector<SteeringSet> all_bases();
+
+}  // namespace steersim

@@ -1,0 +1,233 @@
+#include "core/exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+namespace {
+
+std::int64_t saturating_fp_to_int(double x) {
+  if (std::isnan(x)) {
+    return 0;
+  }
+  constexpr double kLo = -9.223372036854776e18;
+  constexpr double kHi = 9.223372036854776e18;
+  if (x <= kLo) {
+    return std::numeric_limits<std::int64_t>::min();
+  }
+  if (x >= kHi) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return static_cast<std::int64_t>(x);
+}
+
+std::uint64_t u(std::int64_t x) { return static_cast<std::uint64_t>(x); }
+std::int64_t s(std::uint64_t x) { return static_cast<std::int64_t>(x); }
+
+/// 128-bit-free high multiply via __int128 (GCC/Clang, per project
+/// toolchain).
+std::int64_t mulh(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(
+      (static_cast<__int128>(a) * static_cast<__int128>(b)) >> 64);
+}
+
+}  // namespace
+
+ExecOutput execute_op(const Instruction& inst, const ExecInput& in) {
+  ExecOutput out;
+  out.next_pc = in.pc + 1;
+  const OpInfo& info = op_info(inst.op);
+  out.writes_int = info.rd_class == RegClass::kInt;
+  out.writes_fp = info.rd_class == RegClass::kFp;
+
+  const std::int64_t a = in.rs1_int;
+  const std::int64_t b = in.rs2_int;
+  const double fa = in.rs1_fp;
+  const double fb = in.rs2_fp;
+  const unsigned shift_rr = static_cast<unsigned>(u(b) & 63);
+  const unsigned shift_ri = static_cast<unsigned>(inst.imm) & 63;
+
+  auto branch_to = [&](bool taken) {
+    out.branch_taken = taken;
+    out.next_pc = taken ? static_cast<std::uint32_t>(
+                              static_cast<std::int64_t>(in.pc) + inst.imm)
+                        : in.pc + 1;
+  };
+
+  switch (inst.op) {
+    case Opcode::kAdd:
+      out.int_value = s(u(a) + u(b));
+      break;
+    case Opcode::kSub:
+      out.int_value = s(u(a) - u(b));
+      break;
+    case Opcode::kAnd:
+      out.int_value = a & b;
+      break;
+    case Opcode::kOr:
+      out.int_value = a | b;
+      break;
+    case Opcode::kXor:
+      out.int_value = a ^ b;
+      break;
+    case Opcode::kSll:
+      out.int_value = s(u(a) << shift_rr);
+      break;
+    case Opcode::kSrl:
+      out.int_value = s(u(a) >> shift_rr);
+      break;
+    case Opcode::kSra:
+      out.int_value = a >> shift_rr;
+      break;
+    case Opcode::kSlt:
+      out.int_value = a < b ? 1 : 0;
+      break;
+    case Opcode::kSltu:
+      out.int_value = u(a) < u(b) ? 1 : 0;
+      break;
+    case Opcode::kAddi:
+      out.int_value = s(u(a) + u(inst.imm));
+      break;
+    case Opcode::kAndi:
+      out.int_value = a & inst.imm;
+      break;
+    case Opcode::kOri:
+      out.int_value = a | inst.imm;
+      break;
+    case Opcode::kXori:
+      out.int_value = a ^ inst.imm;
+      break;
+    case Opcode::kSlti:
+      out.int_value = a < inst.imm ? 1 : 0;
+      break;
+    case Opcode::kSlli:
+      out.int_value = s(u(a) << shift_ri);
+      break;
+    case Opcode::kSrli:
+      out.int_value = s(u(a) >> shift_ri);
+      break;
+    case Opcode::kSrai:
+      out.int_value = a >> shift_ri;
+      break;
+    case Opcode::kLui:
+      out.int_value = static_cast<std::int64_t>(inst.imm) << 14;
+      break;
+    case Opcode::kNop:
+      break;
+
+    case Opcode::kBeq:
+      branch_to(a == b);
+      break;
+    case Opcode::kBne:
+      branch_to(a != b);
+      break;
+    case Opcode::kBlt:
+      branch_to(a < b);
+      break;
+    case Opcode::kBge:
+      branch_to(a >= b);
+      break;
+    case Opcode::kJ:
+      out.next_pc = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(in.pc) + inst.imm);
+      break;
+    case Opcode::kJal:
+      out.int_value = in.pc + 1;
+      out.next_pc = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(in.pc) + inst.imm);
+      break;
+    case Opcode::kJr:
+      out.next_pc = static_cast<std::uint32_t>(u(a));
+      break;
+    case Opcode::kHalt:
+      break;
+
+    case Opcode::kMul:
+      out.int_value = s(u(a) * u(b));
+      break;
+    case Opcode::kMulh:
+      out.int_value = mulh(a, b);
+      break;
+    case Opcode::kDiv:
+      out.int_value = b == 0 ? 0
+                      : (a == std::numeric_limits<std::int64_t>::min() &&
+                         b == -1)
+                          ? a
+                          : a / b;
+      break;
+    case Opcode::kRem:
+      out.int_value = b == 0 ? a
+                      : (a == std::numeric_limits<std::int64_t>::min() &&
+                         b == -1)
+                          ? 0
+                          : a % b;
+      break;
+
+    case Opcode::kLw:
+    case Opcode::kLb:
+    case Opcode::kFlw:
+      out.mem_addr = u(a) + u(static_cast<std::int64_t>(inst.imm));
+      break;
+    case Opcode::kSw:
+    case Opcode::kSb:
+    case Opcode::kFsw:
+      out.mem_addr = u(a) + u(static_cast<std::int64_t>(inst.imm));
+      // Store data travels via rs2 (int) or rs2_fp (fsw); caller commits.
+      out.int_value = b;
+      out.fp_value = fb;
+      break;
+
+    case Opcode::kFadd:
+      out.fp_value = fa + fb;
+      break;
+    case Opcode::kFsub:
+      out.fp_value = fa - fb;
+      break;
+    case Opcode::kFmin:
+      out.fp_value = std::fmin(fa, fb);
+      break;
+    case Opcode::kFmax:
+      out.fp_value = std::fmax(fa, fb);
+      break;
+    case Opcode::kFabs:
+      out.fp_value = std::fabs(fa);
+      break;
+    case Opcode::kFneg:
+      out.fp_value = -fa;
+      break;
+    case Opcode::kFeq:
+      out.int_value = fa == fb ? 1 : 0;
+      break;
+    case Opcode::kFlt:
+      out.int_value = fa < fb ? 1 : 0;
+      break;
+    case Opcode::kFle:
+      out.int_value = fa <= fb ? 1 : 0;
+      break;
+    case Opcode::kCvtIF:
+      out.fp_value = static_cast<double>(a);
+      break;
+    case Opcode::kCvtFI:
+      out.int_value = saturating_fp_to_int(fa);
+      break;
+
+    case Opcode::kFmul:
+      out.fp_value = fa * fb;
+      break;
+    case Opcode::kFdiv:
+      out.fp_value = fa / fb;  // IEEE semantics (inf/NaN), non-trapping
+      break;
+    case Opcode::kFsqrt:
+      out.fp_value = std::sqrt(fa);
+      break;
+
+    case Opcode::kCount_:
+      STEERSIM_UNREACHABLE("invalid opcode");
+  }
+  return out;
+}
+
+}  // namespace steersim

@@ -1,0 +1,41 @@
+// Architectural semantics of the ISA, shared by the out-of-order core and
+// the in-order reference interpreter so the two can never diverge.
+//
+// Memory is not touched here: loads/stores only compute their effective
+// address; the caller performs the access (the OoO core needs store-buffer
+// forwarding in between).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/instruction.hpp"
+
+namespace steersim {
+
+struct ExecInput {
+  std::uint32_t pc = 0;
+  std::int64_t rs1_int = 0;
+  std::int64_t rs2_int = 0;
+  double rs1_fp = 0.0;
+  double rs2_fp = 0.0;
+};
+
+struct ExecOutput {
+  std::int64_t int_value = 0;
+  double fp_value = 0.0;
+  bool writes_int = false;
+  bool writes_fp = false;
+  /// Committed successor PC (pc+1 for non-control, resolved target for
+  /// control instructions).
+  std::uint32_t next_pc = 0;
+  bool branch_taken = false;
+  /// Effective address for loads/stores.
+  std::uint64_t mem_addr = 0;
+};
+
+/// Evaluates one instruction. Defined (non-trapping) semantics everywhere:
+/// integer division by zero yields 0 (remainder yields rs1), shifts mask
+/// their amount to 6 bits, fp->int conversion saturates and maps NaN to 0.
+ExecOutput execute_op(const Instruction& inst, const ExecInput& in);
+
+}  // namespace steersim

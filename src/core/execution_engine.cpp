@@ -1,0 +1,186 @@
+#include "core/execution_engine.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+ExecutionEngine::ExecutionEngine(const FuCounts& ffu, bool pipelined)
+    : ffu_(ffu), pipelined_(pipelined) {
+  begin_cycle(AllocationVector(0));
+}
+
+void ExecutionEngine::begin_cycle(const AllocationVector& rfu_allocation) {
+  issued_this_cycle_.clear();
+  units_.clear();
+  for (const FuType t : kAllFuTypes) {
+    for (unsigned n = 0; n < ffu_[fu_index(t)]; ++n) {
+      units_.push_back(UnitInstance{t, true, n, 1});
+    }
+  }
+  for (const auto& region : rfu_allocation.regions()) {
+    if (region.len == slot_cost(region.type)) {  // complete units only
+      units_.push_back(
+          UnitInstance{region.type, false, region.base, region.len});
+    }
+  }
+}
+
+bool ExecutionEngine::unit_busy(const UnitInstance& unit) const {
+  const auto matches = [&unit](const InFlight& f) {
+    return f.fixed == unit.fixed && f.base == unit.base &&
+           f.type == unit.type;
+  };
+  if (pipelined_) {
+    // Only the initiation interval blocks: one issue per unit per cycle.
+    return std::ranges::any_of(issued_this_cycle_, matches);
+  }
+  return std::ranges::any_of(in_flight_, matches);
+}
+
+ResourceVector ExecutionEngine::resource_vector(
+    const AllocationVector& rfu_allocation) const {
+  // Per-slot availability: a busy unit drives all of its slots low.
+  SlotMask rfu_avail;
+  for (unsigned i = 0; i < rfu_allocation.num_slots(); ++i) {
+    rfu_avail.set(i);
+  }
+  std::array<bool, kMaxResourceEntries> ffu_avail{};
+  std::size_t ffu_total = 0;
+  for (const FuType t : kAllFuTypes) {
+    for (unsigned n = 0; n < ffu_[fu_index(t)]; ++n) {
+      ffu_avail[ffu_total++] = true;
+    }
+  }
+  // In pipelined mode a unit's availability port stays high while it
+  // drains (it can accept a new operation next cycle); only the
+  // initiation interval drives it low.
+  const auto& occupying = pipelined_ ? issued_this_cycle_ : in_flight_;
+  for (const auto& f : occupying) {
+    if (f.fixed) {
+      // Locate the fixed unit's position in FuType-major order.
+      unsigned ordinal = 0;
+      for (const FuType t : kAllFuTypes) {
+        if (t == f.type) {
+          break;
+        }
+        ordinal += ffu_[fu_index(t)];
+      }
+      ffu_avail[ordinal + f.base] = false;
+    } else {
+      const unsigned len = slot_cost(f.type);
+      for (unsigned i = 0; i < len; ++i) {
+        rfu_avail.reset(f.base + i);
+      }
+    }
+  }
+  return ResourceVector::build(rfu_allocation, rfu_avail, ffu_,
+                               {ffu_avail.data(), ffu_total});
+}
+
+ResourceAvail ExecutionEngine::availability(
+    const AllocationVector& rfu_allocation) const {
+  const ResourceVector rv = resource_vector(rfu_allocation);
+  ResourceAvail avail{};
+  for (const FuType t : kAllFuTypes) {
+    avail[fu_index(t)] = rv.available(t);
+  }
+  return avail;
+}
+
+std::array<unsigned, kNumFuTypes> ExecutionEngine::free_units() const {
+  std::array<unsigned, kNumFuTypes> free{};
+  for (const auto& unit : units_) {
+    if (!unit_busy(unit)) {
+      ++free[fu_index(unit.type)];
+    }
+  }
+  return free;
+}
+
+FuCounts ExecutionEngine::configured_units() const {
+  FuCounts counts{};
+  for (const auto& unit : units_) {
+    auto& c = counts[fu_index(unit.type)];
+    if (c < 255) {
+      ++c;
+    }
+  }
+  return counts;
+}
+
+bool ExecutionEngine::assign(FuType t, unsigned latency,
+                             unsigned wakeup_row) {
+  STEERSIM_EXPECTS(latency >= 1);
+  // Prefer fixed units so RFU slots stay reconfigurable as long as
+  // possible; among RFUs pick the lowest base.
+  const UnitInstance* chosen = nullptr;
+  for (const auto& unit : units_) {
+    if (unit.type != t || unit_busy(unit)) {
+      continue;
+    }
+    if (chosen == nullptr || (unit.fixed && !chosen->fixed)) {
+      chosen = &unit;
+    }
+  }
+  if (chosen == nullptr) {
+    return false;
+  }
+  const InFlight record{chosen->type, chosen->fixed, chosen->base, latency,
+                        wakeup_row};
+  in_flight_.push_back(record);
+  if (pipelined_) {
+    issued_this_cycle_.push_back(record);
+  }
+  ++stats_.issues;
+  return true;
+}
+
+FixedVector<unsigned, kMaxWakeupEntries> ExecutionEngine::step() {
+  FixedVector<unsigned, kMaxWakeupEntries> completed;
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    STEERSIM_ENSURES(it->remaining > 0);
+    if (--it->remaining == 0) {
+      completed.push_back(it->wakeup_row);
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return completed;
+}
+
+void ExecutionEngine::cancel(unsigned wakeup_row) {
+  const auto it = std::ranges::find_if(
+      in_flight_,
+      [wakeup_row](const InFlight& f) { return f.wakeup_row == wakeup_row; });
+  if (it != in_flight_.end()) {
+    in_flight_.erase(it);
+    ++stats_.cancels;
+  }
+}
+
+SlotMask ExecutionEngine::slot_busy() const {
+  SlotMask mask;
+  for (const auto& f : in_flight_) {
+    if (!f.fixed) {
+      const unsigned len = slot_cost(f.type);
+      for (unsigned i = 0; i < len; ++i) {
+        mask.set(f.base + i);
+      }
+    }
+  }
+  return mask;
+}
+
+void ExecutionEngine::note_utilization() {
+  for (const auto& unit : units_) {
+    ++stats_.configured_unit_cycles[fu_index(unit.type)];
+  }
+  for (const auto& f : in_flight_) {
+    ++stats_.busy_unit_cycles[fu_index(f.type)];
+  }
+}
+
+}  // namespace steersim

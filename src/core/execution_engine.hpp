@@ -1,0 +1,109 @@
+// Functional-unit instances and their occupancy.
+//
+// The engine presents the cycle-by-cycle view of which unit instances
+// exist (fixed units plus whatever the RFU fabric currently implements),
+// which are busy with multi-cycle instructions, and — via the Eq. 1
+// availability circuit — which resource types can accept an issue this
+// cycle. Units are non-pipelined: a unit is busy for the instruction's
+// full latency (this is what makes multi-cycle RFU occupancy interact with
+// reconfiguration, the paper's central subtlety).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/fixed_vector.hpp"
+#include "config/availability.hpp"
+#include "sched/wakeup_array.hpp"
+
+namespace steersim {
+
+struct UnitInstance {
+  FuType type = FuType::kIntAlu;
+  bool fixed = false;
+  /// Fixed units: ordinal within the FFU list. RFU units: base slot.
+  unsigned base = 0;
+  unsigned len = 1;
+};
+
+struct EngineStats {
+  std::array<std::uint64_t, kNumFuTypes> busy_unit_cycles{};
+  std::array<std::uint64_t, kNumFuTypes> configured_unit_cycles{};
+  std::uint64_t issues = 0;
+  std::uint64_t cancels = 0;
+};
+
+class ExecutionEngine {
+ public:
+  /// `pipelined`: units accept a new operation every cycle (initiation
+  /// interval 1) while earlier operations drain — an ablation of the
+  /// paper's non-pipelined model. Slots still count as busy for the
+  /// configuration loader while any operation is in flight (a unit cannot
+  /// be rewritten mid-operation either way).
+  explicit ExecutionEngine(const FuCounts& ffu, bool pipelined = false);
+
+  /// Refreshes the unit view from the loader's current allocation. Call
+  /// once per cycle before issuing. Busy RFU units always survive (their
+  /// slots cannot be rewritten while busy).
+  void begin_cycle(const AllocationVector& rfu_allocation);
+
+  /// Eq. 1 resource vector for the current cycle (RFU slots + FFUs with
+  /// their availability signals).
+  ResourceVector resource_vector(const AllocationVector& rfu_allocation)
+      const;
+
+  /// Per-type availability lines feeding the wake-up array.
+  ResourceAvail availability(const AllocationVector& rfu_allocation) const;
+
+  /// Idle unit instances per type this cycle.
+  std::array<unsigned, kNumFuTypes> free_units() const;
+
+  /// Total unit instances per type this cycle (for CEM "current" input,
+  /// equal to loader counts + FFU counts).
+  FuCounts configured_units() const;
+
+  /// Starts `wakeup_row` on an idle unit of type `t` for `latency` cycles.
+  /// Returns false if no idle unit exists (caller should not have granted).
+  bool assign(FuType t, unsigned latency, unsigned wakeup_row);
+
+  /// Advances one cycle; returns the wake-up rows whose execution finished.
+  FixedVector<unsigned, kMaxWakeupEntries> step();
+
+  /// Cancels in-flight work for a squashed wake-up row (frees the unit).
+  void cancel(unsigned wakeup_row);
+
+  /// Slots occupied by busy RFU units (input to the configuration loader).
+  SlotMask slot_busy() const;
+
+  /// Accumulates per-cycle utilization statistics; call once per cycle.
+  void note_utilization();
+
+  const EngineStats& stats() const { return stats_; }
+  const std::vector<UnitInstance>& units() const { return units_; }
+
+ private:
+  /// Keyed by stable unit identity (fixed flag + base): busy RFU units are
+  /// never rewritten, so their base slot persists across cycles even as
+  /// the surrounding fabric changes.
+  struct InFlight {
+    FuType type = FuType::kIntAlu;
+    bool fixed = false;
+    unsigned base = 0;
+    unsigned remaining = 0;
+    unsigned wakeup_row = 0;
+  };
+
+  bool unit_busy(const UnitInstance& unit) const;
+
+  FuCounts ffu_;
+  bool pipelined_;
+  std::vector<UnitInstance> units_;
+  std::vector<InFlight> in_flight_;
+  /// Pipelined mode: units that accepted an operation this cycle (the
+  /// initiation-interval constraint).
+  std::vector<InFlight> issued_this_cycle_;
+  EngineStats stats_;
+};
+
+}  // namespace steersim

@@ -1,0 +1,153 @@
+// Configuration-management policies.
+//
+// The paper's configuration manager (selection unit + loader steering) is
+// one strategy among several the experiments compare:
+//   Steered      — the paper: 4-candidate minimal-error selection
+//   StaticFfu    — never configures RFUs (the 5 fixed units only)
+//   StaticPreset — one predefined configuration preloaded and frozen
+//   Oracle       — per-cycle ideal fabric, rewritten instantly (upper bound)
+//   FullReconfig — selection as Steered, but the loader rewrites the whole
+//                  fabric at once ([7]-style, no partial reconfiguration)
+//   Random       — uniformly random candidate every interval (sanity floor)
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/rng.hpp"
+#include "config/loader.hpp"
+#include "config/selection_unit.hpp"
+
+namespace steersim {
+
+struct SteerContext {
+  /// Opcodes of queue entries awaiting execution, oldest first.
+  std::span<const Opcode> ready_ops;
+  /// Units of each type currently configured (RFU + FFU).
+  FuCounts current_total{};
+  /// Pre-decoded unit requirements of the trace line about to be fetched
+  /// (the [7]-style trace-cache annotation), or nullptr when the next
+  /// fetch is not a trace hit. Enables lookahead steering.
+  const FuCounts* lookahead = nullptr;
+};
+
+struct PolicyStats {
+  std::array<std::uint64_t, kNumCandidates> selections{};
+  std::uint64_t steer_events = 0;
+};
+
+class SteeringPolicy {
+ public:
+  virtual ~SteeringPolicy() = default;
+
+  /// Called once per cycle before the loader steps; may call
+  /// loader.request() to retarget the fabric.
+  virtual void steer(const SteerContext& ctx, ConfigurationLoader& loader) = 0;
+
+  virtual std::string_view name() const = 0;
+  const PolicyStats& stats() const { return stats_; }
+
+ protected:
+  PolicyStats stats_;
+};
+
+/// The paper's configuration manager.
+///
+/// `confirm` is an extension knob (default 1 = the paper's behaviour): a
+/// selection other than the current configuration must repeat on `confirm`
+/// consecutive steering decisions before the loader is retargeted,
+/// damping churn when queue contents fluctuate.
+class SteeredPolicy final : public SteeringPolicy {
+ public:
+  SteeredPolicy(const SteeringSet& set, CemMode cem = CemMode::kShiftApprox,
+                TieBreak tie_break = TieBreak::kPaper,
+                unsigned interval = 1, unsigned confirm = 1,
+                bool lookahead = false);
+
+  void steer(const SteerContext& ctx, ConfigurationLoader& loader) override;
+  std::string_view name() const override { return name_; }
+  const ConfigSelectionUnit& selection_unit() const { return unit_; }
+
+ private:
+  ConfigSelectionUnit unit_;
+  std::array<AllocationVector, kNumPresetConfigs> preset_allocs_;
+  unsigned interval_;
+  unsigned countdown_ = 0;
+  unsigned confirm_;
+  unsigned pending_selection_ = 0;
+  unsigned pending_streak_ = 0;
+  bool lookahead_;
+  std::string name_;
+};
+
+/// Extension (the paper's stated future work): dynamic reconfiguration
+/// *without* predefined configurations. Tracks an exponentially smoothed
+/// requirement vector and greedily re-packs the fabric (OraclePolicy::pack)
+/// through the real loader whenever the smoothed demand drifts from what
+/// the current target provides. Unlike the oracle it pays real rewrite
+/// latency, so it repacks at a throttled interval.
+class GreedyPolicy final : public SteeringPolicy {
+ public:
+  /// `interval`: cycles between repack decisions; `smoothing` in (0,1]:
+  /// EWMA weight of the newest requirement sample.
+  explicit GreedyPolicy(const SteeringSet& set, unsigned interval = 32,
+                        double smoothing = 0.125);
+
+  void steer(const SteerContext& ctx, ConfigurationLoader& loader) override;
+  std::string_view name() const override { return "greedy"; }
+
+ private:
+  SteeringSet set_;
+  unsigned interval_;
+  unsigned countdown_ = 0;
+  double smoothing_;
+  std::array<double, kNumFuTypes> smoothed_{};
+};
+
+/// No steering at all (covers both FFU-only and frozen-preset machines —
+/// the difference is the initial allocation the processor is built with).
+class StaticPolicy final : public SteeringPolicy {
+ public:
+  explicit StaticPolicy(std::string name) : name_(std::move(name)) {}
+  void steer(const SteerContext&, ConfigurationLoader&) override {}
+  std::string_view name() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Ideal upper bound: each cycle, packs the fabric greedily to the current
+/// requirement vector. Pair with LoaderParams::instant.
+class OraclePolicy final : public SteeringPolicy {
+ public:
+  explicit OraclePolicy(const SteeringSet& set);
+  void steer(const SteerContext& ctx, ConfigurationLoader& loader) override;
+  std::string_view name() const override { return "oracle"; }
+
+  /// Greedy fabric packing for a requirement vector: repeatedly gives a
+  /// slot region to the type with the largest unmet demand per configured
+  /// unit. Exposed for tests.
+  static AllocationVector pack(const FuCounts& required, const FuCounts& ffu,
+                               unsigned num_slots);
+
+ private:
+  SteeringSet set_;
+};
+
+/// Uniform-random candidate every `interval` cycles.
+class RandomPolicy final : public SteeringPolicy {
+ public:
+  RandomPolicy(const SteeringSet& set, std::uint64_t seed,
+               unsigned interval = 16);
+  void steer(const SteerContext& ctx, ConfigurationLoader& loader) override;
+  std::string_view name() const override { return "random"; }
+
+ private:
+  std::array<AllocationVector, kNumPresetConfigs> preset_allocs_;
+  Xoshiro256 rng_;
+  unsigned interval_;
+  unsigned countdown_ = 0;
+};
+
+}  // namespace steersim

@@ -1,0 +1,479 @@
+#include "core/processor.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/contracts.hpp"
+#include "core/exec.hpp"
+
+namespace steersim {
+namespace {
+
+unsigned access_size(Opcode op) {
+  return (op == Opcode::kLb || op == Opcode::kSb) ? 1 : 8;
+}
+
+/// The raw memory image a store will commit, as 64 bits. Forwarding works
+/// on these bits so an flw can forward from an sw (and vice versa) exactly
+/// as it would read them from memory.
+std::int64_t store_raw_bits(const RuuEntry& store) {
+  if (store.inst.op == Opcode::kFsw) {
+    return std::bit_cast<std::int64_t>(store.fp_result);
+  }
+  return store.int_result;
+}
+
+bool ranges_overlap(std::uint64_t a, unsigned a_size, std::uint64_t b,
+                    unsigned b_size) {
+  return a < b + b_size && b < a + a_size;
+}
+
+}  // namespace
+
+Processor::Processor(const Program& program, const MachineConfig& config,
+                     std::unique_ptr<SteeringPolicy> policy,
+                     AllocationVector initial_rfu)
+    : config_(config),
+      program_(program),
+      mem_(config.data_memory_bytes),
+      dcache_(config.use_dcache ? std::make_unique<DataCache>(config.dcache)
+                                : nullptr),
+      imem_(program),
+      predictor_(make_predictor(config.predictor)),
+      trace_cache_(config.use_trace_cache
+                       ? std::make_unique<TraceCache>(
+                             config.trace_cache_lines, config.trace_length)
+                       : nullptr),
+      fetch_(imem_, trace_cache_.get(), *predictor_, config.fetch_width),
+      wakeup_(config.queue_entries),
+      ruu_(config.ruu_entries),
+      engine_(config.steering.ffu, config.pipelined_units),
+      loader_(config.loader, std::move(initial_rfu)),
+      policy_(std::move(policy)) {
+  STEERSIM_EXPECTS(policy_ != nullptr);
+  STEERSIM_EXPECTS(config.loader.num_slots == config.steering.num_slots);
+  STEERSIM_EXPECTS(config.ruu_entries >= config.queue_entries);
+  mem_.load_image(program_.data);
+}
+
+Processor::Processor(const Program& program, const MachineConfig& config,
+                     std::unique_ptr<SteeringPolicy> policy)
+    : Processor(program, config, std::move(policy),
+                AllocationVector(config.loader.num_slots)) {}
+
+void Processor::fault(std::string message) {
+  faulted_ = true;
+  fault_message_ = std::move(message);
+}
+
+bool Processor::valid_access(std::uint64_t addr, unsigned size) const {
+  if (addr + size > mem_.size()) {
+    return false;
+  }
+  return size == 1 || addr % 8 == 0;
+}
+
+std::int64_t Processor::read_int_operand(std::uint64_t producer,
+                                         std::uint8_t reg) const {
+  if (producer != kNoProducer) {
+    if (const RuuEntry* p = ruu_.find(producer)) {
+      STEERSIM_ENSURES(p->state != RuuState::kWaiting);
+      return p->int_result;
+    }
+    // Producer retired: its value is architectural now.
+  }
+  return regs_.read_int(reg);
+}
+
+double Processor::read_fp_operand(std::uint64_t producer,
+                                  std::uint8_t reg) const {
+  if (producer != kNoProducer) {
+    if (const RuuEntry* p = ruu_.find(producer)) {
+      STEERSIM_ENSURES(p->state != RuuState::kWaiting);
+      return p->fp_result;
+    }
+  }
+  return regs_.read_fp(reg);
+}
+
+std::optional<std::uint64_t> Processor::load_clear_to_issue(
+    unsigned pos) const {
+  const RuuEntry& load = ruu_.at(pos);
+  const unsigned load_size = access_size(load.inst.op);
+  // Scan older stores youngest-first.
+  for (unsigned p = pos; p > 0; --p) {
+    const RuuEntry& older = ruu_.at(p - 1);
+    if (!op_info(older.inst.op).is_store) {
+      continue;
+    }
+    if (!older.addr_known) {
+      return std::nullopt;  // unknown older store address: wait
+    }
+    if (!ranges_overlap(load.mem_addr, load_size, older.mem_addr,
+                        older.mem_size)) {
+      continue;
+    }
+    // Exact same address and size: forward the store's data.
+    if (older.mem_addr == load.mem_addr && older.mem_size == load_size) {
+      return older.id;
+    }
+    return std::nullopt;  // partial overlap: wait for the store to retire
+  }
+  return kNoProducer;  // no conflicting older store: read memory
+}
+
+void Processor::stage_retire() {
+  for (unsigned n = 0; n < config_.retire_width && !ruu_.empty(); ++n) {
+    RuuEntry& head = ruu_.at(0);
+    if (head.state != RuuState::kDone) {
+      return;
+    }
+    const OpInfo& info = op_info(head.inst.op);
+
+    if (info.is_store) {
+      if (!valid_access(head.mem_addr, head.mem_size)) {
+        fault("store to invalid address " + std::to_string(head.mem_addr) +
+              " at pc " + std::to_string(head.pc));
+        return;
+      }
+      switch (head.inst.op) {
+        case Opcode::kSw:
+          mem_.store_word(head.mem_addr, head.int_result);
+          break;
+        case Opcode::kSb:
+          mem_.store_byte(head.mem_addr, head.int_result);
+          break;
+        case Opcode::kFsw:
+          mem_.store_fp(head.mem_addr, head.fp_result);
+          break;
+        default:
+          STEERSIM_UNREACHABLE("bad store");
+      }
+    } else if (info.is_load && head.mem_faulted) {
+      fault("load from invalid address " + std::to_string(head.mem_addr) +
+            " at pc " + std::to_string(head.pc));
+      return;
+    } else if (info.rd_class == RegClass::kInt) {
+      regs_.write_int(head.inst.rd, head.int_result);
+    } else if (info.rd_class == RegClass::kFp) {
+      regs_.write_fp(head.inst.rd, head.fp_result);
+    }
+
+    if (trace_cache_ != nullptr) {
+      trace_cache_->observe_retired(head.pc, head.inst, head.actual_next);
+    }
+    if (retire_hook_) {
+      retire_hook_(head);
+    }
+    wakeup_.retire(static_cast<unsigned>(head.wakeup_row));
+    ++stats_.retired;
+    const bool is_halt = info.is_halt;
+    ruu_.retire_head();
+    if (is_halt) {
+      halted_ = true;
+      if (trace_cache_ != nullptr) {
+        trace_cache_->flush_fill_buffer();
+      }
+      return;
+    }
+  }
+}
+
+void Processor::stage_complete() {
+  const auto completed_rows = engine_.step();
+  // Snapshot (row, tag) pairs before any squash can recycle a row, then
+  // resolve oldest-first so an older mispredict squashes younger
+  // completions before they act.
+  FixedVector<std::pair<unsigned, std::uint64_t>, kMaxWakeupEntries>
+      completed;
+  for (const unsigned row : completed_rows) {
+    completed.push_back({row, wakeup_.entry(row).tag});
+  }
+  std::sort(completed.begin(), completed.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  for (const auto& [row, tag] : completed) {
+    RuuEntry* entry = ruu_.find(tag);
+    if (entry == nullptr || entry->wakeup_row != static_cast<int>(row)) {
+      continue;  // squashed by an older mispredict this same cycle
+    }
+    entry->state = RuuState::kDone;
+    entry->cycle_complete = stats_.cycles;
+
+    const OpInfo& info = op_info(entry->inst.op);
+    if (info.is_branch) {
+      ++stats_.branches;
+      predictor_->update(entry->pc, entry->branch_taken);
+    }
+    if ((info.is_branch || info.is_jump) &&
+        entry->actual_next != entry->predicted_next) {
+      ++stats_.mispredicts;
+      const std::uint64_t branch_id = entry->id;
+      const std::uint32_t redirect_pc = entry->actual_next;
+      stats_.squashed += ruu_.squash_younger_than(
+          branch_id, [this](const RuuEntry& squashed) {
+            engine_.cancel(static_cast<unsigned>(squashed.wakeup_row));
+            wakeup_.squash(static_cast<unsigned>(squashed.wakeup_row));
+          });
+      decode_buffer_.clear();
+      fetch_.redirect(redirect_pc);
+    }
+  }
+}
+
+void Processor::stage_issue() {
+  engine_.begin_cycle(loader_.allocation());
+  const ResourceAvail avail = engine_.availability(loader_.allocation());
+
+  EntryMask requests = wakeup_.request_execution(avail);
+
+  // Resource-starvation statistic: entries whose dependences are satisfied
+  // but whose unit type is not configured/available this cycle.
+  ResourceAvail all_true;
+  all_true.fill(true);
+  const EntryMask dep_ready = wakeup_.request_execution(all_true);
+  stats_.resource_starved += (dep_ready & ~requests).count();
+
+  // Memory-ordering mask for loads.
+  for (unsigned row = 0; row < wakeup_.num_entries(); ++row) {
+    if (!requests.test(row)) {
+      continue;
+    }
+    RuuEntry* entry = ruu_.find(wakeup_.entry(row).tag);
+    STEERSIM_ENSURES(entry != nullptr);
+    if (!op_info(entry->inst.op).is_load) {
+      continue;
+    }
+    // The load's address depends only on rs1, which is ready (deps
+    // satisfied); compute it for the ordering check.
+    const std::int64_t base =
+        read_int_operand(entry->src1_producer, entry->inst.rs1);
+    entry->mem_addr = static_cast<std::uint64_t>(base) +
+                      static_cast<std::uint64_t>(
+                          static_cast<std::int64_t>(entry->inst.imm));
+    if (!load_clear_to_issue(static_cast<unsigned>(
+                                 entry->id - ruu_.at(0).id))
+             .has_value()) {
+      requests.reset(row);
+    }
+  }
+
+  const auto age_order = wakeup_.age_order();
+  const GrantList grants =
+      select_oldest_first(wakeup_, requests, age_order,
+                          engine_.free_units(), config_.issue_width);
+
+  for (const unsigned row : grants) {
+    RuuEntry* entry = ruu_.find(wakeup_.entry(row).tag);
+    STEERSIM_ENSURES(entry != nullptr);
+    const Instruction& inst = entry->inst;
+    const OpInfo& info = op_info(inst.op);
+
+    ExecInput in;
+    in.pc = entry->pc;
+    if (info.rs1_class == RegClass::kInt) {
+      in.rs1_int = read_int_operand(entry->src1_producer, inst.rs1);
+    } else if (info.rs1_class == RegClass::kFp) {
+      in.rs1_fp = read_fp_operand(entry->src1_producer, inst.rs1);
+    }
+    if (info.rs2_class == RegClass::kInt) {
+      in.rs2_int = read_int_operand(entry->src2_producer, inst.rs2);
+    } else if (info.rs2_class == RegClass::kFp) {
+      in.rs2_fp = read_fp_operand(entry->src2_producer, inst.rs2);
+    }
+
+    const ExecOutput out = execute_op(inst, in);
+    entry->branch_taken = out.branch_taken;
+    entry->actual_next = (info.is_branch || info.is_jump)
+                             ? out.next_pc
+                             : entry->pc + 1;
+    entry->int_result = out.int_value;
+    entry->fp_result = out.fp_value;
+
+    if (info.is_store) {
+      entry->mem_addr = out.mem_addr;
+      entry->mem_size = access_size(inst.op);
+      entry->addr_known = true;
+    } else if (info.is_load) {
+      entry->mem_addr = out.mem_addr;
+      entry->mem_size = access_size(inst.op);
+      entry->addr_known = true;
+      const auto forward = load_clear_to_issue(
+          static_cast<unsigned>(entry->id - ruu_.at(0).id));
+      STEERSIM_ENSURES(forward.has_value());
+      if (*forward != kNoProducer) {
+        const RuuEntry* store = ruu_.find(*forward);
+        STEERSIM_ENSURES(store != nullptr);
+        const std::int64_t raw = store_raw_bits(*store);
+        switch (inst.op) {
+          case Opcode::kLw:
+            entry->int_result = raw;
+            break;
+          case Opcode::kLb:  // sb stores the low byte; lb sign-extends it
+            entry->int_result = static_cast<std::int8_t>(raw & 0xff);
+            break;
+          case Opcode::kFlw:
+            entry->fp_result = std::bit_cast<double>(raw);
+            break;
+          default:
+            STEERSIM_UNREACHABLE("bad load");
+        }
+      } else if (!valid_access(out.mem_addr, entry->mem_size)) {
+        entry->mem_faulted = true;  // benign unless it retires
+      } else {
+        switch (inst.op) {
+          case Opcode::kLw:
+            entry->int_result = mem_.load_word(out.mem_addr);
+            break;
+          case Opcode::kLb:
+            entry->int_result = mem_.load_byte(out.mem_addr);
+            break;
+          case Opcode::kFlw:
+            entry->fp_result = mem_.load_fp(out.mem_addr);
+            break;
+          default:
+            STEERSIM_UNREACHABLE("bad load");
+        }
+      }
+    }
+
+    entry->state = RuuState::kIssued;
+    entry->cycle_issue = stats_.cycles;
+    // Memory operations consult the data-cache timing model (hit/miss
+    // resolved at issue, when the address is known); other operations use
+    // the fixed latency table.
+    unsigned latency = info.latency;
+    if (dcache_ != nullptr && (info.is_load || info.is_store) &&
+        !entry->mem_faulted) {
+      latency = dcache_->access(entry->mem_addr);
+    }
+    wakeup_.grant(row, latency);
+    const bool assigned =
+        engine_.assign(fu_type_of(inst.op), latency, row);
+    STEERSIM_ENSURES(assigned);
+    ++stats_.issued;
+  }
+}
+
+void Processor::stage_steer() {
+  // The configuration manager inspects the queue entries that are ready to
+  // be executed (valid, not yet scheduled), oldest first.
+  FixedVector<Opcode, kMaxWakeupEntries> ready_ops;
+  for (const unsigned row : wakeup_.age_order()) {
+    const WakeupEntry& we = wakeup_.entry(row);
+    if (we.scheduled) {
+      continue;
+    }
+    const RuuEntry* entry = ruu_.find(we.tag);
+    STEERSIM_ENSURES(entry != nullptr);
+    ready_ops.push_back(entry->inst.op);
+  }
+  SteerContext ctx;
+  ctx.ready_ops = {ready_ops.begin(), ready_ops.end()};
+  ctx.current_total = engine_.configured_units();
+  // Lookahead probe: the pre-decoded requirements of the trace line the
+  // fetch unit is about to stream, if it will hit.
+  if (trace_cache_ != nullptr) {
+    if (const TraceLine* line = trace_cache_->peek(fetch_.pc())) {
+      ctx.lookahead = &line->requirements;
+    }
+  }
+  policy_->steer(ctx, loader_);
+  loader_.step(engine_.slot_busy());
+}
+
+void Processor::stage_dispatch() {
+  std::size_t consumed = 0;
+  while (consumed < decode_buffer_.size() && !ruu_.full() &&
+         !wakeup_.full()) {
+    const FetchedInst& fi = decode_buffer_[consumed];
+    const OpInfo& info = op_info(fi.inst.op);
+
+    // Dependency buffer lookups must precede allocation so an instruction
+    // never appears as its own producer.
+    const std::uint64_t src1 =
+        ruu_.latest_producer(info.rs1_class, fi.inst.rs1);
+    const std::uint64_t src2 =
+        ruu_.latest_producer(info.rs2_class, fi.inst.rs2);
+
+    RuuEntry& entry = ruu_.allocate();
+    entry.inst = fi.inst;
+    entry.pc = fi.pc;
+    entry.predicted_next = fi.predicted_next;
+    entry.actual_next = fi.pc + 1;
+    entry.src1_producer = src1;
+    entry.src2_producer = src2;
+    entry.cycle_dispatch = stats_.cycles;
+
+    EntryMask deps;
+    for (const std::uint64_t producer : {src1, src2}) {
+      if (producer == kNoProducer) {
+        continue;
+      }
+      const RuuEntry* p = ruu_.find(producer);
+      STEERSIM_ENSURES(p != nullptr);
+      deps.set(static_cast<unsigned>(p->wakeup_row));
+    }
+
+    const auto row = wakeup_.insert(fu_type_of(fi.inst.op), deps, entry.id);
+    STEERSIM_ENSURES(row.has_value());
+    entry.wakeup_row = static_cast<int>(*row);
+    ++stats_.dispatched;
+    ++consumed;
+  }
+  decode_buffer_.erase_front(consumed);
+}
+
+void Processor::stage_fetch() {
+  if (decode_buffer_.size() + config_.fetch_width >
+      decode_buffer_.capacity()) {
+    return;  // decode buffer full; front end stalls
+  }
+  FetchGroup group;
+  fetch_.fetch_group(group);
+  for (const auto& fi : group) {
+    decode_buffer_.push_back(fi);
+  }
+}
+
+void Processor::step() {
+  STEERSIM_EXPECTS(!halted_ && !faulted_);
+  stage_retire();
+  if (halted_ || faulted_) {
+    ++stats_.cycles;
+    return;
+  }
+  stage_complete();
+  stage_issue();
+  stage_steer();
+  stage_dispatch();
+  stage_fetch();
+  wakeup_.tick();
+  engine_.note_utilization();
+  stats_.queue_occupancy_sum +=
+      wakeup_.num_entries() - wakeup_.free_entries();
+  ++stats_.cycles;
+}
+
+RunOutcome Processor::run(std::uint64_t max_cycles) {
+  std::uint64_t last_retired = stats_.retired;
+  std::uint64_t stall_window = 0;
+  constexpr std::uint64_t kStallLimit = 100'000;
+
+  while (!halted_ && !faulted_ && stats_.cycles < max_cycles) {
+    step();
+    if (stats_.retired == last_retired) {
+      if (++stall_window >= kStallLimit) {
+        return RunOutcome::kStalled;
+      }
+    } else {
+      last_retired = stats_.retired;
+      stall_window = 0;
+    }
+  }
+  if (faulted_) {
+    return RunOutcome::kFault;
+  }
+  return halted_ ? RunOutcome::kHalted : RunOutcome::kMaxCycles;
+}
+
+}  // namespace steersim

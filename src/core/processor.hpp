@@ -1,0 +1,188 @@
+// The partially run-time reconfigurable superscalar processor (Fig. 1).
+//
+// One Processor instance owns every module the figure names: instruction
+// and data memories, trace cache, fetch unit, decoder, register update
+// unit, register files, the wake-up-array scheduler, the fixed and
+// reconfigurable functional units, and the configuration manager
+// (selection unit + loader) behind a pluggable steering policy.
+//
+// Cycle model (one step() call):
+//   1. retire      — in-order commit from the RUU head (stores reach
+//                    memory, results reach the register file, the trace
+//                    cache observes the committed path)
+//   2. complete    — functional units finishing this cycle mark their RUU
+//                    entries done; control instructions resolve and
+//                    mispredictions squash younger work
+//   3. issue       — Eq. 1 availability -> wake-up requests -> memory-
+//                    ordering mask -> oldest-first select -> operand read,
+//                    execute, unit assignment
+//   4. steer       — the policy inspects the ready queue entries and
+//                    retargets the configuration loader, which advances
+//                    in-flight slot rewrites
+//   5. dispatch    — decoded instructions enter the RUU + wake-up array
+//                    with their dependency columns
+//   6. fetch       — the fetch unit delivers the next predicted group
+//                    (trace cache first)
+//   7. tick        — wake-up countdown timers advance
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/execution_engine.hpp"
+#include "core/policy.hpp"
+#include "core/ruu.hpp"
+#include "frontend/fetch_unit.hpp"
+#include "memory/cache.hpp"
+#include "memory/data_memory.hpp"
+#include "memory/register_file.hpp"
+#include "sched/select_logic.hpp"
+
+namespace steersim {
+
+struct MachineConfig {
+  unsigned fetch_width = 4;
+  unsigned queue_entries = 7;  ///< wake-up array rows (paper: 7)
+  unsigned ruu_entries = 32;
+  unsigned retire_width = 4;
+  /// Issue-port bound per cycle; 0 = limited only by idle units (the
+  /// paper's model, where unit availability is the sole issue constraint).
+  unsigned issue_width = 0;
+  /// Ablation: fully pipelined functional units (initiation interval 1)
+  /// instead of the paper's occupy-for-full-latency model.
+  bool pipelined_units = false;
+  PredictorKind predictor = PredictorKind::kTwoBit;
+  bool use_trace_cache = true;
+  unsigned trace_cache_lines = 64;
+  unsigned trace_length = 16;
+  LoaderParams loader;
+  SteeringSet steering;
+  std::size_t data_memory_bytes = 1 << 20;
+  /// Optional data-cache timing model: when enabled, load/store occupancy
+  /// latency is hit/miss-dependent instead of the fixed LSU latency.
+  bool use_dcache = false;
+  CacheParams dcache;
+
+  MachineConfig() : steering(default_steering_set()) {
+    loader.num_slots = steering.num_slots;
+  }
+};
+
+enum class RunOutcome : std::uint8_t {
+  kHalted,     ///< HALT retired
+  kMaxCycles,  ///< cycle budget exhausted
+  kStalled,    ///< no retirement progress for a long window (machine bug)
+  kFault,      ///< committed memory access out of range
+};
+
+struct SimStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t squashed = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t mispredicts = 0;
+  /// Entry-cycles where an instruction's dependences were satisfied but no
+  /// unit of its type was available (the mismatch steering attacks).
+  std::uint64_t resource_starved = 0;
+  std::uint64_t queue_occupancy_sum = 0;
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(retired) /
+                             static_cast<double>(cycles);
+  }
+  double mispredict_rate() const {
+    return branches == 0 ? 0.0
+                         : static_cast<double>(mispredicts) /
+                               static_cast<double>(branches);
+  }
+};
+
+class Processor {
+ public:
+  /// `initial_rfu` is the fabric's power-on allocation (empty for a
+  /// machine that steers up from scratch; a preset for frozen baselines).
+  Processor(const Program& program, const MachineConfig& config,
+            std::unique_ptr<SteeringPolicy> policy,
+            AllocationVector initial_rfu);
+
+  /// Convenience: empty initial fabric.
+  Processor(const Program& program, const MachineConfig& config,
+            std::unique_ptr<SteeringPolicy> policy);
+
+  /// Advances one clock cycle.
+  void step();
+
+  /// Runs until HALT retires, a fault commits, or `max_cycles` elapse.
+  RunOutcome run(std::uint64_t max_cycles = 50'000'000);
+
+  bool halted() const { return halted_; }
+  const SimStats& stats() const { return stats_; }
+  const RegisterFile& registers() const { return regs_; }
+  const DataMemory& memory() const { return mem_; }
+  const ConfigurationLoader& loader() const { return loader_; }
+  const ExecutionEngine& engine() const { return engine_; }
+  const WakeupArray& wakeup() const { return wakeup_; }
+  const SteeringPolicy& policy() const { return *policy_; }
+  const FetchUnit& fetch_unit() const { return fetch_; }
+  const TraceCache* trace_cache() const { return trace_cache_.get(); }
+  const DataCache* dcache() const { return dcache_.get(); }
+  const std::string& fault_message() const { return fault_message_; }
+  const MachineConfig& config() const { return config_; }
+
+  /// Test/debug hook invoked for every committed instruction, in order.
+  void set_retire_hook(std::function<void(const RuuEntry&)> hook) {
+    retire_hook_ = std::move(hook);
+  }
+
+ private:
+  void stage_retire();
+  void stage_complete();
+  void stage_issue();
+  void stage_steer();
+  void stage_dispatch();
+  void stage_fetch();
+
+  /// Reads one operand at issue time: forwarded from the producer's RUU
+  /// entry if still in flight, otherwise from the register file.
+  std::int64_t read_int_operand(std::uint64_t producer, std::uint8_t reg)
+      const;
+  double read_fp_operand(std::uint64_t producer, std::uint8_t reg) const;
+
+  /// Memory-ordering gate for a load at RUU position `pos`: returns
+  /// nullopt if the load must wait; otherwise the id of the older store to
+  /// forward from (kNoProducer when memory may be read directly).
+  std::optional<std::uint64_t> load_clear_to_issue(unsigned pos) const;
+
+  bool valid_access(std::uint64_t addr, unsigned size) const;
+  void fault(std::string message);
+
+  MachineConfig config_;
+  Program program_;
+
+  RegisterFile regs_;
+  DataMemory mem_;
+  std::unique_ptr<DataCache> dcache_;
+  InstructionMemory imem_;
+  std::unique_ptr<BranchPredictor> predictor_;
+  std::unique_ptr<TraceCache> trace_cache_;
+  FetchUnit fetch_;
+  FixedVector<FetchedInst, 2 * kMaxFetchWidth> decode_buffer_;
+  WakeupArray wakeup_;
+  RegisterUpdateUnit ruu_;
+  ExecutionEngine engine_;
+  ConfigurationLoader loader_;
+  std::unique_ptr<SteeringPolicy> policy_;
+
+  std::function<void(const RuuEntry&)> retire_hook_;
+  SimStats stats_;
+  bool halted_ = false;
+  bool faulted_ = false;
+  std::string fault_message_;
+};
+
+}  // namespace steersim

@@ -1,0 +1,88 @@
+#include "core/reference.hpp"
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+ReferenceInterpreter::ReferenceInterpreter(std::size_t data_memory_bytes)
+    : mem_(data_memory_bytes) {}
+
+ReferenceResult ReferenceInterpreter::run(const Program& program,
+                                          std::uint64_t max_instructions,
+                                          const Observer& observer) {
+  regs_.reset();
+  mem_.reset();
+  mem_.load_image(program.data);
+
+  ReferenceResult result;
+  std::uint32_t pc = 0;
+  while (result.instructions < max_instructions &&
+         pc < program.code.size()) {
+    const Instruction& inst = program.code[pc];
+    const OpInfo& info = op_info(inst.op);
+
+    ExecInput in;
+    in.pc = pc;
+    if (info.rs1_class == RegClass::kInt) {
+      in.rs1_int = regs_.read_int(inst.rs1);
+    } else if (info.rs1_class == RegClass::kFp) {
+      in.rs1_fp = regs_.read_fp(inst.rs1);
+    }
+    if (info.rs2_class == RegClass::kInt) {
+      in.rs2_int = regs_.read_int(inst.rs2);
+    } else if (info.rs2_class == RegClass::kFp) {
+      in.rs2_fp = regs_.read_fp(inst.rs2);
+    }
+
+    const ExecOutput out = execute_op(inst, in);
+
+    if (info.is_load) {
+      switch (inst.op) {
+        case Opcode::kLw:
+          regs_.write_int(inst.rd, mem_.load_word(out.mem_addr));
+          break;
+        case Opcode::kLb:
+          regs_.write_int(inst.rd, mem_.load_byte(out.mem_addr));
+          break;
+        case Opcode::kFlw:
+          regs_.write_fp(inst.rd, mem_.load_fp(out.mem_addr));
+          break;
+        default:
+          STEERSIM_UNREACHABLE("bad load");
+      }
+    } else if (info.is_store) {
+      switch (inst.op) {
+        case Opcode::kSw:
+          mem_.store_word(out.mem_addr, out.int_value);
+          break;
+        case Opcode::kSb:
+          mem_.store_byte(out.mem_addr, out.int_value);
+          break;
+        case Opcode::kFsw:
+          mem_.store_fp(out.mem_addr, out.fp_value);
+          break;
+        default:
+          STEERSIM_UNREACHABLE("bad store");
+      }
+    } else if (out.writes_int) {
+      regs_.write_int(inst.rd, out.int_value);
+    } else if (out.writes_fp) {
+      regs_.write_fp(inst.rd, out.fp_value);
+    }
+
+    ++result.instructions;
+    if (observer) {
+      observer(inst, pc, out);
+    }
+    if (info.is_halt) {
+      result.halted = true;
+      result.final_pc = pc;
+      return result;
+    }
+    pc = out.next_pc;
+  }
+  result.final_pc = pc;
+  return result;
+}
+
+}  // namespace steersim

@@ -1,0 +1,50 @@
+// In-order reference interpreter: the architectural oracle.
+//
+// Executes a Program sequentially with the exact semantics of
+// core/exec.hpp. Property tests run every workload on both this
+// interpreter and the out-of-order processor and require identical final
+// architectural state (register files, data memory, retired-instruction
+// count) — the strongest correctness anchor in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/exec.hpp"
+#include "isa/program.hpp"
+#include "memory/data_memory.hpp"
+#include "memory/register_file.hpp"
+
+namespace steersim {
+
+struct ReferenceResult {
+  bool halted = false;
+  std::uint64_t instructions = 0;
+  std::uint32_t final_pc = 0;
+};
+
+class ReferenceInterpreter {
+ public:
+  /// Invoked after each committed instruction with its decoded form, PC,
+  /// and execution output (analysis passes: ILP bounds, commit tracing).
+  using Observer =
+      std::function<void(const Instruction&, std::uint32_t pc,
+                         const ExecOutput&)>;
+
+  explicit ReferenceInterpreter(std::size_t data_memory_bytes = 1 << 20);
+
+  /// Runs `program` from PC 0 until HALT, the PC leaves the code image, or
+  /// `max_instructions` retire.
+  ReferenceResult run(const Program& program,
+                      std::uint64_t max_instructions = 100'000'000,
+                      const Observer& observer = nullptr);
+
+  const RegisterFile& registers() const { return regs_; }
+  const DataMemory& memory() const { return mem_; }
+
+ private:
+  RegisterFile regs_;
+  DataMemory mem_;
+};
+
+}  // namespace steersim

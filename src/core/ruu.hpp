@@ -1,0 +1,127 @@
+// Register update unit (paper Sec. 2 / [7]).
+//
+// A circular in-flight instruction buffer combining the roles the paper
+// assigns to it: dependency buffer (tracks register dependences between
+// in-flight instructions), out-of-order issue bookkeeping, operand
+// forwarding (consumers read producer results straight out of the RUU),
+// in-order completion (results reach the register file only at retirement,
+// which also makes misprediction recovery a simple truncate-younger), and
+// the store buffer (stores commit to memory at retirement; younger loads
+// forward from matching older stores).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace steersim {
+
+inline constexpr std::uint64_t kNoProducer = ~std::uint64_t{0};
+
+enum class RuuState : std::uint8_t {
+  kWaiting,  ///< dispatched, not yet issued
+  kIssued,   ///< executing on a functional unit
+  kDone,     ///< execution complete, awaiting in-order retirement
+};
+
+struct RuuEntry {
+  std::uint64_t id = 0;
+  Instruction inst;
+  std::uint32_t pc = 0;
+  std::uint32_t predicted_next = 0;
+  RuuState state = RuuState::kWaiting;
+  int wakeup_row = -1;
+
+  /// Dependency buffer: producer RUU ids snapshotted at dispatch.
+  std::uint64_t src1_producer = kNoProducer;
+  std::uint64_t src2_producer = kNoProducer;
+
+  /// Results (valid once issued; architectural at kDone).
+  std::int64_t int_result = 0;
+  double fp_result = 0.0;
+  bool branch_taken = false;
+  std::uint32_t actual_next = 0;
+
+  /// Memory bookkeeping.
+  bool addr_known = false;
+  std::uint64_t mem_addr = 0;
+  unsigned mem_size = 0;       ///< access bytes (1 or 8)
+  bool mem_faulted = false;    ///< speculative out-of-range access
+
+  /// Pipeline timestamps (machine cycles), for tracing/visualization.
+  std::uint64_t cycle_dispatch = 0;
+  std::uint64_t cycle_issue = 0;
+  std::uint64_t cycle_complete = 0;
+
+  /// True if this entry writes an architectural register.
+  bool writes_reg() const {
+    const OpInfo& info = op_info(inst.op);
+    if (info.rd_class == RegClass::kNone) {
+      return false;
+    }
+    return info.rd_class == RegClass::kFp || inst.rd != 0;
+  }
+};
+
+class RegisterUpdateUnit {
+ public:
+  explicit RegisterUpdateUnit(unsigned capacity);
+
+  unsigned capacity() const {
+    return static_cast<unsigned>(ring_.size());
+  }
+  unsigned size() const { return count_; }
+  bool full() const { return count_ == capacity(); }
+  bool empty() const { return count_ == 0; }
+
+  /// Allocates the next (youngest) entry; RUU must not be full.
+  RuuEntry& allocate();
+
+  /// Entry by position, 0 = oldest.
+  RuuEntry& at(unsigned pos);
+  const RuuEntry& at(unsigned pos) const;
+
+  /// Entry by id; null if it already retired (or never existed).
+  RuuEntry* find(std::uint64_t id);
+  const RuuEntry* find(std::uint64_t id) const;
+
+  /// Latest in-flight producer of (`cls`, `reg`), or kNoProducer. Integer
+  /// r0 never has a producer.
+  std::uint64_t latest_producer(RegClass cls, std::uint8_t reg) const;
+
+  /// Pops the oldest entry (must be kDone or the caller knows better).
+  RuuEntry retire_head();
+
+  /// Removes every entry younger than `id`; invokes `on_squash(entry)` for
+  /// each (youngest-first) so the caller can clear wake-up rows / units.
+  template <typename Fn>
+  unsigned squash_younger_than(std::uint64_t id, Fn on_squash) {
+    unsigned squashed = 0;
+    while (count_ > 0) {
+      RuuEntry& youngest = at(count_ - 1);
+      if (youngest.id <= id) {
+        break;
+      }
+      on_squash(youngest);
+      --count_;
+      ++squashed;
+    }
+    // Squashed ids are reusable: every reference to them (wake-up rows,
+    // decode buffer, younger entries' producer links) dies with the squash.
+    // Rolling the counter back keeps live ids contiguous, which find()
+    // relies on for O(1) lookup.
+    next_id_ -= squashed;
+    return squashed;
+  }
+
+  void clear() { count_ = 0; }
+
+ private:
+  std::vector<RuuEntry> ring_;
+  std::uint64_t next_id_ = 0;
+  unsigned head_ = 0;  ///< ring index of the oldest entry
+  unsigned count_ = 0;
+};
+
+}  // namespace steersim

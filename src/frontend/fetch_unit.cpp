@@ -1,0 +1,94 @@
+#include "frontend/fetch_unit.hpp"
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+FetchUnit::FetchUnit(const InstructionMemory& imem, TraceCache* trace_cache,
+                     BranchPredictor& predictor, unsigned width)
+    : imem_(imem), trace_cache_(trace_cache), predictor_(predictor),
+      width_(width) {
+  STEERSIM_EXPECTS(width >= 1 && width <= kMaxFetchWidth);
+}
+
+std::uint32_t FetchUnit::predict_next(std::uint32_t pc,
+                                      const Instruction& inst) {
+  const OpInfo& info = op_info(inst.op);
+  if (info.is_branch) {
+    const auto target = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(pc) + inst.imm);
+    return predictor_.predict(pc, target) ? target : pc + 1;
+  }
+  if (inst.op == Opcode::kJ || inst.op == Opcode::kJal) {
+    if (inst.op == Opcode::kJal) {
+      if (ras_.full()) {
+        ras_.erase_front(1);
+      }
+      ras_.push_back(pc + 1);
+    }
+    return static_cast<std::uint32_t>(static_cast<std::int64_t>(pc) +
+                                      inst.imm);
+  }
+  if (inst.op == Opcode::kJr) {
+    if (!ras_.empty()) {
+      const std::uint32_t target = ras_.back();
+      ras_.pop_back();
+      return target;
+    }
+    return pc + 1;  // no prediction available; will mispredict
+  }
+  return pc + 1;
+}
+
+void FetchUnit::fetch_group(FetchGroup& out) {
+  STEERSIM_EXPECTS(out.empty());
+
+  // Resume or start a trace-cache stream.
+  if (!streaming_trace_ && trace_cache_ != nullptr && imem_.contains(pc_)) {
+    if (const TraceLine* line = trace_cache_->lookup(pc_)) {
+      active_trace_ = *line;
+      streaming_trace_ = true;
+      trace_offset_ = 0;
+    }
+  }
+
+  if (streaming_trace_) {
+    while (out.size() < width_ && trace_offset_ < active_trace_.slots.size()) {
+      const TraceSlot& slot = active_trace_.slots[trace_offset_++];
+      out.push_back(FetchedInst{slot.inst, slot.pc, slot.next_pc, true});
+      pc_ = slot.next_pc;
+      ++stats_.fetched;
+      ++stats_.trace_fetched;
+      if (op_info(slot.inst.op).is_halt) {
+        break;
+      }
+    }
+    if (trace_offset_ >= active_trace_.slots.size()) {
+      streaming_trace_ = false;
+      trace_offset_ = 0;
+    }
+    return;
+  }
+
+  // Conventional fetch: sequential until a predicted-taken transfer.
+  while (out.size() < width_ && imem_.contains(pc_)) {
+    const std::uint32_t cur_pc = pc_;
+    const Instruction inst = decode(imem_.fetch(cur_pc));
+    const std::uint32_t next = predict_next(cur_pc, inst);
+    out.push_back(FetchedInst{inst, cur_pc, next, false});
+    pc_ = next;
+    ++stats_.fetched;
+    if (op_info(inst.op).is_halt || next != cur_pc + 1) {
+      break;  // group ends at a (predicted-)taken transfer
+    }
+  }
+}
+
+void FetchUnit::redirect(std::uint32_t pc) {
+  pc_ = pc;
+  streaming_trace_ = false;
+  trace_offset_ = 0;
+  ++stats_.redirects;
+}
+
+}  // namespace steersim

@@ -1,0 +1,75 @@
+// Instruction fetch unit (Fig. 1 fixed module).
+//
+// Each cycle delivers a fetch group of up to `width` instructions along the
+// predicted path. A group sourced from instruction memory ends at the first
+// predicted-taken control transfer (a conventional single-block fetch);
+// a group sourced from the trace cache may cross taken branches, following
+// the committed next-PC chain embedded in the trace. An 8-entry return
+// address stack predicts `jr` targets for call/return pairs.
+#pragma once
+
+#include <cstdint>
+
+#include "common/fixed_vector.hpp"
+#include "frontend/branch_predictor.hpp"
+#include "frontend/trace_cache.hpp"
+#include "memory/instruction_memory.hpp"
+
+namespace steersim {
+
+inline constexpr unsigned kMaxFetchWidth = 8;
+
+struct FetchedInst {
+  Instruction inst;
+  std::uint32_t pc = 0;
+  /// The PC the front end will fetch next (the prediction).
+  std::uint32_t predicted_next = 0;
+  bool from_trace = false;
+};
+
+using FetchGroup = FixedVector<FetchedInst, kMaxFetchWidth>;
+
+struct FetchStats {
+  std::uint64_t fetched = 0;
+  std::uint64_t trace_fetched = 0;
+  std::uint64_t redirects = 0;
+};
+
+class FetchUnit {
+ public:
+  /// `trace_cache` may be nullptr to model a machine without one.
+  FetchUnit(const InstructionMemory& imem, TraceCache* trace_cache,
+            BranchPredictor& predictor, unsigned width);
+
+  /// Appends this cycle's fetch group to `out` (which must be empty).
+  void fetch_group(FetchGroup& out);
+
+  /// Redirects fetch after a misprediction; abandons any in-flight trace.
+  void redirect(std::uint32_t pc);
+
+  std::uint32_t pc() const { return pc_; }
+  const FetchStats& stats() const { return stats_; }
+
+ private:
+  /// Predicted successor of the instruction at `pc`; maintains the RAS.
+  std::uint32_t predict_next(std::uint32_t pc, const Instruction& inst);
+
+  const InstructionMemory& imem_;
+  TraceCache* trace_cache_;
+  BranchPredictor& predictor_;
+  unsigned width_;
+  std::uint32_t pc_ = 0;
+
+  // Return address stack.
+  FixedVector<std::uint32_t, 8> ras_;
+
+  // Trace being streamed across cycles. A copy, not a pointer: the cache
+  // may overwrite the line (new install, same index) mid-stream.
+  TraceLine active_trace_;
+  bool streaming_trace_ = false;
+  std::size_t trace_offset_ = 0;
+
+  FetchStats stats_;
+};
+
+}  // namespace steersim

@@ -1,0 +1,98 @@
+#include "frontend/trace_cache.hpp"
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+TraceCache::TraceCache(unsigned lines, unsigned max_trace_len)
+    : lines_(lines), max_trace_len_(max_trace_len) {
+  STEERSIM_EXPECTS(lines >= 1);
+  STEERSIM_EXPECTS(max_trace_len >= 1);
+  fill_.reserve(max_trace_len);
+}
+
+const TraceLine* TraceCache::lookup(std::uint32_t pc) {
+  ++stats_.lookups;
+  const TraceLine* line = peek(pc);
+  if (line != nullptr) {
+    ++stats_.hits;
+  }
+  return line;
+}
+
+const TraceLine* TraceCache::peek(std::uint32_t pc) const {
+  const TraceLine& line = lines_[pc % lines_.size()];
+  if (line.valid && line.start_pc == pc) {
+    return &line;
+  }
+  return nullptr;
+}
+
+void TraceCache::observe_retired(std::uint32_t pc, const Instruction& inst,
+                                 std::uint32_t next_pc) {
+  // A discontinuity between the fill buffer's expectation and the observed
+  // PC means an intervening squash; restart the trace.
+  if (!fill_.empty() && fill_.back().next_pc != pc) {
+    fill_.clear();
+    waiting_for_target_ = true;
+  }
+  // Traces begin at taken-transfer targets: that is where the fetch unit
+  // looks them up (a conventional fetch group ends at a predicted-taken
+  // transfer, so the next lookup PC is the transfer's target). The very
+  // first committed instruction (program entry) also qualifies.
+  if (fill_.empty() && waiting_for_target_) {
+    const bool at_target =
+        !have_prev_ || (prev_next_ == pc && prev_next_ != prev_pc_ + 1);
+    if (!at_target) {
+      prev_pc_ = pc;
+      prev_next_ = next_pc;
+      have_prev_ = true;
+      return;
+    }
+    waiting_for_target_ = false;
+  }
+  prev_pc_ = pc;
+  prev_next_ = next_pc;
+  have_prev_ = true;
+  fill_.push_back(TraceSlot{inst, pc, next_pc});
+  if (fill_.size() >= max_trace_len_ || op_info(inst.op).is_halt) {
+    install();
+  }
+}
+
+void TraceCache::flush_fill_buffer() {
+  if (!fill_.empty()) {
+    install();
+  }
+}
+
+void TraceCache::install() {
+  STEERSIM_EXPECTS(!fill_.empty());
+  TraceLine& line = lines_[fill_.front().pc % lines_.size()];
+  line.valid = true;
+  line.start_pc = fill_.front().pc;
+  line.slots = fill_;
+  // Pre-decode annotation: unit requirements of the whole trace.
+  line.requirements = FuCounts{};
+  for (const auto& slot : line.slots) {
+    auto& count = line.requirements[fu_index(fu_type_of(slot.inst.op))];
+    if (count < 7) {
+      ++count;
+    }
+  }
+  fill_.clear();
+  waiting_for_target_ = true;
+  ++stats_.installs;
+}
+
+void TraceCache::clear() {
+  for (auto& line : lines_) {
+    line.valid = false;
+    line.slots.clear();
+  }
+  fill_.clear();
+  waiting_for_target_ = false;
+  have_prev_ = false;
+}
+
+}  // namespace steersim

@@ -1,0 +1,89 @@
+// Trace cache (Fig. 1 fixed module).
+//
+// Holds traces of decoded instructions along the executed path so the fetch
+// unit can supply instructions *across taken branches* in a single cycle —
+// the property the steering architecture (and [7]) relies on to keep the
+// 7-entry instruction queue full. Traces are built at retirement from the
+// committed path and installed into a direct-mapped line array keyed by the
+// trace's start PC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace steersim {
+
+/// One instruction inside a trace: decoded form, its PC, and the committed
+/// next PC (embeds the branch direction the trace followed).
+struct TraceSlot {
+  Instruction inst;
+  std::uint32_t pc = 0;
+  std::uint32_t next_pc = 0;
+};
+
+struct TraceLine {
+  bool valid = false;
+  std::uint32_t start_pc = 0;
+  std::vector<TraceSlot> slots;
+  /// Pre-decoded unit requirements of the whole trace (3-bit saturating
+  /// counts per type), computed at install — the [7]-style trace-cache
+  /// pre-decode annotation that enables lookahead steering.
+  FuCounts requirements{};
+};
+
+struct TraceCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t installs = 0;
+  double hit_rate() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+class TraceCache {
+ public:
+  /// `lines` must be >= 1; `max_trace_len` bounds slots per line.
+  TraceCache(unsigned lines, unsigned max_trace_len);
+
+  /// Returns the line starting exactly at `pc`, or nullptr on miss.
+  const TraceLine* lookup(std::uint32_t pc);
+
+  /// Side-effect-free lookup (no statistics), for the configuration
+  /// manager's lookahead probe.
+  const TraceLine* peek(std::uint32_t pc) const;
+
+  /// Feeds one committed instruction (in retirement order). `next_pc` is
+  /// the committed successor PC. Builds and installs traces internally.
+  void observe_retired(std::uint32_t pc, const Instruction& inst,
+                       std::uint32_t next_pc);
+
+  /// Flushes the fill buffer (e.g. at halt) installing any partial trace.
+  void flush_fill_buffer();
+
+  void clear();
+
+  const TraceCacheStats& stats() const { return stats_; }
+  unsigned lines() const { return static_cast<unsigned>(lines_.size()); }
+  unsigned max_trace_len() const { return max_trace_len_; }
+
+ private:
+  void install();
+
+  std::vector<TraceLine> lines_;
+  unsigned max_trace_len_;
+  std::vector<TraceSlot> fill_;
+  /// Fills only begin at taken-transfer targets (where the fetch unit will
+  /// actually look traces up after a group break); between an install and
+  /// the next such target the builder idles.
+  bool waiting_for_target_ = false;
+  std::uint32_t prev_pc_ = 0;
+  std::uint32_t prev_next_ = 0;
+  bool have_prev_ = false;
+  TraceCacheStats stats_;
+};
+
+}  // namespace steersim

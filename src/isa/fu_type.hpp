@@ -1,0 +1,58 @@
+// The five functional-unit types of the architecture (paper Table 1).
+//
+// The paper assumes a RISC ISA in which every instruction is supported by
+// exactly one type of functional unit; FuType is that classification and is
+// the currency exchanged between the decoder, the configuration manager and
+// the scheduler.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace steersim {
+
+enum class FuType : std::uint8_t {
+  kIntAlu = 0,  ///< Integer arithmetic/logic (also branches/jumps).
+  kIntMdu = 1,  ///< Integer multiply/divide.
+  kLsu = 2,     ///< Load/store.
+  kFpAlu = 3,   ///< Floating-point arithmetic/logic.
+  kFpMdu = 4,   ///< Floating-point multiply/divide.
+};
+
+inline constexpr unsigned kNumFuTypes = 5;
+
+inline constexpr std::array<FuType, kNumFuTypes> kAllFuTypes = {
+    FuType::kIntAlu, FuType::kIntMdu, FuType::kLsu, FuType::kFpAlu,
+    FuType::kFpMdu};
+
+constexpr std::string_view fu_type_name(FuType t) {
+  switch (t) {
+    case FuType::kIntAlu:
+      return "Int-ALU";
+    case FuType::kIntMdu:
+      return "Int-MDU";
+    case FuType::kLsu:
+      return "LSU";
+    case FuType::kFpAlu:
+      return "FP-ALU";
+    case FuType::kFpMdu:
+      return "FP-MDU";
+  }
+  return "?";
+}
+
+constexpr unsigned fu_index(FuType t) { return static_cast<unsigned>(t); }
+
+/// Per-type quantity vector (e.g. required units, configured units).
+using FuCounts = std::array<std::uint8_t, kNumFuTypes>;
+
+constexpr unsigned fu_counts_total(const FuCounts& c) {
+  unsigned total = 0;
+  for (const auto v : c) {
+    total += v;
+  }
+  return total;
+}
+
+}  // namespace steersim

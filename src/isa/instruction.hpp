@@ -1,0 +1,65 @@
+// Decoded instruction representation plus the 32-bit binary encoding.
+//
+// Instruction memory stores encoded words (the fetch/decode pipeline is
+// real, and the trace cache caches decoded instructions), so the encoding
+// round-trip is part of the simulated machine, not just serialization.
+//
+// Word layout (bit 31 .. bit 0):
+//   [31:25] opcode (7 bits)
+//   kR    : [24:20] rd   [19:15] rs1  [14:10] rs2
+//   kI    : [24:20] rd   [19:15] rs1  [14:0]  imm15 (signed)
+//   kS/kB : [24:20] rs1  [19:15] rs2  [14:0]  imm15 (signed)
+//   kJ    : [24:20] rd   [19:0]  imm20 (signed)
+//   kJr   : [24:20] rs1
+//   kNone : zero
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/opcode.hpp"
+
+namespace steersim {
+
+inline constexpr unsigned kNumIntRegs = 32;
+inline constexpr unsigned kNumFpRegs = 32;
+/// r31 doubles as the link register for `jal`/`call`.
+inline constexpr std::uint8_t kLinkReg = 31;
+
+inline constexpr std::int32_t kImm15Min = -(1 << 14);
+inline constexpr std::int32_t kImm15Max = (1 << 14) - 1;
+inline constexpr std::int32_t kImm20Min = -(1 << 19);
+inline constexpr std::int32_t kImm20Max = (1 << 19) - 1;
+
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Encodes to the 32-bit word; contract-checks field ranges.
+std::uint32_t encode(const Instruction& inst);
+
+/// Decodes a 32-bit word. Invalid opcodes fail a contract check; words are
+/// produced only by the assembler/encoder in this system.
+Instruction decode(std::uint32_t word);
+
+/// Human-readable rendering, e.g. "addi r5, r0, 42" or "lw r3, 8(r2)".
+std::string disassemble(const Instruction& inst);
+
+/// Convenience constructors used by tests and the workload generator.
+Instruction make_rr(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                    std::uint8_t rs2);
+Instruction make_ri(Opcode op, std::uint8_t rd, std::uint8_t rs1,
+                    std::int32_t imm);
+Instruction make_store(Opcode op, std::uint8_t value_reg,
+                       std::uint8_t base_reg, std::int32_t imm);
+Instruction make_branch(Opcode op, std::uint8_t rs1, std::uint8_t rs2,
+                        std::int32_t offset);
+Instruction make_jump(Opcode op, std::uint8_t rd, std::int32_t offset);
+
+}  // namespace steersim

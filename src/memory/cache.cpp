@@ -1,0 +1,74 @@
+#include "memory/cache.hpp"
+
+#include <bit>
+
+namespace steersim {
+
+DataCache::DataCache(const CacheParams& params)
+    : params_(params),
+      ways_(static_cast<std::size_t>(params.num_sets) * params.ways) {
+  STEERSIM_EXPECTS(std::has_single_bit(params.line_bytes));
+  STEERSIM_EXPECTS(std::has_single_bit(params.num_sets));
+  STEERSIM_EXPECTS(params.ways >= 1);
+  STEERSIM_EXPECTS(params.hit_latency >= 1);
+  STEERSIM_EXPECTS(params.miss_latency >= params.hit_latency);
+}
+
+std::uint64_t DataCache::set_index(std::uint64_t addr) const {
+  return (addr / params_.line_bytes) % params_.num_sets;
+}
+
+std::uint64_t DataCache::tag_of(std::uint64_t addr) const {
+  return addr / params_.line_bytes / params_.num_sets;
+}
+
+unsigned DataCache::access(std::uint64_t addr) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  Way* begin = ways_.data() + set * params_.ways;
+
+  for (Way* way = begin; way != begin + params_.ways; ++way) {
+    if (way->valid && way->tag == tag) {
+      way->lru = tick_;
+      return params_.hit_latency;
+    }
+  }
+  ++stats_.misses;
+  // Victim: an invalid way if one exists, else the least recently used.
+  Way* victim = begin;
+  for (Way* way = begin; way != begin + params_.ways; ++way) {
+    if (!way->valid) {
+      victim = way;
+      break;
+    }
+    if (way->lru < victim->lru) {
+      victim = way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return params_.miss_latency;
+}
+
+bool DataCache::would_hit(std::uint64_t addr) const {
+  const std::uint64_t set = set_index(addr);
+  const std::uint64_t tag = tag_of(addr);
+  const Way* begin = ways_.data() + set * params_.ways;
+  for (const Way* way = begin; way != begin + params_.ways; ++way) {
+    if (way->valid && way->tag == tag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void DataCache::clear() {
+  for (auto& way : ways_) {
+    way = Way{};
+  }
+}
+
+}  // namespace steersim

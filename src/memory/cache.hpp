@@ -1,0 +1,68 @@
+// Set-associative data-cache timing model.
+//
+// Timing-only: architectural data always comes from DataMemory (the cache
+// holds no data, just tags), so correctness is unaffected and the
+// reference interpreter needs no cache. The processor consults the cache
+// at load/store issue to pick the LSU occupancy latency (hit vs miss) and
+// to update tags (allocate-on-miss, LRU within a set; stores allocate
+// too — write-allocate, write-back timing is folded into the store's
+// occupancy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+struct CacheParams {
+  std::uint32_t line_bytes = 64;
+  std::uint32_t num_sets = 64;
+  std::uint32_t ways = 2;
+  unsigned hit_latency = 3;
+  unsigned miss_latency = 24;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  double miss_rate() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(misses) / static_cast<double>(accesses);
+  }
+};
+
+class DataCache {
+ public:
+  explicit DataCache(const CacheParams& params);
+
+  /// Looks up `addr`, allocating on miss; returns the access latency.
+  unsigned access(std::uint64_t addr);
+
+  /// Lookup without side effects (tests/diagnostics).
+  bool would_hit(std::uint64_t addr) const;
+
+  void clear();
+
+  const CacheParams& params() const { return params_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Way {
+    bool valid = false;
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< last-touch stamp
+  };
+
+  std::uint64_t set_index(std::uint64_t addr) const;
+  std::uint64_t tag_of(std::uint64_t addr) const;
+
+  CacheParams params_;
+  std::vector<Way> ways_;  ///< num_sets * ways, set-major
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace steersim

@@ -1,0 +1,53 @@
+#include "memory/data_memory.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+DataMemory::DataMemory(std::size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+std::int64_t DataMemory::load_word(std::uint64_t addr) const {
+  STEERSIM_EXPECTS(addr % 8 == 0);
+  STEERSIM_EXPECTS(addr + 8 <= bytes_.size());
+  std::int64_t value = 0;
+  std::memcpy(&value, bytes_.data() + addr, 8);
+  return value;
+}
+
+void DataMemory::store_word(std::uint64_t addr, std::int64_t value) {
+  STEERSIM_EXPECTS(addr % 8 == 0);
+  STEERSIM_EXPECTS(addr + 8 <= bytes_.size());
+  std::memcpy(bytes_.data() + addr, &value, 8);
+}
+
+std::int64_t DataMemory::load_byte(std::uint64_t addr) const {
+  STEERSIM_EXPECTS(addr < bytes_.size());
+  return static_cast<std::int8_t>(bytes_[addr]);
+}
+
+void DataMemory::store_byte(std::uint64_t addr, std::int64_t value) {
+  STEERSIM_EXPECTS(addr < bytes_.size());
+  bytes_[addr] = static_cast<std::uint8_t>(value & 0xff);
+}
+
+double DataMemory::load_fp(std::uint64_t addr) const {
+  return std::bit_cast<double>(load_word(addr));
+}
+
+void DataMemory::store_fp(std::uint64_t addr, double value) {
+  store_word(addr, std::bit_cast<std::int64_t>(value));
+}
+
+void DataMemory::load_image(std::span<const std::int64_t> words,
+                            std::uint64_t base) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    store_word(base + i * 8, words[i]);
+  }
+}
+
+void DataMemory::reset() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+}  // namespace steersim

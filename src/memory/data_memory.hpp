@@ -1,0 +1,40 @@
+// Byte-addressable data memory with bounds-checked 8/64-bit accesses.
+//
+// The paper's architecture has separate instruction and data memories
+// (Harvard style, Fig. 1); this is the data side. Accesses are checked:
+// an out-of-range access is a simulated-program bug and trips a contract
+// check rather than corrupting the host.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace steersim {
+
+class DataMemory {
+ public:
+  explicit DataMemory(std::size_t size_bytes);
+
+  std::size_t size() const { return bytes_.size(); }
+
+  std::int64_t load_word(std::uint64_t addr) const;
+  void store_word(std::uint64_t addr, std::int64_t value);
+  std::int64_t load_byte(std::uint64_t addr) const;  ///< sign-extended
+  void store_byte(std::uint64_t addr, std::int64_t value);
+
+  double load_fp(std::uint64_t addr) const;
+  void store_fp(std::uint64_t addr, double value);
+
+  /// Loads an image of 64-bit words starting at byte address `base`.
+  void load_image(std::span<const std::int64_t> words, std::uint64_t base = 0);
+
+  void reset();
+
+  friend bool operator==(const DataMemory&, const DataMemory&) = default;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace steersim

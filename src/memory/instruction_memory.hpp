@@ -1,0 +1,42 @@
+// Instruction memory: holds the encoded 32-bit words of a program.
+//
+// The PC is an instruction index (word-addressed); the fetch unit reads
+// encoded words and the front-end decoder turns them back into
+// Instruction records, mirroring the fetch/decode split of Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "isa/program.hpp"
+
+namespace steersim {
+
+class InstructionMemory {
+ public:
+  InstructionMemory() = default;
+
+  explicit InstructionMemory(const Program& program) {
+    words_.reserve(program.code.size());
+    for (const auto& inst : program.code) {
+      words_.push_back(encode(inst));
+    }
+  }
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(words_.size());
+  }
+
+  bool contains(std::uint64_t pc) const { return pc < words_.size(); }
+
+  std::uint32_t fetch(std::uint64_t pc) const {
+    STEERSIM_EXPECTS(contains(pc));
+    return words_[pc];
+  }
+
+ private:
+  std::vector<std::uint32_t> words_;
+};
+
+}  // namespace steersim

@@ -1,0 +1,61 @@
+// Architectural register files: 32 x 64-bit integer (r0 hard-wired to 0)
+// and 32 x double-precision FP.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/contracts.hpp"
+#include "isa/instruction.hpp"
+
+namespace steersim {
+
+class RegisterFile {
+ public:
+  std::int64_t read_int(unsigned r) const {
+    STEERSIM_EXPECTS(r < kNumIntRegs);
+    return int_regs_[r];
+  }
+  void write_int(unsigned r, std::int64_t value) {
+    STEERSIM_EXPECTS(r < kNumIntRegs);
+    if (r != 0) {  // r0 is architecturally zero
+      int_regs_[r] = value;
+    }
+  }
+
+  double read_fp(unsigned r) const {
+    STEERSIM_EXPECTS(r < kNumFpRegs);
+    return fp_regs_[r];
+  }
+  void write_fp(unsigned r, double value) {
+    STEERSIM_EXPECTS(r < kNumFpRegs);
+    fp_regs_[r] = value;
+  }
+
+  void reset() {
+    int_regs_.fill(0);
+    fp_regs_.fill(0.0);
+  }
+
+  /// Bit-exact comparison (NaN payloads included): two machines that both
+  /// computed NaN must compare equal.
+  friend bool operator==(const RegisterFile& a, const RegisterFile& b) {
+    if (a.int_regs_ != b.int_regs_) {
+      return false;
+    }
+    for (unsigned r = 0; r < kNumFpRegs; ++r) {
+      if (std::bit_cast<std::uint64_t>(a.fp_regs_[r]) !=
+          std::bit_cast<std::uint64_t>(b.fp_regs_[r])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::array<std::int64_t, kNumIntRegs> int_regs_{};
+  std::array<double, kNumFpRegs> fp_regs_{};
+};
+
+}  // namespace steersim

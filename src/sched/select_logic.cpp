@@ -1,0 +1,32 @@
+#include "sched/select_logic.hpp"
+
+namespace steersim {
+
+GrantList select_oldest_first(const WakeupArray& array, EntryMask requests,
+                              std::span<const unsigned> age_order,
+                              const std::array<unsigned, kNumFuTypes>&
+                                  free_units,
+                              unsigned max_grants) {
+  GrantList grants;
+  std::array<unsigned, kNumFuTypes> budget = free_units;
+  for (const unsigned idx : age_order) {
+    if (max_grants != 0 && grants.size() >= max_grants) {
+      break;
+    }
+    if (!requests.test(idx)) {
+      continue;
+    }
+    const unsigned t = fu_index(array.entry(idx).fu);
+    if (budget[t] == 0) {
+      continue;
+    }
+    --budget[t];
+    grants.push_back(idx);
+    if (grants.full()) {
+      break;
+    }
+  }
+  return grants;
+}
+
+}  // namespace steersim

@@ -1,0 +1,29 @@
+// Select stage: resolves contention when multiple wake-up entries request
+// the same resource type (paper Sec. 4.1 notes the wake-up logic only
+// raises requests; the scheduler must arbitrate). Grants are oldest-first,
+// bounded per type by the number of idle unit instances this cycle.
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "common/fixed_vector.hpp"
+#include "sched/wakeup_array.hpp"
+
+namespace steersim {
+
+using GrantList = FixedVector<unsigned, kMaxWakeupEntries>;
+
+/// `requests` — the request-execution vector (possibly masked further by
+///              the caller, e.g. memory-ordering constraints);
+/// `age_order` — valid rows, oldest first;
+/// `free_units` — idle unit instances per type this cycle;
+/// `max_grants` — issue-port bound (0 = limited only by units).
+/// Returns granted rows (oldest-first).
+GrantList select_oldest_first(const WakeupArray& array, EntryMask requests,
+                              std::span<const unsigned> age_order,
+                              const std::array<unsigned, kNumFuTypes>&
+                                  free_units,
+                              unsigned max_grants = 0);
+
+}  // namespace steersim

@@ -1,0 +1,153 @@
+#include "sched/wakeup_array.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+WakeupArray::WakeupArray(unsigned num_entries) : entries_(num_entries) {
+  STEERSIM_EXPECTS(num_entries >= 1 && num_entries <= kMaxWakeupEntries);
+}
+
+bool WakeupArray::full() const { return free_entries() == 0; }
+
+unsigned WakeupArray::free_entries() const {
+  unsigned n = 0;
+  for (const auto& e : entries_) {
+    n += e.valid ? 0u : 1u;
+  }
+  return n;
+}
+
+std::optional<unsigned> WakeupArray::insert(FuType fu, EntryMask deps,
+                                            std::uint64_t tag) {
+  for (unsigned i = 0; i < num_entries(); ++i) {
+    if (!entries_[i].valid) {
+      WakeupEntry& e = entries_[i];
+      e.valid = true;
+      e.scheduled = false;
+      e.fu = fu;
+      e.deps = deps;
+      e.timer = 0;
+      e.result_available = false;
+      e.age = next_age_++;
+      e.tag = tag;
+      ++stats_.inserts;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+EntryMask WakeupArray::request_execution(
+    const ResourceAvail& resource_available) const {
+  EntryMask requests;
+  for (unsigned i = 0; i < num_entries(); ++i) {
+    const WakeupEntry& e = entries_[i];
+    if (!e.valid || e.scheduled) {
+      continue;
+    }
+    // Resource columns: "required -> available" per type (one-hot, so only
+    // the entry's own FU column can be required).
+    bool ready = resource_available[fu_index(e.fu)];
+    // Entry-result columns: every needed producer's available line high.
+    for (unsigned j = 0; ready && j < num_entries(); ++j) {
+      if (e.deps.test(j)) {
+        ready = entries_[j].valid && entries_[j].result_available;
+      }
+    }
+    if (ready) {
+      requests.set(i);
+    }
+  }
+  return requests;
+}
+
+void WakeupArray::grant(unsigned idx, unsigned latency) {
+  STEERSIM_EXPECTS(idx < num_entries());
+  STEERSIM_EXPECTS(latency >= 1);
+  WakeupEntry& e = entries_[idx];
+  STEERSIM_EXPECTS(e.valid && !e.scheduled);
+  e.scheduled = true;
+  // Count latency end-of-cycle ticks before asserting the available line;
+  // a dependent's request stage then sees it exactly latency cycles after
+  // this grant (back-to-back for single-cycle producers). This is the
+  // paper's "set the timer to N-1, assert at a count of one" expressed
+  // against our end-of-cycle tick.
+  e.timer = latency;
+  e.result_available = false;
+  ++stats_.grants;
+}
+
+void WakeupArray::reschedule(unsigned idx) {
+  STEERSIM_EXPECTS(idx < num_entries());
+  WakeupEntry& e = entries_[idx];
+  STEERSIM_EXPECTS(e.valid);
+  e.scheduled = false;
+  e.timer = 0;
+  e.result_available = false;
+  ++stats_.reschedules;
+}
+
+void WakeupArray::clear_entry(unsigned idx) {
+  entries_[idx] = WakeupEntry{};
+  for (auto& e : entries_) {
+    e.deps.reset(idx);
+  }
+}
+
+void WakeupArray::retire(unsigned idx) {
+  STEERSIM_EXPECTS(idx < num_entries());
+  STEERSIM_EXPECTS(entries_[idx].valid);
+  clear_entry(idx);
+  ++stats_.retires;
+}
+
+void WakeupArray::squash(unsigned idx) {
+  STEERSIM_EXPECTS(idx < num_entries());
+  STEERSIM_EXPECTS(entries_[idx].valid);
+  clear_entry(idx);
+  ++stats_.squashes;
+}
+
+void WakeupArray::tick() {
+  for (auto& e : entries_) {
+    if (e.valid && e.scheduled && e.timer > 0) {
+      if (--e.timer == 0) {
+        e.result_available = true;
+      }
+    }
+  }
+}
+
+const WakeupEntry& WakeupArray::entry(unsigned idx) const {
+  STEERSIM_EXPECTS(idx < num_entries());
+  return entries_[idx];
+}
+
+std::vector<unsigned> WakeupArray::age_order() const {
+  std::vector<unsigned> order;
+  order.reserve(entries_.size());
+  for (unsigned i = 0; i < num_entries(); ++i) {
+    if (entries_[i].valid) {
+      order.push_back(i);
+    }
+  }
+  std::ranges::sort(order, [this](unsigned a, unsigned b) {
+    return entries_[a].age < entries_[b].age;
+  });
+  return order;
+}
+
+EntryMask WakeupArray::unscheduled() const {
+  EntryMask mask;
+  for (unsigned i = 0; i < num_entries(); ++i) {
+    if (entries_[i].valid && !entries_[i].scheduled) {
+      mask.set(i);
+    }
+  }
+  return mask;
+}
+
+}  // namespace steersim

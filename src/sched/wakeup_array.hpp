@@ -1,0 +1,107 @@
+// Select-free wake-up array (paper Sec. 4.1, Figs. 5 and 6, after
+// Brown/Stark/Patt, MICRO-34).
+//
+// Each entry holds a resource vector: one column per functional-unit type
+// (which unit the instruction needs) and one column per array entry (whose
+// results it needs). An entry requests execution when, for every column,
+// "not required OR available" holds, ANDed with its not-yet-scheduled bit.
+// Granted entries start a countdown timer of latency-1 cycles; the entry's
+// result-available line asserts when the timer reaches zero (immediately
+// for single-cycle instructions), which is exactly one cycle before a
+// dependent can issue back-to-back through the forwarding network.
+// Entries stay in the array until retirement, which clears the entry's
+// column across all rows so later instructions never wait on a retired
+// producer (they read the register file instead).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "isa/fu_type.hpp"
+
+namespace steersim {
+
+inline constexpr unsigned kMaxWakeupEntries = 32;
+
+using EntryMask = SmallBitset<kMaxWakeupEntries>;
+using ResourceAvail = std::array<bool, kNumFuTypes>;
+
+struct WakeupEntry {
+  bool valid = false;
+  bool scheduled = false;
+  FuType fu = FuType::kIntAlu;
+  EntryMask deps;
+  /// Result countdown; meaningful only while scheduled.
+  unsigned timer = 0;
+  bool result_available = false;
+  /// Dispatch order, for oldest-first selection.
+  std::uint64_t age = 0;
+  /// Cross-reference into the register update unit.
+  std::uint64_t tag = 0;
+};
+
+struct WakeupStats {
+  std::uint64_t inserts = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t reschedules = 0;
+  std::uint64_t retires = 0;
+  std::uint64_t squashes = 0;
+};
+
+class WakeupArray {
+ public:
+  explicit WakeupArray(unsigned num_entries);
+
+  unsigned num_entries() const {
+    return static_cast<unsigned>(entries_.size());
+  }
+  bool full() const;
+  unsigned free_entries() const;
+
+  /// Dispatches an instruction into a free row. `deps` marks the entry
+  /// columns whose results must be available first. Returns the row index,
+  /// or nullopt when the array is full.
+  std::optional<unsigned> insert(FuType fu, EntryMask deps,
+                                 std::uint64_t tag);
+
+  /// Fig. 6: the request-execution vector, given the per-type resource
+  /// availability lines (Eq. 1 outputs).
+  EntryMask request_execution(const ResourceAvail& resource_available) const;
+
+  /// Issue grant: sets the scheduled bit and arms the countdown timer with
+  /// latency-1 (immediate result-available for single-cycle ops).
+  void grant(unsigned idx, unsigned latency);
+
+  /// De-asserts the scheduled bit so the entry requests execution again.
+  void reschedule(unsigned idx);
+
+  /// Retires the entry: clears its row and its column across the array.
+  void retire(unsigned idx);
+
+  /// Squash on misprediction: same clearing as retire, separate statistic.
+  void squash(unsigned idx);
+
+  /// End-of-cycle: advances countdown timers.
+  void tick();
+
+  const WakeupEntry& entry(unsigned idx) const;
+  /// Valid rows in oldest-first order.
+  std::vector<unsigned> age_order() const;
+  /// Opcount of valid, not-yet-scheduled rows (the "ready" set the
+  /// configuration manager inspects).
+  EntryMask unscheduled() const;
+
+  const WakeupStats& stats() const { return stats_; }
+
+ private:
+  void clear_entry(unsigned idx);
+
+  std::vector<WakeupEntry> entries_;
+  std::uint64_t next_age_ = 0;
+  WakeupStats stats_;
+};
+
+}  // namespace steersim

@@ -1,0 +1,44 @@
+// Minimal CSV writer for experiment outputs.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path) : out_(path) {
+    STEERSIM_EXPECTS(out_.good());
+  }
+
+  void row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) {
+        out_ << ',';
+      }
+      // Quote cells containing separators.
+      if (cells[i].find_first_of(",\"\n") != std::string::npos) {
+        out_ << '"';
+        for (const char c : cells[i]) {
+          if (c == '"') {
+            out_ << '"';
+          }
+          out_ << c;
+        }
+        out_ << '"';
+      } else {
+        out_ << cells[i];
+      }
+    }
+    out_ << '\n';
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace steersim

@@ -1,0 +1,70 @@
+#include "sim/ilp_bound.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "core/reference.hpp"
+
+namespace steersim {
+
+IlpBound compute_ilp_bound(const Program& program,
+                           std::size_t data_memory_bytes,
+                           std::uint64_t max_instructions) {
+  // Completion time of the last writer of each architectural register and
+  // of each memory byte-range (tracked at word granularity; byte accesses
+  // conservatively alias their containing word).
+  std::array<std::uint64_t, kNumIntRegs> int_ready{};
+  std::array<std::uint64_t, kNumFpRegs> fp_ready{};
+  std::unordered_map<std::uint64_t, std::uint64_t> mem_ready;
+
+  IlpBound bound;
+  std::unordered_map<std::uint64_t, std::uint64_t> completions_at;
+
+  const auto observer = [&](const Instruction& inst, std::uint32_t,
+                            const ExecOutput& out) {
+    const OpInfo& info = op_info(inst.op);
+
+    std::uint64_t start = 0;
+    if (info.rs1_class == RegClass::kInt) {
+      start = std::max(start, int_ready[inst.rs1]);
+    } else if (info.rs1_class == RegClass::kFp) {
+      start = std::max(start, fp_ready[inst.rs1]);
+    }
+    if (info.rs2_class == RegClass::kInt) {
+      start = std::max(start, int_ready[inst.rs2]);
+    } else if (info.rs2_class == RegClass::kFp) {
+      start = std::max(start, fp_ready[inst.rs2]);
+    }
+    const std::uint64_t word = out.mem_addr / 8;
+    if (info.is_load) {
+      // RAW through memory: wait for the last store to this word.
+      const auto it = mem_ready.find(word);
+      if (it != mem_ready.end()) {
+        start = std::max(start, it->second);
+      }
+    }
+
+    const std::uint64_t done = start + info.latency;
+    if (info.is_store) {
+      mem_ready[word] = done;
+    } else if (info.rd_class == RegClass::kInt && inst.rd != 0) {
+      int_ready[inst.rd] = done;
+    } else if (info.rd_class == RegClass::kFp) {
+      fp_ready[inst.rd] = done;
+    }
+
+    ++bound.instructions;
+    bound.critical_path = std::max(bound.critical_path, done);
+    ++completions_at[done];
+  };
+
+  ReferenceInterpreter ref(data_memory_bytes);
+  ref.run(program, max_instructions, observer);
+
+  const auto tail = completions_at.find(bound.critical_path);
+  bound.tail_width = tail == completions_at.end() ? 0 : tail->second;
+  return bound;
+}
+
+}  // namespace steersim

@@ -1,0 +1,41 @@
+// Dataflow ILP limit study.
+//
+// Computes the classic oracle ILP bound of a program's committed
+// instruction stream: the dataflow critical path with the machine's
+// operation latencies, honouring true (RAW) dependences through registers
+// and memory only — perfect branch prediction, infinite window, infinite
+// units, full renaming. `bound.max_ipc()` is the ceiling no machine
+// organization can exceed; comparing measured IPC against it separates
+// "the workload has no ILP" from "the machine failed to extract it"
+// (e.g. fib and newton_sqrt are dataflow-bound; saxpy is machine-bound).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+
+namespace steersim {
+
+struct IlpBound {
+  std::uint64_t instructions = 0;
+  /// Length of the dataflow critical path, in cycles.
+  std::uint64_t critical_path = 0;
+  /// Instructions whose completion time lies on the critical path's final
+  /// cycle (a width hint: how many units the last step would need).
+  std::uint64_t tail_width = 0;
+
+  double max_ipc() const {
+    return critical_path == 0
+               ? 0.0
+               : static_cast<double>(instructions) /
+                     static_cast<double>(critical_path);
+  }
+};
+
+/// Executes `program` on the reference interpreter (up to
+/// `max_instructions`) and scans the committed stream.
+IlpBound compute_ilp_bound(const Program& program,
+                           std::size_t data_memory_bytes = 1 << 20,
+                           std::uint64_t max_instructions = 5'000'000);
+
+}  // namespace steersim

@@ -1,0 +1,85 @@
+#include "sim/report.hpp"
+
+#include "common/strings.hpp"
+
+namespace steersim {
+namespace {
+
+std::string line(const std::string& key, const std::string& value) {
+  return "  " + pad(key, -28) + value + "\n";
+}
+
+std::string_view outcome_name(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kHalted:
+      return "halted";
+    case RunOutcome::kMaxCycles:
+      return "max-cycles";
+    case RunOutcome::kStalled:
+      return "stalled";
+    case RunOutcome::kFault:
+      return "fault";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string format_report(const SimResult& r) {
+  std::string out;
+  out += "policy: " + r.policy + " (" + std::string(outcome_name(r.outcome)) +
+         ")\n";
+  out += "throughput\n";
+  out += line("instructions retired", std::to_string(r.stats.retired));
+  out += line("cycles", std::to_string(r.stats.cycles));
+  out += line("IPC", format_double(r.stats.ipc(), 3));
+  out += line("dispatched / issued",
+              std::to_string(r.stats.dispatched) + " / " +
+                  std::to_string(r.stats.issued));
+  out += line("squashed (wrong path)", std::to_string(r.stats.squashed));
+  out += "front end\n";
+  out += line("fetched", std::to_string(r.fetch.fetched));
+  out += line("from trace cache",
+              std::to_string(r.fetch.trace_fetched) + " (" +
+                  format_double(100.0 * r.trace_cache.hit_rate(), 1) +
+                  "% line hit rate)");
+  out += line("redirects", std::to_string(r.fetch.redirects));
+  out += line("branch mispredict rate",
+              format_double(100.0 * r.stats.mispredict_rate(), 1) + "% of " +
+                  std::to_string(r.stats.branches) + " branches");
+  out += "scheduler\n";
+  out += line("avg queue occupancy",
+              format_double(r.stats.cycles == 0
+                                ? 0.0
+                                : static_cast<double>(
+                                      r.stats.queue_occupancy_sum) /
+                                      static_cast<double>(r.stats.cycles),
+                            2));
+  out += line("resource-starved entry-cycles",
+              std::to_string(r.stats.resource_starved));
+  out += line("reschedules", std::to_string(r.wakeup.reschedules));
+  out += "configuration manager\n";
+  out += line("steer decisions", std::to_string(r.steering.steer_events));
+  std::string sel = "current=" + std::to_string(r.steering.selections[0]);
+  for (unsigned c = 1; c < kNumCandidates; ++c) {
+    sel += " cfg" + std::to_string(c) + "=" +
+           std::to_string(r.steering.selections[c]);
+  }
+  out += line("selections", sel);
+  out += line("targets requested",
+              std::to_string(r.loader.targets_requested));
+  out += line("region rewrites / slots",
+              std::to_string(r.loader.regions_started) + " / " +
+                  std::to_string(r.loader.slots_rewritten));
+  out += line("rewrite-blocked cycles",
+              std::to_string(r.loader.blocked_cycles));
+  std::string util = "busy unit-cycles per type:";
+  for (const FuType t : kAllFuTypes) {
+    util += " " + std::string(fu_type_name(t)) + "=" +
+            std::to_string(r.engine.busy_unit_cycles[fu_index(t)]);
+  }
+  out += line("utilization", util);
+  return out;
+}
+
+}  // namespace steersim

@@ -1,0 +1,14 @@
+// Human-readable statistics report for a completed simulation.
+#pragma once
+
+#include <string>
+
+#include "sim/runner.hpp"
+
+namespace steersim {
+
+/// Multi-line summary of a SimResult: outcome, throughput, front-end,
+/// scheduler, and configuration-manager sections.
+std::string format_report(const SimResult& result);
+
+}  // namespace steersim

@@ -1,0 +1,119 @@
+#include "sim/runner.hpp"
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+std::string PolicySpec::label(const SteeringSet& set) const {
+  switch (kind) {
+    case PolicyKind::kSteered: {
+      std::string name = "steered";
+      if (cem == CemMode::kExactDivide) {
+        name += "-exact";
+      }
+      if (interval != 1) {
+        name += "@" + std::to_string(interval);
+      }
+      if (confirm != 1) {
+        name += "-confirm" + std::to_string(confirm);
+      }
+      if (lookahead) {
+        name += "-lookahead";
+      }
+      return name;
+    }
+    case PolicyKind::kStaticFfu:
+      return "static-ffu";
+    case PolicyKind::kStaticPreset:
+      return "static-" + set.preset_names[preset_index];
+    case PolicyKind::kOracle:
+      return "oracle";
+    case PolicyKind::kFullReconfig:
+      return "full-reconfig";
+    case PolicyKind::kRandom:
+      return "random";
+    case PolicyKind::kGreedy:
+      return interval == 1 ? "greedy" : "greedy@" + std::to_string(interval);
+  }
+  return "?";
+}
+
+std::vector<PolicySpec> standard_policies() {
+  std::vector<PolicySpec> specs;
+  specs.push_back({.kind = PolicyKind::kSteered});
+  specs.push_back({.kind = PolicyKind::kStaticFfu});
+  for (unsigned p = 0; p < kNumPresetConfigs; ++p) {
+    specs.push_back({.kind = PolicyKind::kStaticPreset, .preset_index = p});
+  }
+  specs.push_back({.kind = PolicyKind::kFullReconfig});
+  specs.push_back({.kind = PolicyKind::kOracle});
+  return specs;
+}
+
+std::unique_ptr<Processor> make_processor(const Program& program,
+                                          const MachineConfig& config,
+                                          const PolicySpec& spec) {
+  MachineConfig cfg = config;
+  const SteeringSet& set = cfg.steering;
+  std::unique_ptr<SteeringPolicy> policy;
+  AllocationVector initial(cfg.loader.num_slots);
+
+  switch (spec.kind) {
+    case PolicyKind::kSteered:
+      policy = std::make_unique<SteeredPolicy>(set, spec.cem, spec.tie_break,
+                                               spec.interval, spec.confirm,
+                                               spec.lookahead);
+      break;
+    case PolicyKind::kStaticFfu:
+      policy = std::make_unique<StaticPolicy>("static-ffu");
+      break;
+    case PolicyKind::kStaticPreset:
+      STEERSIM_EXPECTS(spec.preset_index < kNumPresetConfigs);
+      policy = std::make_unique<StaticPolicy>(
+          "static-" + set.preset_names[spec.preset_index]);
+      initial = set.preset_allocation(spec.preset_index);
+      break;
+    case PolicyKind::kOracle:
+      policy = std::make_unique<OraclePolicy>(set);
+      cfg.loader.instant = true;
+      cfg.loader.max_concurrent_regions = cfg.loader.num_slots;
+      break;
+    case PolicyKind::kFullReconfig:
+      policy = std::make_unique<SteeredPolicy>(
+          set, spec.cem, spec.tie_break, spec.interval, spec.confirm);
+      cfg.loader.partial = false;
+      break;
+    case PolicyKind::kRandom:
+      policy = std::make_unique<RandomPolicy>(set, spec.seed);
+      break;
+    case PolicyKind::kGreedy:
+      policy = std::make_unique<GreedyPolicy>(
+          set, spec.interval == 1 ? 32 : spec.interval);
+      break;
+  }
+  return std::make_unique<Processor>(program, cfg, std::move(policy),
+                                     std::move(initial));
+}
+
+SimResult simulate(const Program& program, const MachineConfig& config,
+                   const PolicySpec& spec, std::uint64_t max_cycles) {
+  auto cpu = make_processor(program, config, spec);
+  SimResult result;
+  result.policy = spec.label(config.steering);
+  result.outcome = cpu->run(max_cycles);
+  result.stats = cpu->stats();
+  result.loader = cpu->loader().stats();
+  result.steering = cpu->policy().stats();
+  result.engine = cpu->engine().stats();
+  result.fetch = cpu->fetch_unit().stats();
+  if (cpu->trace_cache() != nullptr) {
+    result.trace_cache = cpu->trace_cache()->stats();
+  }
+  result.wakeup = cpu->wakeup().stats();
+  if (cpu->dcache() != nullptr) {
+    result.dcache = cpu->dcache()->stats();
+  }
+  return result;
+}
+
+}  // namespace steersim

@@ -1,0 +1,71 @@
+// One-call simulation entry points used by tests, examples and benches:
+// a PolicySpec names a machine variant; simulate() builds the processor,
+// runs the program and returns the full statistics bundle.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/processor.hpp"
+
+namespace steersim {
+
+enum class PolicyKind : std::uint8_t {
+  kSteered,       ///< the paper's configuration manager
+  kStaticFfu,     ///< fixed units only, RFU fabric left empty
+  kStaticPreset,  ///< one predefined configuration preloaded and frozen
+  kOracle,        ///< instant ideal fabric (upper bound)
+  kFullReconfig,  ///< steered selection + whole-fabric reconfiguration
+  kRandom,        ///< random candidate every 16 cycles (sanity floor)
+  kGreedy,        ///< preset-free greedy repacking (paper's future work)
+};
+
+struct PolicySpec {
+  PolicyKind kind = PolicyKind::kSteered;
+  /// For kStaticPreset: which predefined configuration (0-based).
+  unsigned preset_index = 0;
+  CemMode cem = CemMode::kShiftApprox;
+  TieBreak tie_break = TieBreak::kPaper;
+  /// Steering decision interval in cycles.
+  unsigned interval = 1;
+  /// Consecutive identical selections required before retargeting
+  /// (hysteresis extension; 1 = the paper's behaviour).
+  unsigned confirm = 1;
+  /// Merge the upcoming trace line's pre-decoded requirements into the
+  /// selection (lookahead/configuration-prefetch extension).
+  bool lookahead = false;
+  std::uint64_t seed = 42;  ///< kRandom only
+
+  /// Human-readable variant label ("steered", "static-ffu", ...).
+  std::string label(const SteeringSet& set) const;
+};
+
+/// The standard comparison roster: steered, static-ffu, the three frozen
+/// presets, full-reconfig, oracle.
+std::vector<PolicySpec> standard_policies();
+
+struct SimResult {
+  std::string policy;
+  RunOutcome outcome = RunOutcome::kHalted;
+  SimStats stats;
+  LoaderStats loader;
+  PolicyStats steering;
+  EngineStats engine;
+  FetchStats fetch;
+  TraceCacheStats trace_cache;
+  WakeupStats wakeup;
+  CacheStats dcache;
+};
+
+/// Builds the processor for (config, spec): chooses the policy object, the
+/// initial fabric allocation, and any loader overrides (oracle => instant,
+/// full-reconfig => non-partial).
+std::unique_ptr<Processor> make_processor(const Program& program,
+                                          const MachineConfig& config,
+                                          const PolicySpec& spec);
+
+SimResult simulate(const Program& program, const MachineConfig& config,
+                   const PolicySpec& spec,
+                   std::uint64_t max_cycles = 50'000'000);
+
+}  // namespace steersim

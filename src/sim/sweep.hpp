@@ -1,0 +1,49 @@
+// Thread-parallel sweep runner.
+//
+// Experiments are embarrassingly parallel (independent simulations over a
+// parameter grid); parallel_map shards them over a worker pool with no
+// shared mutable state between jobs and merges results deterministically
+// by index, so a sweep's output is identical at any thread count.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace steersim {
+
+inline unsigned default_worker_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+template <typename Result>
+std::vector<Result> parallel_map(
+    const std::vector<std::function<Result()>>& jobs,
+    unsigned workers = default_worker_count()) {
+  std::vector<Result> results(jobs.size());
+  if (jobs.empty()) {
+    return results;
+  }
+  workers = std::min<unsigned>(workers, static_cast<unsigned>(jobs.size()));
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= jobs.size()) {
+        return;
+      }
+      results[i] = jobs[i]();
+    }
+  };
+  std::vector<std::jthread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+  pool.clear();  // join
+  return results;
+}
+
+}  // namespace steersim

@@ -1,0 +1,73 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace steersim {
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) {
+    return false;
+  }
+  for (const char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != '-' && c != '+' && c != '%' && c != 'x' && c != 'e') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  STEERSIM_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row, bool header) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += c == 0 ? "| " : " ";
+      const int width = static_cast<int>(widths[c]);
+      const bool right = !header && looks_numeric(row[c]);
+      out += pad(row[c], right ? width : -width);
+      out += " |";
+    }
+    out += "\n";
+  };
+  emit_row(headers_, true);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out += c == 0 ? "|" : "";
+    out += std::string(widths[c] + 2, '-');
+    out += "|";
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    emit_row(row, false);
+  }
+  return out;
+}
+
+std::string Table::num(double value, int precision) {
+  return format_double(value, precision);
+}
+
+std::string Table::num(std::uint64_t value) { return std::to_string(value); }
+
+}  // namespace steersim

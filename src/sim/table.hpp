@@ -1,0 +1,28 @@
+// Aligned console tables for the repro/bench binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace steersim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with per-column alignment (numbers right, text left) and a
+  /// header separator.
+  std::string to_string() const;
+
+  /// Formats a double with `precision` decimals (shortcut for cells).
+  static std::string num(double value, int precision = 3);
+  static std::string num(std::uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace steersim

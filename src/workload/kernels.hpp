@@ -1,0 +1,29 @@
+// Library of hand-written assembly kernels: the realistic end-to-end
+// workloads for examples, tests and the E10 kernel benchmark. Each kernel
+// halts with a checkable result in memory/registers; tests verify both the
+// architectural result and OoO-vs-reference equivalence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace steersim {
+
+struct Kernel {
+  std::string name;
+  std::string description;
+  std::string source;
+
+  Program assemble_program() const;
+};
+
+/// All kernels: fib, sum_array, dot_int, saxpy, memcpy_words, fir,
+/// matmul_int, strlen, newton_sqrt, crc_mix, vector_scale, histogram.
+const std::vector<Kernel>& kernel_library();
+
+/// Lookup by name; fails a contract check if absent.
+const Kernel& kernel_by_name(const std::string& name);
+
+}  // namespace steersim

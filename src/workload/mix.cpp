@@ -1,0 +1,72 @@
+#include "workload/mix.hpp"
+
+namespace steersim {
+
+MixSpec int_heavy_mix() {
+  MixSpec m;
+  m.name = "int-heavy";
+  m.int_alu = 10.0;
+  m.int_mul = 0.5;
+  m.load = 1.5;
+  m.store = 0.5;
+  m.branch = 1.0;
+  return m;
+}
+
+MixSpec mem_heavy_mix() {
+  MixSpec m;
+  m.name = "mem-heavy";
+  m.int_alu = 3.0;
+  m.load = 6.0;
+  m.store = 3.0;
+  m.fp_load = 1.0;
+  m.branch = 0.5;
+  return m;
+}
+
+MixSpec fp_heavy_mix() {
+  MixSpec m;
+  m.name = "fp-heavy";
+  m.int_alu = 1.5;
+  m.fp_load = 2.0;
+  m.fp_store = 0.5;
+  m.fp_add = 5.0;
+  m.fp_mul = 3.5;
+  m.fp_div = 0.5;
+  m.branch = 0.5;
+  return m;
+}
+
+MixSpec mdu_heavy_mix() {
+  MixSpec m;
+  m.name = "mdu-heavy";
+  m.int_alu = 3.0;
+  m.int_mul = 5.0;
+  m.int_div = 1.0;
+  m.load = 1.0;
+  m.branch = 0.5;
+  return m;
+}
+
+MixSpec mixed_mix() {
+  MixSpec m;
+  m.name = "mixed";
+  m.int_alu = 4.0;
+  m.int_mul = 1.0;
+  m.load = 2.5;
+  m.store = 1.0;
+  m.fp_load = 1.0;
+  m.fp_add = 2.0;
+  m.fp_mul = 1.0;
+  m.branch = 1.0;
+  return m;
+}
+
+const std::vector<MixSpec>& standard_mixes() {
+  static const std::vector<MixSpec> mixes = {
+      int_heavy_mix(), mem_heavy_mix(), fp_heavy_mix(), mdu_heavy_mix(),
+      mixed_mix()};
+  return mixes;
+}
+
+}  // namespace steersim

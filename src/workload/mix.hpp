@@ -1,0 +1,49 @@
+// Instruction-mix specifications for the synthetic workload generator.
+//
+// The paper's motivation is that code regions differ in which functional
+// units they demand; a MixSpec is a point in that demand space (relative
+// sampling weights per instruction category), and the standard mixes span
+// the corners the steering configurations target.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace steersim {
+
+struct MixSpec {
+  std::string name;
+  double int_alu = 1.0;
+  double int_mul = 0.0;
+  double int_div = 0.0;
+  double load = 0.0;
+  double store = 0.0;
+  double fp_load = 0.0;
+  double fp_store = 0.0;
+  double fp_add = 0.0;
+  double fp_mul = 0.0;
+  double fp_div = 0.0;
+  /// Short forward branches inside the body (control-flow noise).
+  double branch = 0.0;
+
+  double total() const {
+    return int_alu + int_mul + int_div + load + store + fp_load + fp_store +
+           fp_add + fp_mul + fp_div + branch;
+  }
+};
+
+/// ALU-dominated integer code (targets the "integer" steering config).
+MixSpec int_heavy_mix();
+/// Load/store-dominated code (targets the "memory" steering config).
+MixSpec mem_heavy_mix();
+/// FP-dominated numeric code (targets the "float" steering config).
+MixSpec fp_heavy_mix();
+/// Multiply/divide-heavy integer code.
+MixSpec mdu_heavy_mix();
+/// A balanced blend of everything.
+MixSpec mixed_mix();
+
+/// The five standard mixes above, in that order.
+const std::vector<MixSpec>& standard_mixes();
+
+}  // namespace steersim

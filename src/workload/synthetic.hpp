@@ -1,0 +1,58 @@
+// Synthetic phase-structured workload generator.
+//
+// Emits assembly text (then assembled by the project assembler): a data
+// array, an initialization prologue, and one counted loop per phase whose
+// body is sampled from the phase's MixSpec with a controllable dependency
+// density. Phases model the program behaviour the paper targets — regions
+// whose functional-unit demand shifts over time — so sweeping phase
+// specifications sweeps the steering problem's difficulty.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+#include "workload/mix.hpp"
+
+namespace steersim {
+
+struct PhaseSpec {
+  MixSpec mix;
+  /// Instructions in the loop body (excluding loop control).
+  unsigned body_length = 64;
+  /// Loop trip count.
+  unsigned iterations = 100;
+};
+
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  std::vector<PhaseSpec> phases;
+  /// Repeats of the whole phase sequence (an outer loop).
+  unsigned outer_repeats = 1;
+  /// Probability a source register is a recently written one (RAW chain
+  /// density); the rest read long-lived initialized registers.
+  double dep_density = 0.5;
+  /// Size of the data array touched by loads/stores, in 64-bit words.
+  unsigned array_words = 1024;
+  std::uint64_t seed = 1;
+};
+
+/// Generates the assembly source for `spec`.
+std::string generate_synthetic_asm(const SyntheticSpec& spec);
+
+/// Generates and assembles in one step.
+Program generate_synthetic(const SyntheticSpec& spec);
+
+/// Convenience: a single-phase workload of `mix`.
+SyntheticSpec single_phase(const MixSpec& mix, unsigned body_length = 64,
+                           unsigned iterations = 200,
+                           std::uint64_t seed = 1);
+
+/// Convenience: alternating int-heavy / fp-heavy phases (the classic
+/// steering stress test).
+SyntheticSpec alternating_phases(unsigned phase_instructions,
+                                 unsigned num_phase_pairs,
+                                 std::uint64_t seed = 1);
+
+}  // namespace steersim

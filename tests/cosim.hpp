@@ -1,0 +1,127 @@
+// Co-simulation helper for tests: runs a program on the out-of-order
+// machine and the in-order reference simultaneously (retired-stream
+// comparison) and reports the FIRST divergence with full context — far
+// more actionable than an end-state mismatch.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/reference.hpp"
+#include "sim/runner.hpp"
+
+namespace steersim {
+
+struct CommitRecord {
+  std::uint32_t pc = 0;
+  std::uint32_t next_pc = 0;
+  std::int64_t int_result = 0;
+};
+
+/// Reference commit stream via a bare interpreter loop.
+inline std::vector<CommitRecord> reference_commits(
+    const Program& program, std::size_t data_bytes,
+    std::uint64_t max_instructions) {
+  std::vector<CommitRecord> commits;
+  RegisterFile regs;
+  DataMemory mem(data_bytes);
+  mem.load_image(program.data);
+  std::uint32_t pc = 0;
+  while (commits.size() < max_instructions && pc < program.code.size()) {
+    const Instruction& inst = program.code[pc];
+    const OpInfo& info = op_info(inst.op);
+    ExecInput in;
+    in.pc = pc;
+    if (info.rs1_class == RegClass::kInt) {
+      in.rs1_int = regs.read_int(inst.rs1);
+    } else if (info.rs1_class == RegClass::kFp) {
+      in.rs1_fp = regs.read_fp(inst.rs1);
+    }
+    if (info.rs2_class == RegClass::kInt) {
+      in.rs2_int = regs.read_int(inst.rs2);
+    } else if (info.rs2_class == RegClass::kFp) {
+      in.rs2_fp = regs.read_fp(inst.rs2);
+    }
+    const ExecOutput out = execute_op(inst, in);
+    std::int64_t committed_int = out.int_value;
+    if (info.is_load) {
+      switch (inst.op) {
+        case Opcode::kLw:
+          committed_int = mem.load_word(out.mem_addr);
+          regs.write_int(inst.rd, committed_int);
+          break;
+        case Opcode::kLb:
+          committed_int = mem.load_byte(out.mem_addr);
+          regs.write_int(inst.rd, committed_int);
+          break;
+        default:
+          regs.write_fp(inst.rd, mem.load_fp(out.mem_addr));
+          break;
+      }
+    } else if (info.is_store) {
+      switch (inst.op) {
+        case Opcode::kSw:
+          mem.store_word(out.mem_addr, out.int_value);
+          break;
+        case Opcode::kSb:
+          mem.store_byte(out.mem_addr, out.int_value);
+          break;
+        default:
+          mem.store_fp(out.mem_addr, out.fp_value);
+          break;
+      }
+    } else if (out.writes_int) {
+      regs.write_int(inst.rd, out.int_value);
+    } else if (out.writes_fp) {
+      regs.write_fp(inst.rd, out.fp_value);
+    }
+    commits.push_back(CommitRecord{pc, out.next_pc, committed_int});
+    if (info.is_halt) {
+      break;
+    }
+    pc = out.next_pc;
+  }
+  return commits;
+}
+
+/// Runs both machines and compares the committed streams instruction by
+/// instruction (pc, successor pc, integer result).
+inline ::testing::AssertionResult cosim_match(
+    const Program& program, const MachineConfig& config,
+    const PolicySpec& spec, std::uint64_t max_cycles = 10'000'000) {
+  const auto ref = reference_commits(program, config.data_memory_bytes,
+                                     5'000'000);
+  auto cpu = make_processor(program, config, spec);
+  std::vector<CommitRecord> ooo;
+  cpu->set_retire_hook([&ooo](const RuuEntry& e) {
+    ooo.push_back(CommitRecord{e.pc, e.actual_next, e.int_result});
+  });
+  const RunOutcome outcome = cpu->run(max_cycles);
+  if (outcome != RunOutcome::kHalted) {
+    return ::testing::AssertionFailure()
+           << "outcome " << static_cast<int>(outcome) << " fault='"
+           << cpu->fault_message() << "'";
+  }
+  const std::size_t n = std::min(ref.size(), ooo.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ref[i].pc != ooo[i].pc || ref[i].next_pc != ooo[i].next_pc ||
+        ref[i].int_result != ooo[i].int_result) {
+      auto failure = ::testing::AssertionFailure();
+      failure << "first divergence at committed instruction #" << i
+              << ": ref{pc=" << ref[i].pc << " -> " << ref[i].next_pc
+              << " int=" << ref[i].int_result << "} ooo{pc=" << ooo[i].pc
+              << " -> " << ooo[i].next_pc << " int=" << ooo[i].int_result
+              << "} inst='" << disassemble(program.code[ref[i].pc]) << "'";
+      return failure;
+    }
+  }
+  if (ref.size() != ooo.size()) {
+    return ::testing::AssertionFailure()
+           << "commit stream lengths differ: ref " << ref.size() << " ooo "
+           << ooo.size();
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace steersim

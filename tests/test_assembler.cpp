@@ -1,0 +1,240 @@
+// Assembler tests: syntax, labels, data directives, pseudo-instructions,
+// and error reporting.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+
+namespace steersim {
+namespace {
+
+TEST(Assembler, MinimalProgram) {
+  const Program p = assemble("  addi r1, r0, 5\n  halt\n");
+  ASSERT_EQ(p.code.size(), 2u);
+  EXPECT_EQ(p.code[0], make_ri(Opcode::kAddi, 1, 0, 5));
+  EXPECT_EQ(p.code[1].op, Opcode::kHalt);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const Program p = assemble(R"(
+# full-line comment
+  addi r1, r0, 1   # trailing comment
+  ; semicolon comment
+  halt ; done
+)");
+  EXPECT_EQ(p.code.size(), 2u);
+}
+
+TEST(Assembler, BackwardAndForwardBranchLabels) {
+  const Program p = assemble(R"(
+start:
+  addi r1, r0, 3
+loop:
+  addi r1, r1, -1
+  bne r1, r0, loop
+  beq r0, r0, end
+  addi r2, r0, 99
+end:
+  halt
+)");
+  ASSERT_EQ(p.code.size(), 6u);
+  EXPECT_EQ(p.code[2].op, Opcode::kBne);
+  EXPECT_EQ(p.code[2].imm, -1);  // back to 'loop' at pc 1 from pc 2
+  EXPECT_EQ(p.code[3].op, Opcode::kBeq);
+  EXPECT_EQ(p.code[3].imm, 2);  // forward to 'end' at pc 5 from pc 3
+  EXPECT_EQ(p.code_labels.at("loop"), 1u);
+  EXPECT_EQ(p.code_labels.at("end"), 5u);
+}
+
+TEST(Assembler, DataSectionWordsDoublesSpace) {
+  const Program p = assemble(R"(
+.data
+a: .word 1 -2 0x10
+b: .double 1.5
+c: .space 3
+.text
+  halt
+)");
+  ASSERT_EQ(p.data.size(), 7u);
+  EXPECT_EQ(p.data[0], 1);
+  EXPECT_EQ(p.data[1], -2);
+  EXPECT_EQ(p.data[2], 16);
+  EXPECT_EQ(p.data[4], 0);
+  EXPECT_EQ(p.data_labels.at("a"), 0u);
+  EXPECT_EQ(p.data_labels.at("b"), 24u);
+  EXPECT_EQ(p.data_labels.at("c"), 32u);
+}
+
+TEST(Assembler, LoadStoreOperandSyntax) {
+  const Program p = assemble(R"(
+  lw r1, 8(r2)
+  sw r3, -16(r4)
+  flw f1, 0(r5)
+  fsw f2, 24(r6)
+  lb r7, 3(r8)
+  halt
+)");
+  EXPECT_EQ(p.code[0], make_ri(Opcode::kLw, 1, 2, 8));
+  EXPECT_EQ(p.code[1], make_store(Opcode::kSw, 3, 4, -16));
+  EXPECT_EQ(p.code[2], make_ri(Opcode::kFlw, 1, 5, 0));
+  EXPECT_EQ(p.code[3], make_store(Opcode::kFsw, 2, 6, 24));
+  EXPECT_EQ(p.code[4], make_ri(Opcode::kLb, 7, 8, 3));
+}
+
+TEST(Assembler, PseudoLiSmallAndLarge) {
+  const Program small = assemble("  li r1, 100\n  halt\n");
+  ASSERT_EQ(small.code.size(), 2u);
+  EXPECT_EQ(small.code[0], make_ri(Opcode::kAddi, 1, 0, 100));
+
+  const Program large = assemble("  li r1, 1000000\n  halt\n");
+  ASSERT_EQ(large.code.size(), 3u);
+  EXPECT_EQ(large.code[0].op, Opcode::kLui);
+  EXPECT_EQ(large.code[1].op, Opcode::kOri);
+  // (hi << 14) | lo == 1000000
+  const std::int64_t reconstructed =
+      (static_cast<std::int64_t>(large.code[0].imm) << 14) |
+      large.code[1].imm;
+  EXPECT_EQ(reconstructed, 1000000);
+
+  const Program negative = assemble("  li r1, -100000\n  halt\n");
+  ASSERT_EQ(negative.code.size(), 3u);
+  const std::int64_t neg =
+      (static_cast<std::int64_t>(negative.code[0].imm) << 14) |
+      negative.code[1].imm;
+  EXPECT_EQ(neg, -100000);
+}
+
+TEST(Assembler, PseudoLaMvCallRet) {
+  const Program p = assemble(R"(
+.data
+  buf: .space 4
+  tag: .word 7
+.text
+  la r1, tag
+  mv r2, r1
+  call fn
+  halt
+fn:
+  ret
+)");
+  // la resolves to the byte address of 'tag' (4 words of buf = 32 bytes).
+  EXPECT_EQ(p.code[0], make_ri(Opcode::kAddi, 1, 0, 32));
+  EXPECT_EQ(p.code[1], make_rr(Opcode::kAdd, 2, 1, 0));
+  EXPECT_EQ(p.code[2].op, Opcode::kJal);
+  EXPECT_EQ(p.code[2].rd, kLinkReg);
+  EXPECT_EQ(p.code[4].op, Opcode::kJr);
+  EXPECT_EQ(p.code[4].rs1, kLinkReg);
+}
+
+TEST(Assembler, RegisterAliases) {
+  const Program p = assemble("  add r1, zero, ra\n  mv sp, r1\n  halt\n");
+  EXPECT_EQ(p.code[0], make_rr(Opcode::kAdd, 1, 0, 31));
+  EXPECT_EQ(p.code[1], make_rr(Opcode::kAdd, 30, 1, 0));
+}
+
+TEST(Assembler, JalWithExplicitLinkRegister) {
+  const Program p = assemble(R"(
+  jal r5, target
+target:
+  halt
+)");
+  EXPECT_EQ(p.code[0].rd, 5);
+  EXPECT_EQ(p.code[0].imm, 1);
+}
+
+TEST(AssemblerErrors, ReportLineNumbers) {
+  try {
+    assemble("  addi r1, r0, 1\n  bogus r1\n");
+    FAIL() << "expected AssemblyError";
+  } catch (const AssemblyError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(AssemblerErrors, UnknownLabel) {
+  EXPECT_THROW(assemble("  beq r0, r0, nowhere\n  halt\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  EXPECT_THROW(assemble("x:\n  nop\nx:\n  halt\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, BadRegisterClass) {
+  EXPECT_THROW(assemble("  fadd f1, r2, f3\n  halt\n"), AssemblyError);
+  EXPECT_THROW(assemble("  add r1, f2, r3\n  halt\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, ImmediateRange) {
+  EXPECT_THROW(assemble("  addi r1, r0, 999999\n"), AssemblyError);
+  EXPECT_NO_THROW(assemble("  addi r1, r0, 16383\n  halt\n"));
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_THROW(assemble("  add r1, r2\n"), AssemblyError);
+  EXPECT_THROW(assemble("  halt r1\n"), AssemblyError);
+}
+
+TEST(Assembler, NumericBranchOffsets) {
+  const Program p = assemble("  beq r0, r0, 2\n  nop\n  halt\n");
+  EXPECT_EQ(p.code[0].imm, 2);
+}
+
+TEST(AssemblerErrors, NegativeSpace) {
+  EXPECT_THROW(assemble(".data\nbuf: .space -1\n.text\n  halt\n"),
+               AssemblyError);
+}
+
+TEST(AssemblerErrors, DataDirectiveNeedsOperandCount) {
+  EXPECT_THROW(assemble(".data\n  .space\n.text\n  halt\n"), AssemblyError);
+  EXPECT_THROW(assemble(".data\n  .bogus 1\n.text\n  halt\n"),
+               AssemblyError);
+}
+
+TEST(AssemblerErrors, LiOutOfRange) {
+  // |value| beyond 29 bits cannot be materialized by lui+ori.
+  EXPECT_THROW(assemble("  li r1, 999999999999\n  halt\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, MalformedMemOperand) {
+  EXPECT_THROW(assemble("  lw r1, r2\n  halt\n"), AssemblyError);
+  EXPECT_THROW(assemble("  lw r1, 8(r2\n  halt\n"), AssemblyError);
+  EXPECT_THROW(assemble("  lw r1, 99999(r2)\n  halt\n"), AssemblyError);
+}
+
+TEST(AssemblerErrors, RegisterIndexOutOfRange) {
+  EXPECT_THROW(assemble("  add r1, r32, r2\n  halt\n"), AssemblyError);
+  EXPECT_THROW(assemble("  fadd f1, f99, f2\n  halt\n"), AssemblyError);
+}
+
+TEST(Assembler, DataLabelOnItsOwnLine) {
+  const Program p = assemble(R"(
+.data
+standalone:
+  .word 42
+.text
+  halt
+)");
+  EXPECT_EQ(p.data_labels.at("standalone"), 0u);
+  EXPECT_EQ(p.data[0], 42);
+}
+
+TEST(Assembler, LabelsOnSameLineAsInstruction) {
+  const Program p = assemble("top:  addi r1, r0, 1\n  j top\n");
+  EXPECT_EQ(p.code_labels.at("top"), 0u);
+  EXPECT_EQ(p.code[1].imm, -1);
+}
+
+TEST(Assembler, HexAndNegativeImmediates) {
+  const Program p = assemble("  addi r1, r0, 0x7f\n  addi r2, r0, -0x10\n"
+                             "  halt\n");
+  EXPECT_EQ(p.code[0].imm, 127);
+  EXPECT_EQ(p.code[1].imm, -16);
+}
+
+TEST(Assembler, DoubleDirectiveBitPattern) {
+  const Program p = assemble(".data\nd: .double 1.0\n.text\n  halt\n");
+  EXPECT_EQ(p.data[0], 0x3ff0000000000000LL);
+}
+
+}  // namespace
+}  // namespace steersim

@@ -1,0 +1,121 @@
+// Unit tests for the Eq. 1 / Fig. 7 availability circuit: multi-slot units
+// counted once, continuation codes matching nothing, fixed resources
+// appended after the reconfigurable slots.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "config/availability.hpp"
+
+namespace steersim {
+namespace {
+
+SlotMask all_slots(unsigned n) {
+  SlotMask mask;
+  for (unsigned i = 0; i < n; ++i) {
+    mask.set(i);
+  }
+  return mask;
+}
+
+TEST(Availability, EmptyFabricOnlyFfusAvailable) {
+  const AllocationVector alloc(8);
+  const FuCounts ffu = {1, 1, 1, 1, 1};
+  const bool ffu_avail[] = {true, true, true, true, true};
+  const auto rv = ResourceVector::build(alloc, all_slots(8), ffu, ffu_avail);
+  for (const FuType t : kAllFuTypes) {
+    EXPECT_TRUE(rv.available(t));
+    EXPECT_EQ(rv.count_available(t), 1u);
+  }
+}
+
+TEST(Availability, BusyFfuDropsType) {
+  const AllocationVector alloc(8);
+  const FuCounts ffu = {1, 1, 1, 1, 1};
+  const bool ffu_avail[] = {true, false, true, true, true};  // IntMdu busy
+  const auto rv = ResourceVector::build(alloc, all_slots(8), ffu, ffu_avail);
+  EXPECT_FALSE(rv.available(FuType::kIntMdu));
+  EXPECT_TRUE(rv.available(FuType::kIntAlu));
+}
+
+TEST(Availability, MultiSlotUnitCountedOnce) {
+  // One FpAlu spanning slots 0-2: exactly one available unit, despite
+  // three slots being involved (the continuation codes match no type).
+  const auto alloc = AllocationVector::place({0, 0, 0, 1, 0}, 8);
+  const FuCounts no_ffu = {0, 0, 0, 0, 0};
+  const auto rv = ResourceVector::build(alloc, all_slots(8), no_ffu, {});
+  EXPECT_EQ(rv.count_available(FuType::kFpAlu), 1u);
+  EXPECT_EQ(rv.count_configured(FuType::kFpAlu), 1u);
+  EXPECT_FALSE(rv.available(FuType::kIntAlu));
+}
+
+TEST(Availability, BusySlotMakesUnitUnavailableButStillConfigured) {
+  const auto alloc = AllocationVector::place({2, 0, 0, 0, 0}, 8);
+  SlotMask avail = all_slots(8);
+  avail.reset(0);  // first IntAlu busy
+  const FuCounts no_ffu = {0, 0, 0, 0, 0};
+  const auto rv = ResourceVector::build(alloc, avail, no_ffu, {});
+  EXPECT_TRUE(rv.available(FuType::kIntAlu));  // second one idle
+  EXPECT_EQ(rv.count_available(FuType::kIntAlu), 1u);
+  EXPECT_EQ(rv.count_configured(FuType::kIntAlu), 2u);
+
+  avail.reset(1);
+  const auto rv2 = ResourceVector::build(alloc, avail, no_ffu, {});
+  EXPECT_FALSE(rv2.available(FuType::kIntAlu));
+  EXPECT_EQ(rv2.count_configured(FuType::kIntAlu), 2u);
+}
+
+TEST(Availability, MixedFabricFullInventory) {
+  // Integer preset: 4 IntAlu, 1 IntMdu, 2 Lsu + full FFU row.
+  const auto alloc = AllocationVector::place({4, 1, 2, 0, 0}, 8);
+  const FuCounts ffu = {1, 1, 1, 1, 1};
+  const bool ffu_avail[] = {true, true, true, true, true};
+  const auto rv = ResourceVector::build(alloc, all_slots(8), ffu, ffu_avail);
+  EXPECT_EQ(rv.count_available(FuType::kIntAlu), 5u);
+  EXPECT_EQ(rv.count_available(FuType::kIntMdu), 2u);
+  EXPECT_EQ(rv.count_available(FuType::kLsu), 3u);
+  EXPECT_EQ(rv.count_available(FuType::kFpAlu), 1u);
+  EXPECT_EQ(rv.count_available(FuType::kFpMdu), 1u);
+  // Entry layout: 8 RFU slots then 5 FFU entries (Fig. 7 ordering).
+  EXPECT_EQ(rv.entries().size(), 13u);
+}
+
+TEST(Availability, Equation1RandomizedCrossCheck) {
+  // Property: available(t) computed by the circuit equals a direct
+  // evaluation of Eq. 1 over the entries.
+  Xoshiro256 rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Random feasible fabric.
+    FuCounts counts{};
+    unsigned slots_left = 8;
+    for (const FuType t : kAllFuTypes) {
+      const unsigned max_units = slots_left / slot_cost(t);
+      if (max_units > 0 && rng.next_bool(0.6)) {
+        const auto n =
+            static_cast<std::uint8_t>(rng.next_below(max_units + 1));
+        counts[fu_index(t)] = n;
+        slots_left -= n * slot_cost(t);
+      }
+    }
+    const auto alloc = AllocationVector::place(counts, 8);
+    SlotMask avail;
+    for (unsigned i = 0; i < 8; ++i) {
+      avail.set(i, rng.next_bool(0.7));
+    }
+    const FuCounts ffu = {1, 1, 1, 1, 1};
+    bool ffu_avail[5];
+    for (auto& f : ffu_avail) {
+      f = rng.next_bool(0.7);
+    }
+    const auto rv = ResourceVector::build(alloc, avail, ffu, ffu_avail);
+    for (const FuType t : kAllFuTypes) {
+      bool direct = false;
+      for (const auto& entry : rv.entries()) {
+        direct = direct || (entry.code == encoding_of(t) && entry.available);
+      }
+      EXPECT_EQ(rv.available(t), direct) << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace steersim

@@ -1,0 +1,202 @@
+// Unit tests for the common substrate: bitsets, fixed vectors, RNG,
+// statistics, string helpers, saturating counters.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitset.hpp"
+#include "common/fixed_vector.hpp"
+#include "common/rng.hpp"
+#include "common/sat_counter.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+
+namespace steersim {
+namespace {
+
+TEST(SmallBitset, SetResetCount) {
+  SmallBitset<7> bits;
+  EXPECT_TRUE(bits.none());
+  bits.set(0);
+  bits.set(6);
+  EXPECT_EQ(bits.count(), 2u);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_FALSE(bits.test(3));
+  bits.reset(0);
+  EXPECT_EQ(bits.count(), 1u);
+  EXPECT_EQ(bits.lowest(), 6u);
+}
+
+TEST(SmallBitset, BitwiseOperators) {
+  SmallBitset<8> a(0b10110000);
+  SmallBitset<8> b(0b10010001);
+  EXPECT_EQ((a & b).raw(), 0b10010000u);
+  EXPECT_EQ((a | b).raw(), 0b10110001u);
+  EXPECT_EQ((a ^ b).raw(), 0b00100001u);
+  EXPECT_EQ((~a).raw(), 0b01001111u);
+}
+
+TEST(SmallBitset, ComplementStaysInRange) {
+  SmallBitset<5> empty;
+  EXPECT_EQ((~empty).raw(), 0b11111u);
+  EXPECT_EQ((~empty).count(), 5u);
+}
+
+TEST(SmallBitset, FullWidth64) {
+  SmallBitset<64> bits;
+  bits.set(63);
+  EXPECT_EQ(bits.raw(), 1ull << 63);
+  EXPECT_EQ((~bits).count(), 63u);
+}
+
+TEST(FixedVector, PushPopFrontErase) {
+  FixedVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  v.push_back(1);
+  v.push_back(2);
+  v.push_back(3);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.front(), 1);
+  EXPECT_EQ(v.back(), 3);
+  v.erase_front(2);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 3);
+  v.pop_back();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(FixedVector, FullDetection) {
+  FixedVector<int, 2> v;
+  v.push_back(1);
+  EXPECT_FALSE(v.full());
+  v.push_back(2);
+  EXPECT_TRUE(v.full());
+}
+
+TEST(FixedVector, Equality) {
+  FixedVector<int, 4> a;
+  FixedVector<int, 4> b;
+  a.push_back(1);
+  b.push_back(1);
+  EXPECT_EQ(a, b);
+  b.push_back(2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Xoshiro, DeterministicPerSeed) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  Xoshiro256 c(43);
+  bool any_differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    any_differs = any_differs || (va != c.next());
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Xoshiro, NextBelowInRangeAndCoversValues) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Xoshiro, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RunningStat, Moments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  const RunningStat s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Histogram, BucketsAndQuantiles) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    h.add(static_cast<double>(i % 10) + 0.5);
+  }
+  EXPECT_EQ(h.total(), 100u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.bucket_count(b), 10u);
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 1.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEndBuckets) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+}
+
+TEST(SatCounter, TwoBitHysteresis) {
+  SatCounter c(2, 1);  // weakly not-taken
+  EXPECT_FALSE(c.predict_taken());
+  c.update(true);
+  EXPECT_TRUE(c.predict_taken());
+  c.update(true);
+  EXPECT_EQ(c.value(), 3);
+  c.update(true);  // saturates
+  EXPECT_EQ(c.value(), 3);
+  c.update(false);
+  EXPECT_TRUE(c.predict_taken());  // hysteresis: one miss keeps prediction
+  c.update(false);
+  EXPECT_FALSE(c.predict_taken());
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+}
+
+TEST(Strings, PadBothDirections) {
+  EXPECT_EQ(pad("ab", 5), "   ab");
+  EXPECT_EQ(pad("ab", -5), "ab   ");
+  EXPECT_EQ(pad("abcdef", 3), "abcdef");
+}
+
+TEST(Strings, SplitAndTrim) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, FormatBits) {
+  EXPECT_EQ(format_bits(0b101, 3), "101");
+  EXPECT_EQ(format_bits(1, 5), "00001");
+}
+
+}  // namespace
+}  // namespace steersim

@@ -1,0 +1,196 @@
+// Unit tests for the execution engine: unit inventory from FFUs + fabric,
+// non-pipelined busy tracking, Eq. 1 integration, slot-busy reporting for
+// the loader, cancellation, and utilization accounting.
+#include <gtest/gtest.h>
+
+#include "core/execution_engine.hpp"
+#include "config/steering_set.hpp"
+
+namespace steersim {
+namespace {
+
+const FuCounts kFfu = {1, 1, 1, 1, 1};
+
+TEST(Engine, FfuOnlyInventory) {
+  ExecutionEngine engine(kFfu);
+  engine.begin_cycle(AllocationVector(8));
+  EXPECT_EQ(engine.units().size(), 5u);
+  EXPECT_EQ(engine.configured_units(), kFfu);
+  const auto free = engine.free_units();
+  for (unsigned t = 0; t < kNumFuTypes; ++t) {
+    EXPECT_EQ(free[t], 1u);
+  }
+}
+
+TEST(Engine, FabricUnitsAppearInInventory) {
+  ExecutionEngine engine(kFfu);
+  const auto alloc = AllocationVector::place({4, 1, 2, 0, 0}, 8);
+  engine.begin_cycle(alloc);
+  EXPECT_EQ(engine.configured_units(),
+            (FuCounts{5, 2, 3, 1, 1}));
+}
+
+TEST(Engine, AssignConsumesUnitUntilLatencyElapses) {
+  ExecutionEngine engine(kFfu);
+  engine.begin_cycle(AllocationVector(8));
+  EXPECT_TRUE(engine.assign(FuType::kIntMdu, 3, /*wakeup_row=*/7));
+  EXPECT_EQ(engine.free_units()[fu_index(FuType::kIntMdu)], 0u);
+  EXPECT_FALSE(engine.assign(FuType::kIntMdu, 1, 8));
+
+  EXPECT_TRUE(engine.step().empty());  // cycle 1 -> 2 remaining
+  EXPECT_TRUE(engine.step().empty());
+  const auto done = engine.step();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 7u);
+  EXPECT_EQ(engine.free_units()[fu_index(FuType::kIntMdu)], 1u);
+}
+
+TEST(Engine, PrefersFixedUnitsOverRfus) {
+  ExecutionEngine engine(kFfu);
+  const auto alloc = AllocationVector::place({2, 0, 0, 0, 0}, 8);
+  engine.begin_cycle(alloc);
+  EXPECT_TRUE(engine.assign(FuType::kIntAlu, 10, 0));
+  // The fixed ALU should be busy; no RFU slot is.
+  EXPECT_TRUE(engine.slot_busy().none());
+  EXPECT_TRUE(engine.assign(FuType::kIntAlu, 10, 1));
+  EXPECT_TRUE(engine.slot_busy().test(0));
+}
+
+TEST(Engine, SlotBusyCoversWholeMultiSlotUnit) {
+  const FuCounts no_ffu{};
+  ExecutionEngine engine(no_ffu);
+  const auto alloc = AllocationVector::place({0, 0, 0, 1, 0}, 8);
+  engine.begin_cycle(alloc);
+  EXPECT_TRUE(engine.assign(FuType::kFpAlu, 5, 3));
+  const SlotMask busy = engine.slot_busy();
+  EXPECT_TRUE(busy.test(0));
+  EXPECT_TRUE(busy.test(1));
+  EXPECT_TRUE(busy.test(2));
+  EXPECT_FALSE(busy.test(3));
+}
+
+TEST(Engine, AvailabilityLinesReflectBusyUnits) {
+  ExecutionEngine engine(kFfu);
+  const AllocationVector alloc(8);
+  engine.begin_cycle(alloc);
+  EXPECT_TRUE(engine.availability(alloc)[fu_index(FuType::kLsu)]);
+  engine.assign(FuType::kLsu, 4, 0);
+  EXPECT_FALSE(engine.availability(alloc)[fu_index(FuType::kLsu)]);
+  EXPECT_TRUE(engine.availability(alloc)[fu_index(FuType::kIntAlu)]);
+}
+
+TEST(Engine, BusyRfuSurvivesFabricRefresh) {
+  const FuCounts no_ffu{};
+  ExecutionEngine engine(no_ffu);
+  const auto alloc = AllocationVector::place({1, 0, 1, 0, 0}, 8);
+  engine.begin_cycle(alloc);
+  EXPECT_TRUE(engine.assign(FuType::kIntAlu, 10, 0));
+  // Fabric refresh mid-execution (other slots changed): the busy unit's
+  // in-flight work keeps counting down.
+  engine.begin_cycle(alloc);
+  EXPECT_EQ(engine.free_units()[fu_index(FuType::kIntAlu)], 0u);
+  EXPECT_TRUE(engine.slot_busy().test(0));
+}
+
+TEST(Engine, CancelFreesUnitImmediately) {
+  ExecutionEngine engine(kFfu);
+  engine.begin_cycle(AllocationVector(8));
+  engine.assign(FuType::kFpMdu, 20, 5);
+  EXPECT_EQ(engine.free_units()[fu_index(FuType::kFpMdu)], 0u);
+  engine.cancel(5);
+  EXPECT_EQ(engine.free_units()[fu_index(FuType::kFpMdu)], 1u);
+  EXPECT_TRUE(engine.step().empty()) << "cancelled work never completes";
+  EXPECT_EQ(engine.stats().cancels, 1u);
+}
+
+TEST(Engine, MultipleCompletionsSameCycle) {
+  ExecutionEngine engine(kFfu);
+  engine.begin_cycle(AllocationVector(8));
+  engine.assign(FuType::kIntAlu, 1, 1);
+  engine.assign(FuType::kLsu, 1, 2);
+  const auto done = engine.step();
+  EXPECT_EQ(done.size(), 2u);
+}
+
+TEST(Engine, UtilizationAccounting) {
+  ExecutionEngine engine(kFfu);
+  engine.begin_cycle(AllocationVector(8));
+  engine.assign(FuType::kIntAlu, 2, 0);
+  engine.note_utilization();
+  engine.step();
+  engine.note_utilization();
+  EXPECT_EQ(engine.stats().busy_unit_cycles[fu_index(FuType::kIntAlu)], 2u);
+  EXPECT_EQ(engine.stats().configured_unit_cycles[fu_index(FuType::kIntAlu)],
+            2u);
+  EXPECT_EQ(engine.stats().issues, 1u);
+}
+
+TEST(Engine, PipelinedUnitAcceptsBackToBack) {
+  ExecutionEngine engine(kFfu, /*pipelined=*/true);
+  engine.begin_cycle(AllocationVector(8));
+  EXPECT_TRUE(engine.assign(FuType::kIntMdu, 4, 1));
+  // Same cycle: the initiation interval blocks a second issue.
+  EXPECT_FALSE(engine.assign(FuType::kIntMdu, 4, 2));
+  // Next cycle: the unit accepts again while the first op drains.
+  engine.step();
+  engine.begin_cycle(AllocationVector(8));
+  EXPECT_TRUE(engine.assign(FuType::kIntMdu, 4, 2));
+  // Both complete at their own times.
+  engine.step();          // op1: 2 left, op2: 3 left
+  engine.step();          // op1: 1, op2: 2
+  auto done = engine.step();  // op1 completes
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 1u);
+  done = engine.step();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0], 2u);
+}
+
+TEST(Engine, PipelinedAvailabilityStaysHighWhileDraining) {
+  ExecutionEngine engine(kFfu, /*pipelined=*/true);
+  const AllocationVector alloc(8);
+  engine.begin_cycle(alloc);
+  engine.assign(FuType::kFpMdu, 16, 0);
+  EXPECT_FALSE(engine.availability(alloc)[fu_index(FuType::kFpMdu)])
+      << "initiation interval blocks within the issue cycle";
+  engine.step();
+  engine.begin_cycle(alloc);
+  EXPECT_TRUE(engine.availability(alloc)[fu_index(FuType::kFpMdu)])
+      << "next cycle the pipelined unit can accept again";
+  // The loader still sees the slot busy while the op drains... for fixed
+  // units there are no slots; check the non-pipelined contrast instead.
+  ExecutionEngine serial(kFfu, /*pipelined=*/false);
+  serial.begin_cycle(alloc);
+  serial.assign(FuType::kFpMdu, 16, 0);
+  serial.step();
+  serial.begin_cycle(alloc);
+  EXPECT_FALSE(serial.availability(alloc)[fu_index(FuType::kFpMdu)]);
+}
+
+TEST(Engine, PipelinedRfuSlotsStayBusyForLoader) {
+  const FuCounts no_ffu{};
+  ExecutionEngine engine(no_ffu, /*pipelined=*/true);
+  const auto alloc = AllocationVector::place({1, 0, 0, 0, 0}, 8);
+  engine.begin_cycle(alloc);
+  engine.assign(FuType::kIntAlu, 4, 0);
+  engine.step();
+  engine.begin_cycle(alloc);
+  // Still draining: the slot must not be reconfigurable.
+  EXPECT_TRUE(engine.slot_busy().test(0));
+}
+
+TEST(Engine, IncompleteRegionIsNotAUnit) {
+  const FuCounts no_ffu{};
+  ExecutionEngine engine(no_ffu);
+  AllocationVector alloc(8);
+  // A truncated FpAlu: head code with only one continuation (mid-rewrite
+  // artifact) must not be usable.
+  alloc.set_code(0, encoding_of(FuType::kFpAlu));
+  alloc.set_code(1, kEncContinuation);
+  engine.begin_cycle(alloc);
+  EXPECT_EQ(engine.units().size(), 0u);
+  EXPECT_FALSE(engine.assign(FuType::kFpAlu, 1, 0));
+}
+
+}  // namespace
+}  // namespace steersim

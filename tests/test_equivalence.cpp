@@ -1,0 +1,352 @@
+// Architectural-equivalence property tests: randomly generated synthetic
+// workloads (all mixes, multiple seeds, dependency densities, machine
+// shapes, and steering policies) must leave the out-of-order machine in
+// exactly the reference interpreter's architectural state. This is the
+// strongest correctness property in the suite: it exercises speculation,
+// squashing, store-to-load forwarding, partial reconfiguration and the
+// wake-up scheduler against an oracle simultaneously.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/reference.hpp"
+#include "cosim.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "workload/kernels.hpp"
+#include "workload/synthetic.hpp"
+
+namespace steersim {
+namespace {
+
+struct EquivalenceCase {
+  std::string label;
+  SyntheticSpec workload;
+  MachineConfig machine;
+  PolicySpec policy;
+};
+
+::testing::AssertionResult check_equivalence(const EquivalenceCase& c) {
+  const Program program = generate_synthetic(c.workload);
+
+  ReferenceInterpreter ref(c.machine.data_memory_bytes);
+  const auto ref_result = ref.run(program);
+  if (!ref_result.halted) {
+    return ::testing::AssertionFailure()
+           << c.label << ": reference did not halt";
+  }
+
+  auto cpu = make_processor(program, c.machine, c.policy);
+  const RunOutcome outcome = cpu->run(20'000'000);
+  if (outcome != RunOutcome::kHalted) {
+    return ::testing::AssertionFailure()
+           << c.label << ": outcome " << static_cast<int>(outcome)
+           << " fault='" << cpu->fault_message() << "'";
+  }
+  if (cpu->stats().retired != ref_result.instructions) {
+    return ::testing::AssertionFailure()
+           << c.label << ": retired " << cpu->stats().retired
+           << " != reference " << ref_result.instructions;
+  }
+  if (!(cpu->registers() == ref.registers())) {
+    return ::testing::AssertionFailure() << c.label << ": register mismatch";
+  }
+  if (!(cpu->memory() == ref.memory())) {
+    return ::testing::AssertionFailure() << c.label << ": memory mismatch";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+MachineConfig fast_machine() {
+  MachineConfig cfg;
+  cfg.loader.cycles_per_slot = 2;
+  return cfg;
+}
+
+TEST(Equivalence, AllMixesAllPoliciesSeedSweep) {
+  std::vector<EquivalenceCase> cases;
+  for (const MixSpec& mix : standard_mixes()) {
+    for (const PolicySpec& policy : standard_policies()) {
+      for (const std::uint64_t seed : {11u, 23u}) {
+        EquivalenceCase c;
+        c.workload = single_phase(mix, 48, 40, seed);
+        c.machine = fast_machine();
+        c.policy = policy;
+        c.label = mix.name + "/" + policy.label(c.machine.steering) +
+                  "/seed" + std::to_string(seed);
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  // parallel_map needs default-constructible results; carry failures as
+  // non-empty strings.
+  std::vector<std::function<std::string()>> jobs;
+  jobs.reserve(cases.size());
+  for (const auto& c : cases) {
+    jobs.emplace_back([&c]() -> std::string {
+      const auto result = check_equivalence(c);
+      return result ? std::string() : result.message();
+    });
+  }
+  for (const auto& r : parallel_map(jobs)) {
+    EXPECT_TRUE(r.empty()) << r;
+  }
+}
+
+TEST(Equivalence, DependencyDensitySweep) {
+  for (const double density : {0.0, 0.3, 0.7, 1.0}) {
+    EquivalenceCase c;
+    c.workload = single_phase(mixed_mix(), 64, 30, 5);
+    c.workload.dep_density = density;
+    c.machine = fast_machine();
+    c.label = "density" + std::to_string(density);
+    EXPECT_TRUE(check_equivalence(c));
+  }
+}
+
+TEST(Equivalence, PhasedWorkloads) {
+  for (const std::uint64_t seed : {3u, 17u, 99u}) {
+    EquivalenceCase c;
+    c.workload = alternating_phases(2048, 3, seed);
+    c.machine = fast_machine();
+    c.label = "alternating/seed" + std::to_string(seed);
+    EXPECT_TRUE(check_equivalence(c));
+  }
+}
+
+TEST(Equivalence, MachineShapeSweep) {
+  struct Shape {
+    unsigned fetch, queue, ruu, retire;
+  };
+  const Shape shapes[] = {{1, 4, 8, 1},
+                          {2, 7, 16, 2},
+                          {4, 7, 32, 4},
+                          {8, 15, 32, 8},
+                          {4, 31, 32, 4}};
+  for (const auto& shape : shapes) {
+    EquivalenceCase c;
+    c.workload = single_phase(mixed_mix(), 48, 30, 7);
+    c.machine = fast_machine();
+    c.machine.fetch_width = shape.fetch;
+    c.machine.queue_entries = shape.queue;
+    c.machine.ruu_entries = shape.ruu;
+    c.machine.retire_width = shape.retire;
+    c.label = "shape" + std::to_string(shape.fetch) + "-" +
+              std::to_string(shape.queue) + "-" + std::to_string(shape.ruu);
+    EXPECT_TRUE(check_equivalence(c));
+  }
+}
+
+TEST(Equivalence, PredictorAndTraceCacheVariants) {
+  for (const PredictorKind pk :
+       {PredictorKind::kNotTaken, PredictorKind::kBtfn,
+        PredictorKind::kTwoBit}) {
+    for (const bool tc : {false, true}) {
+      EquivalenceCase c;
+      c.workload = single_phase(int_heavy_mix(), 48, 40, 13);
+      c.machine = fast_machine();
+      c.machine.predictor = pk;
+      c.machine.use_trace_cache = tc;
+      c.label = "pred" + std::to_string(static_cast<int>(pk)) + "-tc" +
+                std::to_string(tc);
+      EXPECT_TRUE(check_equivalence(c));
+    }
+  }
+}
+
+TEST(Equivalence, ReconfigLatencySweep) {
+  for (const unsigned lat : {1u, 8u, 64u}) {
+    EquivalenceCase c;
+    c.workload = alternating_phases(1024, 2, 31);
+    c.machine = fast_machine();
+    c.machine.loader.cycles_per_slot = lat;
+    c.label = "lat" + std::to_string(lat);
+    EXPECT_TRUE(check_equivalence(c));
+  }
+}
+
+TEST(Equivalence, SteeringBasisSweep) {
+  for (const SteeringSet& basis : all_bases()) {
+    EquivalenceCase c;
+    c.workload = single_phase(mixed_mix(), 48, 30, 41);
+    c.machine = fast_machine();
+    c.machine.steering = basis;
+    c.machine.loader.num_slots = basis.num_slots;
+    c.label = "basis-" + basis.name;
+    EXPECT_TRUE(check_equivalence(c));
+  }
+}
+
+TEST(Equivalence, TieBreakAndCemVariants) {
+  for (const CemMode cem : {CemMode::kShiftApprox, CemMode::kExactDivide}) {
+    for (const TieBreak tb : {TieBreak::kPaper, TieBreak::kLeastReconfig,
+                              TieBreak::kLowestIndex}) {
+      EquivalenceCase c;
+      c.workload = single_phase(fp_heavy_mix(), 48, 30, 53);
+      c.machine = fast_machine();
+      c.policy.cem = cem;
+      c.policy.tie_break = tb;
+      c.label = "cem" + std::to_string(static_cast<int>(cem)) + "-tb" +
+                std::to_string(static_cast<int>(tb));
+      EXPECT_TRUE(check_equivalence(c));
+    }
+  }
+}
+
+TEST(Equivalence, SteerIntervalSweep) {
+  for (const unsigned interval : {1u, 4u, 32u}) {
+    EquivalenceCase c;
+    c.workload = single_phase(mem_heavy_mix(), 48, 30, 61);
+    c.machine = fast_machine();
+    c.policy.interval = interval;
+    c.label = "interval" + std::to_string(interval);
+    EXPECT_TRUE(check_equivalence(c));
+  }
+}
+
+TEST(Equivalence, RandomizedMachineConfigFuzz) {
+  // Random machine shapes x loader geometries x cache geometries x
+  // policies on random workloads: architecture must never depend on any
+  // timing parameter.
+  Xoshiro256 rng(0xFEED);
+  std::vector<EquivalenceCase> cases;
+  for (int trial = 0; trial < 24; ++trial) {
+    EquivalenceCase c;
+    const auto& mixes = standard_mixes();
+    c.workload = single_phase(mixes[rng.next_below(mixes.size())], 48, 25,
+                              1000 + static_cast<std::uint64_t>(trial));
+    c.machine = fast_machine();
+    c.machine.fetch_width =
+        1u + static_cast<unsigned>(rng.next_below(kMaxFetchWidth));
+    c.machine.queue_entries =
+        2u + static_cast<unsigned>(rng.next_below(30));
+    c.machine.ruu_entries =
+        c.machine.queue_entries +
+        static_cast<unsigned>(rng.next_below(32));
+    c.machine.retire_width =
+        1u + static_cast<unsigned>(rng.next_below(8));
+    c.machine.issue_width = static_cast<unsigned>(rng.next_below(9));
+    c.machine.loader.cycles_per_slot =
+        1u + static_cast<unsigned>(rng.next_below(32));
+    c.machine.loader.max_concurrent_regions =
+        1u + static_cast<unsigned>(rng.next_below(4));
+    c.machine.use_trace_cache = rng.next_bool(0.7);
+    c.machine.use_dcache = rng.next_bool(0.5);
+    c.machine.dcache.num_sets = 1u << rng.next_below(7);
+    c.machine.dcache.ways =
+        1u + static_cast<unsigned>(rng.next_below(4));
+    c.machine.predictor =
+        static_cast<PredictorKind>(rng.next_below(3));
+    const auto roster = standard_policies();
+    c.policy = roster[rng.next_below(roster.size())];
+    c.label = "fuzz" + std::to_string(trial);
+    cases.push_back(std::move(c));
+  }
+  std::vector<std::function<std::string()>> jobs;
+  jobs.reserve(cases.size());
+  for (const auto& c : cases) {
+    jobs.emplace_back([&c]() -> std::string {
+      const auto result = check_equivalence(c);
+      return result ? std::string() : result.message();
+    });
+  }
+  for (const auto& r : parallel_map(jobs)) {
+    EXPECT_TRUE(r.empty()) << r;
+  }
+}
+
+TEST(Equivalence, PipelinedUnitsAreTimingOnly) {
+  for (const MixSpec& mix : {mdu_heavy_mix(), fp_heavy_mix()}) {
+    EquivalenceCase c;
+    c.workload = single_phase(mix, 48, 30, 83);
+    c.machine = fast_machine();
+    c.machine.pipelined_units = true;
+    c.label = mix.name + "/pipelined";
+    EXPECT_TRUE(check_equivalence(c));
+  }
+}
+
+TEST(Equivalence, MillionInstructionSoak) {
+  // One long phased run (~1M dynamic instructions) through the steered
+  // machine: exercises trace-cache churn, thousands of reconfigurations
+  // and deep speculation at scale.
+  EquivalenceCase c;
+  c.workload = alternating_phases(8192, 4, 4242);
+  c.workload.outer_repeats = 16;
+  c.machine = fast_machine();
+  const ::testing::AssertionResult result = check_equivalence(c);
+  EXPECT_TRUE(result);
+}
+
+TEST(Equivalence, CommitStreamCosim) {
+  // Instruction-by-instruction commit-stream comparison (pc, successor,
+  // integer result) — stronger than end-state equality and pinpoints the
+  // first divergence on failure.
+  MachineConfig cfg = fast_machine();
+  for (const char* kernel : {"histogram", "bubble_sort", "binsearch"}) {
+    EXPECT_TRUE(cosim_match(kernel_by_name(kernel).assemble_program(), cfg,
+                            PolicySpec{}))
+        << kernel;
+  }
+  for (const std::uint64_t seed : {5u, 29u}) {
+    EXPECT_TRUE(cosim_match(
+        generate_synthetic(single_phase(mixed_mix(), 48, 30, seed)), cfg,
+        PolicySpec{}))
+        << "seed " << seed;
+  }
+}
+
+TEST(Equivalence, IssueWidthSweep) {
+  for (const unsigned width : {1u, 2u, 0u}) {
+    EquivalenceCase c;
+    c.workload = single_phase(mixed_mix(), 48, 30, 79);
+    c.machine = fast_machine();
+    c.machine.issue_width = width;
+    c.label = "issue-width" + std::to_string(width);
+    EXPECT_TRUE(check_equivalence(c));
+  }
+}
+
+TEST(Equivalence, DataCacheTimingDoesNotChangeArchitecture) {
+  // The cache is timing-only; architectural state must be unaffected at
+  // any geometry, including pathologically small caches.
+  for (const unsigned sets : {1u, 4u, 64u}) {
+    EquivalenceCase c;
+    c.workload = single_phase(mem_heavy_mix(), 48, 40, 73);
+    c.machine = fast_machine();
+    c.machine.use_dcache = true;
+    c.machine.dcache.num_sets = sets;
+    c.machine.dcache.ways = 1;
+    c.machine.dcache.miss_latency = 30;
+    c.label = "dcache-sets" + std::to_string(sets);
+    EXPECT_TRUE(check_equivalence(c));
+  }
+}
+
+TEST(Equivalence, ExtensionPolicies) {
+  for (const MixSpec& mix : {mixed_mix(), fp_heavy_mix()}) {
+    for (const unsigned confirm : {2u, 4u}) {
+      EquivalenceCase c;
+      c.workload = single_phase(mix, 48, 30, 67);
+      c.machine = fast_machine();
+      c.policy.confirm = confirm;
+      c.label = mix.name + "/confirm" + std::to_string(confirm);
+      EXPECT_TRUE(check_equivalence(c));
+    }
+    EquivalenceCase g;
+    g.workload = alternating_phases(1024, 2, 67);
+    g.machine = fast_machine();
+    g.policy.kind = PolicyKind::kGreedy;
+    g.label = mix.name + "/greedy";
+    EXPECT_TRUE(check_equivalence(g));
+
+    EquivalenceCase la;
+    la.workload = single_phase(mix, 48, 30, 67);
+    la.machine = fast_machine();
+    la.policy.lookahead = true;
+    la.label = mix.name + "/lookahead";
+    EXPECT_TRUE(check_equivalence(la));
+  }
+}
+
+}  // namespace
+}  // namespace steersim

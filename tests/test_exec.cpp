@@ -1,0 +1,208 @@
+// Unit tests for instruction semantics (core/exec.hpp), especially the
+// defined-behaviour corners: division by zero, INT64_MIN overflow, shift
+// masking, FP->int saturation, NaN handling, and control-flow targets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/exec.hpp"
+
+namespace steersim {
+namespace {
+
+ExecOutput run_rr(Opcode op, std::int64_t a, std::int64_t b) {
+  ExecInput in;
+  in.rs1_int = a;
+  in.rs2_int = b;
+  return execute_op(make_rr(op, 1, 2, 3), in);
+}
+
+ExecOutput run_fp(Opcode op, double a, double b) {
+  ExecInput in;
+  in.rs1_fp = a;
+  in.rs2_fp = b;
+  return execute_op(make_rr(op, 1, 2, 3), in);
+}
+
+TEST(Exec, IntegerAluBasics) {
+  EXPECT_EQ(run_rr(Opcode::kAdd, 3, 4).int_value, 7);
+  EXPECT_EQ(run_rr(Opcode::kSub, 3, 4).int_value, -1);
+  EXPECT_EQ(run_rr(Opcode::kAnd, 0b1100, 0b1010).int_value, 0b1000);
+  EXPECT_EQ(run_rr(Opcode::kOr, 0b1100, 0b1010).int_value, 0b1110);
+  EXPECT_EQ(run_rr(Opcode::kXor, 0b1100, 0b1010).int_value, 0b0110);
+  EXPECT_EQ(run_rr(Opcode::kSlt, -1, 0).int_value, 1);
+  EXPECT_EQ(run_rr(Opcode::kSltu, -1, 0).int_value, 0);  // unsigned compare
+}
+
+TEST(Exec, AddWrapsOnOverflowWithoutUb) {
+  const auto max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(run_rr(Opcode::kAdd, max, 1).int_value,
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Exec, ShiftAmountsMaskedTo6Bits) {
+  EXPECT_EQ(run_rr(Opcode::kSll, 1, 64).int_value, 1);  // 64 & 63 == 0
+  EXPECT_EQ(run_rr(Opcode::kSll, 1, 65).int_value, 2);
+  EXPECT_EQ(run_rr(Opcode::kSrl, -1, 63).int_value, 1);
+  EXPECT_EQ(run_rr(Opcode::kSra, -8, 2).int_value, -2);
+}
+
+TEST(Exec, ImmediateShifts) {
+  ExecInput in;
+  in.rs1_int = -8;
+  EXPECT_EQ(execute_op(make_ri(Opcode::kSrai, 1, 2, 1), in).int_value, -4);
+  EXPECT_EQ(execute_op(make_ri(Opcode::kSlli, 1, 2, 3), in).int_value, -64);
+}
+
+TEST(Exec, LuiShifts14) {
+  ExecInput in;
+  EXPECT_EQ(execute_op(make_ri(Opcode::kLui, 1, 0, 3), in).int_value,
+            3LL << 14);
+  EXPECT_EQ(execute_op(make_ri(Opcode::kLui, 1, 0, -1), in).int_value,
+            -16384);
+}
+
+TEST(Exec, DivisionEdgeCases) {
+  EXPECT_EQ(run_rr(Opcode::kDiv, 7, 2).int_value, 3);
+  EXPECT_EQ(run_rr(Opcode::kDiv, -7, 2).int_value, -3);
+  EXPECT_EQ(run_rr(Opcode::kDiv, 7, 0).int_value, 0);
+  EXPECT_EQ(run_rr(Opcode::kRem, 7, 0).int_value, 7);
+  const auto min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(run_rr(Opcode::kDiv, min, -1).int_value, min);  // no trap
+  EXPECT_EQ(run_rr(Opcode::kRem, min, -1).int_value, 0);
+}
+
+TEST(Exec, MulhHighBits) {
+  EXPECT_EQ(run_rr(Opcode::kMulh, 1LL << 40, 1LL << 40).int_value,
+            1LL << 16);
+  EXPECT_EQ(run_rr(Opcode::kMulh, -1, 1).int_value, -1);
+}
+
+TEST(Exec, BranchesResolveTargets) {
+  ExecInput in;
+  in.pc = 100;
+  in.rs1_int = 5;
+  in.rs2_int = 5;
+  auto out = execute_op(make_branch(Opcode::kBeq, 1, 2, -10), in);
+  EXPECT_TRUE(out.branch_taken);
+  EXPECT_EQ(out.next_pc, 90u);
+
+  in.rs2_int = 6;
+  out = execute_op(make_branch(Opcode::kBeq, 1, 2, -10), in);
+  EXPECT_FALSE(out.branch_taken);
+  EXPECT_EQ(out.next_pc, 101u);
+
+  out = execute_op(make_branch(Opcode::kBlt, 1, 2, 4), in);
+  EXPECT_TRUE(out.branch_taken);
+  out = execute_op(make_branch(Opcode::kBge, 1, 2, 4), in);
+  EXPECT_FALSE(out.branch_taken);
+}
+
+TEST(Exec, JumpAndLink) {
+  ExecInput in;
+  in.pc = 50;
+  const auto out = execute_op(make_jump(Opcode::kJal, 31, 8), in);
+  EXPECT_EQ(out.next_pc, 58u);
+  EXPECT_EQ(out.int_value, 51);  // link value
+  EXPECT_TRUE(out.writes_int);
+}
+
+TEST(Exec, JrUsesRegisterValue) {
+  ExecInput in;
+  in.pc = 50;
+  in.rs1_int = 7;
+  const auto out =
+      execute_op(Instruction{Opcode::kJr, 0, 1, 0, 0}, in);
+  EXPECT_EQ(out.next_pc, 7u);
+}
+
+TEST(Exec, LoadStoreEffectiveAddress) {
+  ExecInput in;
+  in.rs1_int = 100;
+  auto out = execute_op(make_ri(Opcode::kLw, 1, 2, -4), in);
+  EXPECT_EQ(out.mem_addr, 96u);
+  out = execute_op(make_store(Opcode::kSw, 3, 2, 20), in);
+  EXPECT_EQ(out.mem_addr, 120u);
+}
+
+TEST(Exec, FpArithmetic) {
+  EXPECT_DOUBLE_EQ(run_fp(Opcode::kFadd, 1.5, 2.25).fp_value, 3.75);
+  EXPECT_DOUBLE_EQ(run_fp(Opcode::kFsub, 1.0, 0.25).fp_value, 0.75);
+  EXPECT_DOUBLE_EQ(run_fp(Opcode::kFmul, 3.0, -2.0).fp_value, -6.0);
+  EXPECT_DOUBLE_EQ(run_fp(Opcode::kFdiv, 1.0, 4.0).fp_value, 0.25);
+  EXPECT_DOUBLE_EQ(run_fp(Opcode::kFmin, 1.0, -1.0).fp_value, -1.0);
+  EXPECT_DOUBLE_EQ(run_fp(Opcode::kFmax, 1.0, -1.0).fp_value, 1.0);
+}
+
+TEST(Exec, FpDivisionByZeroIsIeee) {
+  EXPECT_TRUE(std::isinf(run_fp(Opcode::kFdiv, 1.0, 0.0).fp_value));
+  EXPECT_TRUE(std::isnan(run_fp(Opcode::kFdiv, 0.0, 0.0).fp_value));
+}
+
+TEST(Exec, FpCompareWritesInt) {
+  EXPECT_EQ(run_fp(Opcode::kFeq, 1.0, 1.0).int_value, 1);
+  EXPECT_EQ(run_fp(Opcode::kFlt, 1.0, 2.0).int_value, 1);
+  EXPECT_EQ(run_fp(Opcode::kFle, 2.0, 2.0).int_value, 1);
+  EXPECT_EQ(run_fp(Opcode::kFlt, 2.0, 1.0).int_value, 0);
+  // NaN compares false.
+  EXPECT_EQ(run_fp(Opcode::kFeq, std::nan(""), std::nan("")).int_value, 0);
+  EXPECT_TRUE(run_fp(Opcode::kFeq, 1.0, 1.0).writes_int);
+}
+
+TEST(Exec, ConversionSaturation) {
+  ExecInput in;
+  in.rs1_fp = 1e30;
+  EXPECT_EQ(execute_op(Instruction{Opcode::kCvtFI, 1, 2, 0, 0}, in).int_value,
+            std::numeric_limits<std::int64_t>::max());
+  in.rs1_fp = -1e30;
+  EXPECT_EQ(execute_op(Instruction{Opcode::kCvtFI, 1, 2, 0, 0}, in).int_value,
+            std::numeric_limits<std::int64_t>::min());
+  in.rs1_fp = std::nan("");
+  EXPECT_EQ(execute_op(Instruction{Opcode::kCvtFI, 1, 2, 0, 0}, in).int_value,
+            0);
+  in.rs1_fp = -2.9;
+  EXPECT_EQ(execute_op(Instruction{Opcode::kCvtFI, 1, 2, 0, 0}, in).int_value,
+            -2);  // truncation toward zero
+}
+
+TEST(Exec, IntToFpConversion) {
+  ExecInput in;
+  in.rs1_int = -7;
+  const auto out = execute_op(Instruction{Opcode::kCvtIF, 1, 2, 0, 0}, in);
+  EXPECT_DOUBLE_EQ(out.fp_value, -7.0);
+  EXPECT_TRUE(out.writes_fp);
+}
+
+TEST(Exec, SqrtAbsNeg) {
+  ExecInput in;
+  in.rs1_fp = 9.0;
+  EXPECT_DOUBLE_EQ(
+      execute_op(Instruction{Opcode::kFsqrt, 1, 2, 0, 0}, in).fp_value, 3.0);
+  in.rs1_fp = -2.5;
+  EXPECT_DOUBLE_EQ(
+      execute_op(Instruction{Opcode::kFabs, 1, 2, 0, 0}, in).fp_value, 2.5);
+  EXPECT_DOUBLE_EQ(
+      execute_op(Instruction{Opcode::kFneg, 1, 2, 0, 0}, in).fp_value, 2.5);
+}
+
+TEST(Exec, NonControlNextPcIsSequential) {
+  ExecInput in;
+  in.pc = 10;
+  EXPECT_EQ(run_rr(Opcode::kAdd, 1, 2).next_pc, 1u);  // pc 0 default
+  EXPECT_EQ(execute_op(make_rr(Opcode::kAdd, 1, 2, 3), in).next_pc, 11u);
+}
+
+TEST(Exec, StoreCarriesData) {
+  ExecInput in;
+  in.rs1_int = 64;
+  in.rs2_int = 777;
+  const auto out = execute_op(make_store(Opcode::kSw, 3, 2, 0), in);
+  EXPECT_EQ(out.int_value, 777);
+  in.rs2_fp = 2.5;
+  const auto fout = execute_op(make_store(Opcode::kFsw, 3, 2, 0), in);
+  EXPECT_DOUBLE_EQ(fout.fp_value, 2.5);
+}
+
+}  // namespace
+}  // namespace steersim

@@ -1,0 +1,118 @@
+// Unit tests for the dataflow ILP-bound analyzer.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "sim/ilp_bound.hpp"
+#include "sim/runner.hpp"
+#include "workload/kernels.hpp"
+
+namespace steersim {
+namespace {
+
+TEST(IlpBound, SerialChainBoundsAtOne) {
+  // 64 chained adds: critical path == chain length, max IPC ~ 1.
+  std::string src;
+  for (int i = 0; i < 64; ++i) {
+    src += "  addi r1, r1, 1\n";
+  }
+  src += "  halt\n";
+  const IlpBound bound = compute_ilp_bound(assemble(src));
+  EXPECT_EQ(bound.instructions, 65u);
+  EXPECT_EQ(bound.critical_path, 64u);  // the chain; halt is independent
+  EXPECT_NEAR(bound.max_ipc(), 1.0, 0.05);
+}
+
+TEST(IlpBound, IndependentOpsBoundIsWide) {
+  // 16 independent adds: everything completes in one cycle.
+  std::string src;
+  for (int i = 1; i <= 16; ++i) {
+    src += "  addi r" + std::to_string(i) + ", r0, " + std::to_string(i) +
+           "\n";
+  }
+  src += "  halt\n";
+  const IlpBound bound = compute_ilp_bound(assemble(src));
+  EXPECT_EQ(bound.critical_path, 1u);
+  EXPECT_NEAR(bound.max_ipc(), 17.0, 0.01);
+  EXPECT_EQ(bound.tail_width, 17u);
+}
+
+TEST(IlpBound, LatencyWeighted) {
+  // A chain of two divides (12 cycles each) dominates any number of
+  // parallel single-cycle ops.
+  const Program p = assemble(R"(
+  li r1, 100
+  li r2, 3
+  div r3, r1, r2
+  div r4, r3, r2
+  addi r5, r0, 1
+  addi r6, r0, 2
+  halt
+)");
+  const IlpBound bound = compute_ilp_bound(p);
+  // li r1 (1) -> div (12) -> div (12) = 25.
+  EXPECT_EQ(bound.critical_path, 25u);
+}
+
+TEST(IlpBound, MemoryRawDependenceHonoured) {
+  // store -> load -> use of the same word is a serial chain through
+  // memory; loads from different words are independent.
+  const Program p = assemble(R"(
+  la r1, a
+  li r2, 7
+  sw r2, 0(r1)
+  lw r3, 0(r1)
+  addi r4, r3, 1
+  halt
+.data
+a: .word 0
+)");
+  const IlpBound bound = compute_ilp_bound(p);
+  // la(1) -> sw(3) -> lw(3) -> addi(1) = 8, + nothing longer.
+  EXPECT_EQ(bound.critical_path, 8u);
+}
+
+TEST(IlpBound, ControlDependencesIgnored) {
+  // A loop of independent iterations: the oracle bound sees through the
+  // branch (iterations only chain through the counter, latency 1/iter).
+  const Program p = assemble(R"(
+  li r1, 50
+loop:
+  xor r2, r3, r4
+  and r5, r6, r7
+  addi r1, r1, -1
+  bne r1, r0, loop
+  halt
+)");
+  const IlpBound bound = compute_ilp_bound(p);
+  // Counter chain: 50 x addi = 50 (+ li + trailing bne/halt slack).
+  EXPECT_LE(bound.critical_path, 54u);
+  EXPECT_GT(bound.max_ipc(), 3.0);
+}
+
+TEST(IlpBound, KernelsOrderedSensibly) {
+  const IlpBound fib = compute_ilp_bound(
+      kernel_by_name("fib").assemble_program());
+  const IlpBound newton = compute_ilp_bound(
+      kernel_by_name("newton_sqrt").assemble_program());
+  const IlpBound scale = compute_ilp_bound(
+      kernel_by_name("vector_scale").assemble_program());
+  // Newton's fdiv chain is the most serial; vector_scale is embarrassingly
+  // parallel; fib sits between.
+  EXPECT_LT(newton.max_ipc(), 1.0);
+  EXPECT_GT(scale.max_ipc(), 3.0);
+  EXPECT_GT(fib.max_ipc(), newton.max_ipc());
+  EXPECT_LT(fib.max_ipc(), scale.max_ipc());
+}
+
+TEST(IlpBound, MeasuredIpcNeverExceedsBound) {
+  for (const char* name : {"fib", "saxpy", "sum_array", "newton_sqrt"}) {
+    const Program p = kernel_by_name(name).assemble_program();
+    const IlpBound bound = compute_ilp_bound(p);
+    const SimResult r =
+        simulate(p, MachineConfig{}, {.kind = PolicyKind::kOracle});
+    EXPECT_LE(r.stats.ipc(), bound.max_ipc() * 1.001) << name;
+  }
+}
+
+}  // namespace
+}  // namespace steersim

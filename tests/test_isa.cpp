@@ -1,0 +1,140 @@
+// ISA-level tests: opcode metadata invariants, encode/decode round-trips
+// (including randomized property sweeps), and disassembly formatting.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "isa/instruction.hpp"
+
+namespace steersim {
+namespace {
+
+TEST(OpInfo, EveryOpcodeHasMnemonicAndLatency) {
+  for (unsigned i = 0; i < kNumOpcodes; ++i) {
+    const OpInfo& info = op_info(static_cast<Opcode>(i));
+    EXPECT_FALSE(info.mnemonic.empty()) << i;
+    EXPECT_GE(info.latency, 1u) << info.mnemonic;
+  }
+}
+
+TEST(OpInfo, EachOpcodeRequiresExactlyOneFuType) {
+  // The paper's premise: every instruction is supported by exactly one
+  // type of functional unit. fu_type_of is total and single-valued by
+  // construction; check the classification is sensible.
+  EXPECT_EQ(fu_type_of(Opcode::kAdd), FuType::kIntAlu);
+  EXPECT_EQ(fu_type_of(Opcode::kBeq), FuType::kIntAlu);
+  EXPECT_EQ(fu_type_of(Opcode::kMul), FuType::kIntMdu);
+  EXPECT_EQ(fu_type_of(Opcode::kDiv), FuType::kIntMdu);
+  EXPECT_EQ(fu_type_of(Opcode::kLw), FuType::kLsu);
+  EXPECT_EQ(fu_type_of(Opcode::kFsw), FuType::kLsu);
+  EXPECT_EQ(fu_type_of(Opcode::kFadd), FuType::kFpAlu);
+  EXPECT_EQ(fu_type_of(Opcode::kCvtFI), FuType::kFpAlu);
+  EXPECT_EQ(fu_type_of(Opcode::kFmul), FuType::kFpMdu);
+  EXPECT_EQ(fu_type_of(Opcode::kFsqrt), FuType::kFpMdu);
+}
+
+TEST(OpInfo, LatencyOrdering) {
+  // Divides are the long-latency ops in each class.
+  EXPECT_GT(op_info(Opcode::kDiv).latency, op_info(Opcode::kMul).latency);
+  EXPECT_GT(op_info(Opcode::kFdiv).latency, op_info(Opcode::kFmul).latency);
+  EXPECT_GT(op_info(Opcode::kFsqrt).latency, op_info(Opcode::kFdiv).latency);
+  EXPECT_EQ(op_info(Opcode::kAdd).latency, 1u);
+}
+
+TEST(OpInfo, ControlFlagsConsistent) {
+  for (unsigned i = 0; i < kNumOpcodes; ++i) {
+    const OpInfo& info = op_info(static_cast<Opcode>(i));
+    EXPECT_FALSE(info.is_branch && info.is_jump) << info.mnemonic;
+    EXPECT_FALSE(info.is_load && info.is_store) << info.mnemonic;
+    if (info.is_branch || info.is_jump) {
+      EXPECT_EQ(info.fu, FuType::kIntAlu) << info.mnemonic;
+    }
+    if (info.is_load || info.is_store) {
+      EXPECT_EQ(info.fu, FuType::kLsu) << info.mnemonic;
+    }
+  }
+}
+
+TEST(Encoding, RoundTripRepresentative) {
+  const Instruction cases[] = {
+      make_rr(Opcode::kAdd, 1, 2, 3),
+      make_ri(Opcode::kAddi, 5, 0, -42),
+      make_ri(Opcode::kLw, 7, 2, 8),
+      make_store(Opcode::kSw, 9, 2, -16),
+      make_branch(Opcode::kBne, 3, 0, -100),
+      make_jump(Opcode::kJal, 31, 12345),
+      Instruction{Opcode::kJr, 0, 31, 0, 0},
+      Instruction{Opcode::kHalt, 0, 0, 0, 0},
+      make_ri(Opcode::kLui, 4, 0, kImm15Max),
+  };
+  for (const auto& inst : cases) {
+    EXPECT_EQ(decode(encode(inst)), inst) << disassemble(inst);
+  }
+}
+
+TEST(Encoding, RoundTripRandomizedPropertySweep) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 20000; ++trial) {
+    Instruction inst;
+    inst.op = static_cast<Opcode>(rng.next_below(kNumOpcodes));
+    const OpInfo& info = op_info(inst.op);
+    auto reg = [&rng] {
+      return static_cast<std::uint8_t>(rng.next_below(kNumIntRegs));
+    };
+    switch (info.format) {
+      case Format::kR:
+        inst.rd = reg();
+        inst.rs1 = reg();
+        inst.rs2 = reg();
+        break;
+      case Format::kI:
+        inst.rd = reg();
+        inst.rs1 = info.rs1_class == RegClass::kNone ? 0 : reg();
+        inst.imm = static_cast<std::int32_t>(
+                       rng.next_below(kImm15Max - kImm15Min + 1)) +
+                   kImm15Min;
+        break;
+      case Format::kS:
+      case Format::kB:
+        inst.rs1 = reg();
+        inst.rs2 = reg();
+        inst.imm = static_cast<std::int32_t>(
+                       rng.next_below(kImm15Max - kImm15Min + 1)) +
+                   kImm15Min;
+        break;
+      case Format::kJ:
+        inst.rd = inst.op == Opcode::kJal ? reg() : 0;
+        inst.imm = static_cast<std::int32_t>(
+                       rng.next_below(kImm20Max - kImm20Min + 1)) +
+                   kImm20Min;
+        break;
+      case Format::kJr:
+        inst.rs1 = reg();
+        break;
+      case Format::kNone:
+        break;
+    }
+    EXPECT_EQ(decode(encode(inst)), inst) << disassemble(inst);
+  }
+}
+
+TEST(Disassemble, Formats) {
+  EXPECT_EQ(disassemble(make_rr(Opcode::kAdd, 1, 2, 3)), "add r1, r2, r3");
+  EXPECT_EQ(disassemble(make_ri(Opcode::kAddi, 5, 0, -7)),
+            "addi r5, r0, -7");
+  EXPECT_EQ(disassemble(make_ri(Opcode::kLw, 7, 2, 8)), "lw r7, 8(r2)");
+  EXPECT_EQ(disassemble(make_store(Opcode::kFsw, 3, 2, 16)),
+            "fsw f3, 16(r2)");
+  EXPECT_EQ(disassemble(make_branch(Opcode::kBeq, 1, 2, -4)),
+            "beq r1, r2, -4");
+  EXPECT_EQ(disassemble(make_rr(Opcode::kFadd, 1, 2, 3)),
+            "fadd f1, f2, f3");
+  EXPECT_EQ(disassemble(Instruction{Opcode::kFabs, 1, 2, 0, 0}),
+            "fabs f1, f2");
+  EXPECT_EQ(disassemble(Instruction{Opcode::kHalt, 0, 0, 0, 0}), "halt");
+  EXPECT_EQ(disassemble(make_jump(Opcode::kJ, 0, -9)), "j -9");
+  EXPECT_EQ(disassemble(Instruction{Opcode::kCvtIF, 4, 6, 0, 0}),
+            "cvt.i.f f4, r6");
+}
+
+}  // namespace
+}  // namespace steersim

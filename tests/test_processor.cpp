@@ -1,0 +1,331 @@
+// End-to-end processor tests: every kernel, on every policy variant, must
+// halt with exactly the reference interpreter's architectural state
+// (registers, data memory, retired-instruction count).
+#include <gtest/gtest.h>
+
+#include "core/reference.hpp"
+#include "isa/assembler.hpp"
+#include "sim/runner.hpp"
+#include "workload/kernels.hpp"
+
+namespace steersim {
+namespace {
+
+MachineConfig small_machine() {
+  MachineConfig cfg;
+  cfg.loader.cycles_per_slot = 4;
+  return cfg;
+}
+
+void expect_architectural_match(const Program& program,
+                                const PolicySpec& spec,
+                                const std::string& context) {
+  ReferenceInterpreter ref(1 << 20);
+  const auto ref_result = ref.run(program);
+  ASSERT_TRUE(ref_result.halted) << context;
+
+  auto cpu = make_processor(program, small_machine(), spec);
+  const RunOutcome outcome = cpu->run(5'000'000);
+  ASSERT_EQ(outcome, RunOutcome::kHalted)
+      << context << " fault: " << cpu->fault_message();
+
+  EXPECT_EQ(cpu->stats().retired, ref_result.instructions) << context;
+  EXPECT_TRUE(cpu->registers() == ref.registers()) << context;
+  EXPECT_TRUE(cpu->memory() == ref.memory()) << context;
+}
+
+class KernelPolicyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, PolicyKind>> {
+};
+
+TEST_P(KernelPolicyTest, MatchesReference) {
+  const auto& [kernel_name, kind] = GetParam();
+  PolicySpec spec;
+  spec.kind = kind;
+  expect_architectural_match(
+      kernel_by_name(kernel_name).assemble_program(), spec,
+      kernel_name + "/" +
+          spec.label(default_steering_set()));
+}
+
+std::vector<std::string> kernel_names() {
+  std::vector<std::string> names;
+  for (const auto& k : kernel_library()) {
+    names.push_back(k.name);
+  }
+  return names;
+}
+
+std::string policy_kind_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kSteered:
+      return "steered";
+    case PolicyKind::kStaticFfu:
+      return "static_ffu";
+    case PolicyKind::kStaticPreset:
+      return "static_preset";
+    case PolicyKind::kOracle:
+      return "oracle";
+    case PolicyKind::kFullReconfig:
+      return "full_reconfig";
+    case PolicyKind::kRandom:
+      return "random";
+    case PolicyKind::kGreedy:
+      return "greedy";
+  }
+  return "unknown";
+}
+
+std::string kernel_policy_test_name(
+    const ::testing::TestParamInfo<std::tuple<std::string, PolicyKind>>&
+        param_info) {
+  return std::get<0>(param_info.param) + "_" +
+         policy_kind_name(std::get<1>(param_info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAllPolicies, KernelPolicyTest,
+    ::testing::Combine(
+        ::testing::ValuesIn(kernel_names()),
+        ::testing::Values(PolicyKind::kSteered, PolicyKind::kStaticFfu,
+                          PolicyKind::kStaticPreset, PolicyKind::kOracle,
+                          PolicyKind::kFullReconfig, PolicyKind::kRandom,
+                          PolicyKind::kGreedy)),
+    kernel_policy_test_name);
+
+TEST(Processor, SingleInstructionProgram) {
+  const Program p = assemble("  halt\n");
+  auto cpu = make_processor(p, small_machine(), {});
+  EXPECT_EQ(cpu->run(1000), RunOutcome::kHalted);
+  EXPECT_EQ(cpu->stats().retired, 1u);
+}
+
+TEST(Processor, IpcNeverExceedsRetireWidth) {
+  const Program p = kernel_by_name("sum_array").assemble_program();
+  auto cpu = make_processor(p, small_machine(), {});
+  EXPECT_EQ(cpu->run(1'000'000), RunOutcome::kHalted);
+  EXPECT_LE(cpu->stats().ipc(),
+            static_cast<double>(small_machine().retire_width));
+  EXPECT_GT(cpu->stats().ipc(), 0.0);
+}
+
+TEST(Processor, MispredictionRecovery) {
+  // A data-dependent branch pattern the 2-bit predictor cannot learn
+  // perfectly: alternating taken/not-taken.
+  const Program p = assemble(R"(
+  li r1, 64
+  addi r2, r0, 0   # toggle
+  addi r3, r0, 0   # count of taken paths
+loop:
+  xori r2, r2, 1
+  beq r2, r0, skip
+  addi r3, r3, 1
+skip:
+  addi r1, r1, -1
+  bne r1, r0, loop
+  halt
+)");
+  ReferenceInterpreter ref(1 << 20);
+  const auto ref_result = ref.run(p);
+  auto cpu = make_processor(p, small_machine(), {});
+  ASSERT_EQ(cpu->run(1'000'000), RunOutcome::kHalted);
+  EXPECT_EQ(cpu->registers().read_int(3), ref.registers().read_int(3));
+  EXPECT_EQ(cpu->stats().retired, ref_result.instructions);
+  EXPECT_GT(cpu->stats().mispredicts, 0u);
+  EXPECT_GT(cpu->stats().squashed, 0u);
+}
+
+TEST(Processor, StoreToLoadForwarding) {
+  // Write then immediately read the same address; the load must see the
+  // in-flight store's data, not stale memory.
+  const Program p = assemble(R"(
+  la r1, slot
+  li r2, 77
+  sw r2, 0(r1)
+  lw r3, 0(r1)
+  addi r3, r3, 1
+  sw r3, 0(r1)
+  lw r4, 0(r1)
+  halt
+.data
+slot: .word 5
+)");
+  auto cpu = make_processor(p, small_machine(), {});
+  ASSERT_EQ(cpu->run(10'000), RunOutcome::kHalted);
+  EXPECT_EQ(cpu->registers().read_int(3), 78);
+  EXPECT_EQ(cpu->registers().read_int(4), 78);
+}
+
+TEST(Processor, PartialOverlapStoreBlocksLoad) {
+  // sb writes one byte inside the word a younger lw reads: the load must
+  // wait for the store to retire and then see the merged bytes.
+  const Program p = assemble(R"(
+  la r1, slot
+  li r2, 0xFF
+  sb r2, 3(r1)
+  lw r3, 0(r1)
+  halt
+.data
+slot: .word 0
+)");
+  ReferenceInterpreter ref(1 << 20);
+  ref.run(p);
+  auto cpu = make_processor(p, small_machine(), {});
+  ASSERT_EQ(cpu->run(10'000), RunOutcome::kHalted);
+  EXPECT_EQ(cpu->registers().read_int(3), ref.registers().read_int(3));
+  EXPECT_EQ(cpu->registers().read_int(3), 0xFFL << 24);
+}
+
+TEST(Processor, StallDetectionOnInfiniteLoop) {
+  const Program p = assemble("spin:\n  j spin\n");
+  auto cpu = make_processor(p, small_machine(), {});
+  // An infinite loop retires forever, so it hits max cycles, not kStalled.
+  EXPECT_EQ(cpu->run(50'000), RunOutcome::kMaxCycles);
+  EXPECT_GT(cpu->stats().retired, 0u);
+}
+
+TEST(Processor, FaultOnWildCommittedStore) {
+  const Program p = assemble(R"(
+  li r1, 123456789
+  sw r0, 0(r1)
+  halt
+)");
+  MachineConfig cfg = small_machine();
+  cfg.data_memory_bytes = 4096;
+  auto cpu = make_processor(p, cfg, {});
+  EXPECT_EQ(cpu->run(10'000), RunOutcome::kFault);
+  EXPECT_FALSE(cpu->fault_message().empty());
+}
+
+TEST(Processor, SpeculativeWildLoadIsBenignWhenSquashed) {
+  // The branch is always taken at runtime but predicted not-taken on the
+  // first encounter, so the wild load issues speculatively and must be
+  // squashed without faulting.
+  const Program p = assemble(R"(
+  li r1, 1
+  li r2, 123456
+  bne r1, r0, good
+  lw r3, 0(r2)
+good:
+  halt
+)");
+  MachineConfig cfg = small_machine();
+  cfg.data_memory_bytes = 4096;
+  cfg.predictor = PredictorKind::kNotTaken;
+  auto cpu = make_processor(p, cfg, {});
+  EXPECT_EQ(cpu->run(10'000), RunOutcome::kHalted);
+}
+
+TEST(Processor, TinyMachineBackpressure) {
+  // RUU of 4 and single-wide everything: heavy backpressure, still exact.
+  const Program p = kernel_by_name("dot_int").assemble_program();
+  MachineConfig cfg = small_machine();
+  cfg.fetch_width = 1;
+  cfg.queue_entries = 4;
+  cfg.ruu_entries = 4;
+  cfg.retire_width = 1;
+  ReferenceInterpreter ref(1 << 20);
+  const auto ref_result = ref.run(p);
+  auto cpu = make_processor(p, cfg, {});
+  ASSERT_EQ(cpu->run(5'000'000), RunOutcome::kHalted);
+  EXPECT_EQ(cpu->stats().retired, ref_result.instructions);
+  EXPECT_TRUE(cpu->memory() == ref.memory());
+  EXPECT_LE(cpu->stats().ipc(), 1.0);
+}
+
+TEST(Processor, DeepCallNestingExceedsRasDepth) {
+  // 12 nested calls against an 8-entry RAS: returns past the RAS depth
+  // mispredict but must still commit correctly.
+  std::string src = "  addi r1, r0, 0\n  call f0\n  halt\n";
+  for (int level = 0; level < 12; ++level) {
+    src += "f" + std::to_string(level) + ":\n";
+    src += "  addi r1, r1, 1\n";
+    if (level < 11) {
+      // Save and restore the link register around the nested call.
+      src += "  mv r" + std::to_string(10 + level) + ", ra\n";
+      src += "  call f" + std::to_string(level + 1) + "\n";
+      src += "  mv ra, r" + std::to_string(10 + level) + "\n";
+    }
+    src += "  ret\n";
+  }
+  const Program p = assemble(src);
+  ReferenceInterpreter ref(1 << 20);
+  const auto ref_result = ref.run(p);
+  ASSERT_TRUE(ref_result.halted);
+  auto cpu = make_processor(p, small_machine(), {});
+  ASSERT_EQ(cpu->run(100'000), RunOutcome::kHalted);
+  EXPECT_EQ(cpu->registers().read_int(1), 12);
+  EXPECT_EQ(cpu->stats().retired, ref_result.instructions);
+}
+
+TEST(Processor, InstructionFlowConservation) {
+  // dispatched == retired + squashed, and issued is bounded by both ends.
+  const Program p = assemble(R"(
+  li r1, 200
+  addi r2, r0, 0
+cl:
+  xori r2, r2, 1
+  beq r2, r0, cs
+  addi r3, r3, 1
+cs:
+  addi r1, r1, -1
+  bne r1, r0, cl
+  halt
+)");
+  auto cpu = make_processor(p, small_machine(), {});
+  ASSERT_EQ(cpu->run(1'000'000), RunOutcome::kHalted);
+  const SimStats& s = cpu->stats();
+  EXPECT_EQ(s.retired + s.squashed, s.dispatched);
+  EXPECT_GE(s.issued, s.retired);
+  EXPECT_LE(s.issued, s.dispatched);
+  EXPECT_GT(s.squashed, 0u) << "this workload must mispredict";
+}
+
+TEST(Processor, NoTraceCacheStillCorrect) {
+  const Program p = kernel_by_name("fir").assemble_program();
+  MachineConfig cfg = small_machine();
+  cfg.use_trace_cache = false;
+  ReferenceInterpreter ref(1 << 20);
+  ref.run(p);
+  auto cpu = make_processor(p, cfg, {});
+  ASSERT_EQ(cpu->run(1'000'000), RunOutcome::kHalted);
+  EXPECT_TRUE(cpu->memory() == ref.memory());
+  EXPECT_EQ(cpu->trace_cache(), nullptr);
+}
+
+TEST(Processor, TraceCacheImprovesFetchOnLoops) {
+  const Program p = kernel_by_name("sum_array").assemble_program();
+  MachineConfig with = small_machine();
+  MachineConfig without = small_machine();
+  without.use_trace_cache = false;
+  auto cpu_with = make_processor(p, with, {});
+  auto cpu_without = make_processor(p, without, {});
+  ASSERT_EQ(cpu_with->run(1'000'000), RunOutcome::kHalted);
+  ASSERT_EQ(cpu_without->run(1'000'000), RunOutcome::kHalted);
+  // A tight taken-branch loop limits conventional fetch to one iteration
+  // per cycle group; the trace cache must not be slower.
+  EXPECT_LE(cpu_with->stats().cycles, cpu_without->stats().cycles + 5);
+}
+
+TEST(Processor, OutOfOrderCompletionObservable) {
+  // A long divide followed by independent adds: the adds issue and
+  // complete while the divide is still executing, so total cycles are far
+  // below the serialized sum.
+  const Program p = assemble(R"(
+  li r1, 1000
+  li r2, 7
+  div r3, r1, r2
+  addi r4, r0, 1
+  addi r5, r0, 2
+  addi r6, r0, 3
+  addi r7, r0, 4
+  halt
+)");
+  auto cpu = make_processor(p, small_machine(), {});
+  ASSERT_EQ(cpu->run(10'000), RunOutcome::kHalted);
+  EXPECT_EQ(cpu->registers().read_int(3), 142);
+  EXPECT_EQ(cpu->registers().read_int(7), 4);
+}
+
+}  // namespace
+}  // namespace steersim

@@ -1,0 +1,192 @@
+// Reference-interpreter tests: golden architectural results for the kernel
+// library, plus semantics spot checks through real programs.
+#include <gtest/gtest.h>
+
+#include "core/reference.hpp"
+#include "isa/assembler.hpp"
+#include "workload/kernels.hpp"
+
+namespace steersim {
+namespace {
+
+TEST(Reference, Fib30) {
+  const Program p = kernel_by_name("fib").assemble_program();
+  ReferenceInterpreter ref;
+  const auto result = ref.run(p);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(ref.memory().load_word(p.data_labels.at("out")), 832040);
+}
+
+TEST(Reference, SumArray) {
+  const Program p = kernel_by_name("sum_array").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  EXPECT_EQ(ref.memory().load_word(p.data_labels.at("out")),
+            64 * 65 / 2);  // sum 1..64 = 2080
+}
+
+TEST(Reference, DotInt) {
+  const Program p = kernel_by_name("dot_int").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  std::int64_t expected = 0;
+  for (unsigned i = 0; i < 48; ++i) {
+    expected += static_cast<std::int64_t>(i + 1) * (2 * i + 1);
+  }
+  EXPECT_EQ(ref.memory().load_word(p.data_labels.at("out")), expected);
+}
+
+TEST(Reference, Saxpy) {
+  const Program p = kernel_by_name("saxpy").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  const std::uint64_t ys = p.data_labels.at("ys");
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(ref.memory().load_fp(ys + 8 * i), 2.5 * i + 1.0) << i;
+  }
+}
+
+TEST(Reference, MemcpyWords) {
+  const Program p = kernel_by_name("memcpy_words").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  const std::uint64_t dst = p.data_labels.at("dst");
+  for (unsigned i = 0; i < 128; ++i) {
+    EXPECT_EQ(ref.memory().load_word(dst + 8 * i), 1000 + i) << i;
+  }
+}
+
+TEST(Reference, MatmulIdentity) {
+  const Program p = kernel_by_name("matmul_int").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  const std::uint64_t c = p.data_labels.at("C");
+  for (unsigned i = 0; i < 64; ++i) {
+    EXPECT_EQ(ref.memory().load_word(c + 8 * i), i) << i;  // C == A
+  }
+}
+
+TEST(Reference, Strlen) {
+  const Program p = kernel_by_name("strlen").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  EXPECT_EQ(ref.memory().load_word(p.data_labels.at("out")), 43);
+}
+
+TEST(Reference, NewtonSqrt) {
+  const Program p = kernel_by_name("newton_sqrt").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  EXPECT_NEAR(ref.memory().load_fp(p.data_labels.at("out")),
+              1.4142135623730951, 1e-12);
+}
+
+TEST(Reference, Histogram) {
+  const Program p = kernel_by_name("histogram").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  std::int64_t bins[8] = {};
+  for (unsigned i = 0; i < 128; ++i) {
+    ++bins[((i * 37 + 11) % 23) & 7];
+  }
+  const std::uint64_t addr = p.data_labels.at("bins");
+  std::int64_t total = 0;
+  for (unsigned b = 0; b < 8; ++b) {
+    EXPECT_EQ(ref.memory().load_word(addr + 8 * b), bins[b]) << b;
+    total += bins[b];
+  }
+  EXPECT_EQ(total, 128);
+}
+
+TEST(Reference, VectorScale) {
+  const Program p = kernel_by_name("vector_scale").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  const std::uint64_t c = p.data_labels.at("c");
+  for (unsigned i = 0; i < 96; ++i) {
+    EXPECT_DOUBLE_EQ(ref.memory().load_fp(c + 8 * i),
+                     3.0 * (0.25 * i + 1.0))
+        << i;
+  }
+}
+
+TEST(Reference, BubbleSort) {
+  const Program p = kernel_by_name("bubble_sort").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  const std::uint64_t arr = p.data_labels.at("arr");
+  for (unsigned i = 0; i < 32; ++i) {
+    EXPECT_EQ(ref.memory().load_word(arr + 8 * i), i + 1) << i;
+  }
+}
+
+TEST(Reference, BinarySearch) {
+  const Program p = kernel_by_name("binsearch").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  // Keys 1, 49, 94, 190 are in {3i+1}; 2, 50, 95, 191 are not.
+  EXPECT_EQ(ref.memory().load_word(p.data_labels.at("out")), 4);
+}
+
+TEST(Reference, Transpose) {
+  const Program p = kernel_by_name("transpose").assemble_program();
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  const std::uint64_t t = p.data_labels.at("T");
+  for (unsigned i = 0; i < 8; ++i) {
+    for (unsigned j = 0; j < 8; ++j) {
+      EXPECT_EQ(ref.memory().load_word(t + 8 * (i * 8 + j)),
+                100 + j * 8 + i)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Reference, AllKernelsHalt) {
+  for (const auto& kernel : kernel_library()) {
+    ReferenceInterpreter ref;
+    const auto result = ref.run(kernel.assemble_program());
+    EXPECT_TRUE(result.halted) << kernel.name;
+    EXPECT_GT(result.instructions, 10u) << kernel.name;
+  }
+}
+
+TEST(Reference, MaxInstructionBudgetStopsRunaway) {
+  const Program p = assemble("spin:\n  j spin\n");
+  ReferenceInterpreter ref;
+  const auto result = ref.run(p, 1000);
+  EXPECT_FALSE(result.halted);
+  EXPECT_EQ(result.instructions, 1000u);
+}
+
+TEST(Reference, DivisionByZeroIsDefined) {
+  const Program p = assemble(R"(
+  addi r1, r0, 7
+  addi r2, r0, 0
+  div r3, r1, r2
+  rem r4, r1, r2
+  halt
+)");
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  EXPECT_EQ(ref.registers().read_int(3), 0);
+  EXPECT_EQ(ref.registers().read_int(4), 7);
+}
+
+TEST(Reference, JalAndJrRoundTrip) {
+  const Program p = assemble(R"(
+  addi r1, r0, 1
+  call fn
+  addi r1, r1, 100
+  halt
+fn:
+  addi r1, r1, 10
+  ret
+)");
+  ReferenceInterpreter ref;
+  EXPECT_TRUE(ref.run(p).halted);
+  EXPECT_EQ(ref.registers().read_int(1), 111);
+}
+
+}  // namespace
+}  // namespace steersim

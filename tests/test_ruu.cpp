@@ -1,0 +1,138 @@
+// Unit tests for the register update unit: allocation order, producer
+// lookup (the dependency buffer), id-based find, in-order retirement, and
+// squash semantics (including id rollback).
+#include <gtest/gtest.h>
+
+#include "core/ruu.hpp"
+
+namespace steersim {
+namespace {
+
+RuuEntry& add_writer(RegisterUpdateUnit& ruu, Opcode op, std::uint8_t rd) {
+  RuuEntry& e = ruu.allocate();
+  e.inst = Instruction{op, rd, 1, 2, 0};
+  return e;
+}
+
+TEST(Ruu, AllocateAssignsSequentialIds) {
+  RegisterUpdateUnit ruu(4);
+  EXPECT_EQ(ruu.allocate().id, 0u);
+  EXPECT_EQ(ruu.allocate().id, 1u);
+  EXPECT_EQ(ruu.size(), 2u);
+  EXPECT_FALSE(ruu.full());
+}
+
+TEST(Ruu, FindByIdAndRetire) {
+  RegisterUpdateUnit ruu(4);
+  const auto id0 = ruu.allocate().id;
+  const auto id1 = ruu.allocate().id;
+  EXPECT_NE(ruu.find(id0), nullptr);
+  EXPECT_EQ(ruu.find(999), nullptr);
+  const RuuEntry head = ruu.retire_head();
+  EXPECT_EQ(head.id, id0);
+  EXPECT_EQ(ruu.find(id0), nullptr);  // retired
+  EXPECT_NE(ruu.find(id1), nullptr);
+  EXPECT_EQ(ruu.at(0).id, id1);
+}
+
+TEST(Ruu, RingWrapsAcrossManyRetirements) {
+  RegisterUpdateUnit ruu(3);
+  for (int round = 0; round < 10; ++round) {
+    const auto id = ruu.allocate().id;
+    EXPECT_EQ(ruu.find(id)->id, id);
+    ruu.retire_head();
+  }
+  EXPECT_TRUE(ruu.empty());
+}
+
+TEST(Ruu, LatestProducerFindsYoungestWriter) {
+  RegisterUpdateUnit ruu(8);
+  const auto first = add_writer(ruu, Opcode::kAdd, 5).id;
+  add_writer(ruu, Opcode::kAdd, 6);
+  const auto second = add_writer(ruu, Opcode::kMul, 5).id;
+  EXPECT_NE(first, second);
+  EXPECT_EQ(ruu.latest_producer(RegClass::kInt, 5), second);
+  EXPECT_EQ(ruu.latest_producer(RegClass::kInt, 7), kNoProducer);
+}
+
+TEST(Ruu, R0HasNoProducer) {
+  RegisterUpdateUnit ruu(8);
+  add_writer(ruu, Opcode::kAdd, 0);
+  EXPECT_EQ(ruu.latest_producer(RegClass::kInt, 0), kNoProducer);
+}
+
+TEST(Ruu, IntAndFpNamespacesSeparate) {
+  RegisterUpdateUnit ruu(8);
+  const auto int_writer = add_writer(ruu, Opcode::kAdd, 3).id;
+  RuuEntry& fp = ruu.allocate();
+  fp.inst = make_rr(Opcode::kFadd, 3, 1, 2);
+  EXPECT_EQ(ruu.latest_producer(RegClass::kInt, 3), int_writer);
+  EXPECT_EQ(ruu.latest_producer(RegClass::kFp, 3), fp.id);
+}
+
+TEST(Ruu, FpCompareProducesIntRegister) {
+  RegisterUpdateUnit ruu(8);
+  RuuEntry& cmp = ruu.allocate();
+  cmp.inst = make_rr(Opcode::kFlt, 4, 1, 2);  // writes int r4
+  EXPECT_EQ(ruu.latest_producer(RegClass::kInt, 4), cmp.id);
+  EXPECT_EQ(ruu.latest_producer(RegClass::kFp, 4), kNoProducer);
+}
+
+TEST(Ruu, SquashYoungerRollsBackIds) {
+  RegisterUpdateUnit ruu(8);
+  const auto keep = add_writer(ruu, Opcode::kAdd, 1).id;
+  add_writer(ruu, Opcode::kAdd, 2);
+  add_writer(ruu, Opcode::kAdd, 3);
+  std::vector<std::uint64_t> squashed;
+  const unsigned n = ruu.squash_younger_than(
+      keep, [&squashed](const RuuEntry& e) { squashed.push_back(e.id); });
+  EXPECT_EQ(n, 2u);
+  ASSERT_EQ(squashed.size(), 2u);
+  EXPECT_GT(squashed[0], squashed[1]) << "youngest squashed first";
+  EXPECT_EQ(ruu.size(), 1u);
+  // Ids restart contiguously after the survivor.
+  const auto next = ruu.allocate().id;
+  EXPECT_EQ(next, keep + 1);
+  EXPECT_EQ(ruu.find(next)->id, next);
+}
+
+TEST(Ruu, SquashEverythingYoungerThanNothingClearsAll) {
+  RegisterUpdateUnit ruu(4);
+  add_writer(ruu, Opcode::kAdd, 1);
+  add_writer(ruu, Opcode::kAdd, 2);
+  unsigned count = 0;
+  // id threshold below every entry squashes the whole window... except the
+  // oldest entry id 0 (id <= threshold keeps it). Use the head's id.
+  ruu.squash_younger_than(ruu.at(0).id, [&count](const RuuEntry&) {
+    ++count;
+  });
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(ruu.size(), 1u);
+}
+
+TEST(Ruu, WritesRegHelper) {
+  RegisterUpdateUnit ruu(8);
+  RuuEntry& add = ruu.allocate();
+  add.inst = make_rr(Opcode::kAdd, 5, 1, 2);
+  EXPECT_TRUE(add.writes_reg());
+  RuuEntry& addr0 = ruu.allocate();
+  addr0.inst = make_rr(Opcode::kAdd, 0, 1, 2);
+  EXPECT_FALSE(addr0.writes_reg());
+  RuuEntry& store = ruu.allocate();
+  store.inst = make_store(Opcode::kSw, 1, 2, 0);
+  EXPECT_FALSE(store.writes_reg());
+  RuuEntry& fp0 = ruu.allocate();
+  fp0.inst = make_rr(Opcode::kFadd, 0, 1, 2);
+  EXPECT_TRUE(fp0.writes_reg()) << "f0 is a real register";
+}
+
+TEST(Ruu, FullRejectsViaContract) {
+  RegisterUpdateUnit ruu(2);
+  ruu.allocate();
+  ruu.allocate();
+  EXPECT_TRUE(ruu.full());
+  EXPECT_DEATH(ruu.allocate(), "Expects");
+}
+
+}  // namespace
+}  // namespace steersim

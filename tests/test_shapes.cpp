@@ -1,0 +1,179 @@
+// Reproduction-shape regression tests: the qualitative claims of
+// EXPERIMENTS.md, asserted on reduced-size workloads so they run in CI.
+// These lock in *who wins and by roughly what factor*, not absolute
+// numbers — exactly the reproduction contract. If a change to the
+// scheduler, loader or selection unit breaks a paper-level conclusion,
+// this suite fails before a human reads a bench table.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/runner.hpp"
+#include "sim/sweep.hpp"
+#include "workload/synthetic.hpp"
+
+namespace steersim {
+namespace {
+
+double ipc_of(const Program& program, const MachineConfig& cfg,
+              const PolicySpec& spec) {
+  return simulate(program, cfg, spec).stats.ipc();
+}
+
+Program corner(const MixSpec& mix, std::uint64_t seed = 5) {
+  return generate_synthetic(single_phase(mix, 64, 250, seed));
+}
+
+TEST(Shapes, SteeringBeatsFfuOnlyOnEveryMix) {
+  MachineConfig cfg;
+  for (const MixSpec& mix : standard_mixes()) {
+    const Program p = corner(mix);
+    const double steered = ipc_of(p, cfg, {.kind = PolicyKind::kSteered});
+    const double ffu = ipc_of(p, cfg, {.kind = PolicyKind::kStaticFfu});
+    EXPECT_GT(steered, 1.05 * ffu) << mix.name;
+  }
+}
+
+TEST(Shapes, SteeringTracksBestPresetOnCornerMixes) {
+  MachineConfig cfg;
+  const MixSpec corners[] = {int_heavy_mix(), mem_heavy_mix(),
+                             fp_heavy_mix(), mdu_heavy_mix()};
+  for (const MixSpec& mix : corners) {
+    const Program p = corner(mix);
+    const double steered = ipc_of(p, cfg, {.kind = PolicyKind::kSteered});
+    double best_preset = 0.0;
+    for (unsigned idx = 0; idx < kNumPresetConfigs; ++idx) {
+      best_preset = std::max(
+          best_preset, ipc_of(p, cfg,
+                              {.kind = PolicyKind::kStaticPreset,
+                               .preset_index = idx}));
+    }
+    EXPECT_GT(steered, 0.93 * best_preset) << mix.name;
+  }
+}
+
+TEST(Shapes, SteeringNearOracleEverywhere) {
+  MachineConfig cfg;
+  for (const MixSpec& mix : standard_mixes()) {
+    const Program p = corner(mix);
+    const double steered = ipc_of(p, cfg, {.kind = PolicyKind::kSteered});
+    const double oracle = ipc_of(p, cfg, {.kind = PolicyKind::kOracle});
+    EXPECT_GT(steered, 0.85 * oracle) << mix.name;
+  }
+}
+
+TEST(Shapes, PhasedCodeFavorsSteeringOverFrozenChoices) {
+  MachineConfig cfg;
+  const Program phased = generate_synthetic(alternating_phases(4096, 3, 5));
+  const double steered = ipc_of(phased, cfg, {.kind = PolicyKind::kSteered});
+  const double ffu = ipc_of(phased, cfg, {.kind = PolicyKind::kStaticFfu});
+  EXPECT_GT(steered, 1.2 * ffu);
+  for (unsigned idx = 0; idx < kNumPresetConfigs; ++idx) {
+    const double frozen = ipc_of(
+        phased, cfg,
+        {.kind = PolicyKind::kStaticPreset, .preset_index = idx});
+    EXPECT_GT(steered, 0.95 * frozen) << "preset " << idx;
+  }
+}
+
+TEST(Shapes, PartialReconfigBeatsFullOnFluctuatingDemand) {
+  MachineConfig cfg;
+  const Program mixed = corner(mixed_mix());
+  const double partial = ipc_of(mixed, cfg, {.kind = PolicyKind::kSteered});
+  const double full =
+      ipc_of(mixed, cfg, {.kind = PolicyKind::kFullReconfig});
+  EXPECT_GT(partial, 1.1 * full)
+      << "whole-fabric rewrites must hurt on fluctuating mixes";
+}
+
+TEST(Shapes, SteeringDegradesGracefullyWithRewriteCost) {
+  const Program phased = generate_synthetic(alternating_phases(4096, 3, 5));
+  MachineConfig cheap;
+  cheap.loader.cycles_per_slot = 1;
+  MachineConfig expensive;
+  expensive.loader.cycles_per_slot = 256;
+  const double at_cheap =
+      ipc_of(phased, cheap, {.kind = PolicyKind::kSteered});
+  const double at_expensive =
+      ipc_of(phased, expensive, {.kind = PolicyKind::kSteered});
+  EXPECT_GT(at_cheap, at_expensive);
+  EXPECT_GT(at_expensive, 0.9 * at_cheap)
+      << "degradation must be graceful, not a cliff";
+}
+
+TEST(Shapes, OrthogonalBasisBeatsDegenerateOnGeomean) {
+  auto geomean_for = [](const SteeringSet& basis) {
+    MachineConfig cfg;
+    cfg.steering = basis;
+    cfg.loader.num_slots = basis.num_slots;
+    double log_sum = 0.0;
+    int n = 0;
+    for (const MixSpec& mix : standard_mixes()) {
+      log_sum += std::log(
+          ipc_of(corner(mix), cfg, {.kind = PolicyKind::kSteered}));
+      ++n;
+    }
+    return std::exp(log_sum / n);
+  };
+  EXPECT_GT(geomean_for(default_steering_set()),
+            geomean_for(degenerate_basis()));
+}
+
+TEST(Shapes, HysteresisCutsChurnWithoutIpcLoss) {
+  // The E11 workload where steering churns hardest: mem-heavy queues
+  // whose LSU/ALU balance flickers around a CEM tie.
+  MachineConfig cfg;
+  const Program churny =
+      generate_synthetic(single_phase(mem_heavy_mix(), 64, 400, 123));
+  const SimResult base =
+      simulate(churny, cfg, {.kind = PolicyKind::kSteered});
+  const SimResult damped =
+      simulate(churny, cfg, {.kind = PolicyKind::kSteered, .confirm = 4});
+  ASSERT_GT(base.loader.slots_rewritten, 100u)
+      << "workload must exhibit churn for this test to mean anything";
+  EXPECT_LT(damped.loader.slots_rewritten,
+            base.loader.slots_rewritten / 5);
+  EXPECT_GT(damped.stats.ipc(), 0.95 * base.stats.ipc());
+}
+
+TEST(Shapes, RandomSteeringIsWorseThanPaperSteering) {
+  MachineConfig cfg;
+  const Program phased = generate_synthetic(alternating_phases(4096, 3, 5));
+  const double steered = ipc_of(phased, cfg, {.kind = PolicyKind::kSteered});
+  const double random = ipc_of(phased, cfg, {.kind = PolicyKind::kRandom});
+  EXPECT_GT(steered, random);
+}
+
+TEST(Shapes, CemApproxAgreementMajority) {
+  const SteeringSet set = default_steering_set();
+  const ConfigSelectionUnit approx(set, CemMode::kShiftApprox);
+  const ConfigSelectionUnit exact(set, CemMode::kExactDivide);
+  Xoshiro256 rng(99);
+  unsigned agree = 0;
+  const unsigned trials = 5000;
+  for (unsigned i = 0; i < trials; ++i) {
+    std::vector<Opcode> ops;
+    for (std::uint64_t k = rng.next_below(8); k > 0; --k) {
+      ops.push_back(static_cast<Opcode>(rng.next_below(kNumOpcodes)));
+    }
+    FuCounts current{};
+    for (auto& c : current) {
+      c = static_cast<std::uint8_t>(1 + rng.next_below(5));
+    }
+    std::array<unsigned, kNumCandidates> cost{};
+    for (unsigned p = 1; p < kNumCandidates; ++p) {
+      cost[p] = static_cast<unsigned>(rng.next_below(9));
+    }
+    if (approx.select(ops, current, cost).selection ==
+        exact.select(ops, current, cost).selection) {
+      ++agree;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / trials, 0.6)
+      << "the Fig. 3c approximation must agree with exact division on a "
+         "solid majority of states";
+}
+
+}  // namespace
+}  // namespace steersim
