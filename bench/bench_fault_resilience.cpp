@@ -1,0 +1,131 @@
+// E13 — Fault resilience of the steered machine: IPC, detection latency
+// and repair traffic as configuration-upset rate sweeps against the
+// scrubber's readback interval, on the phased int/fp workload where the
+// fabric is under constant reconfiguration pressure. A final scripted
+// point fences all eight slots mid-run to demonstrate graceful
+// degradation to the fixed functional units. Self-checking: every sweep
+// point must reach a clean halt (forward progress under faults).
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "sim/csv.hpp"
+
+using namespace steersim;
+
+namespace {
+
+struct Point {
+  double upset_rate;
+  unsigned scrub_interval;
+  SimResult result;
+};
+
+SimResult must_halt(const SimResult& r, const std::string& what) {
+  if (r.outcome != RunOutcome::kHalted) {
+    std::fprintf(stderr, "FAIL: %s did not halt (outcome %d)\n",
+                 what.c_str(), static_cast<int>(r.outcome));
+    std::exit(1);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E13", "fault resilience: upset rate x scrub "
+                             "interval (phased int/fp workload)");
+
+  const Program program =
+      generate_synthetic(alternating_phases(2048, 4, 33));
+
+  const double rates[] = {0.0, 1e-5, 1e-4, 1e-3, 1e-2};
+  const unsigned intervals[] = {8, 64, 512};
+
+  std::vector<std::function<Point()>> jobs;
+  for (const double rate : rates) {
+    for (const unsigned interval : intervals) {
+      jobs.emplace_back([&program, rate, interval] {
+        MachineConfig cfg;
+        cfg.loader.scrub_interval = interval;
+        cfg.fault.upset_rate = rate;
+        cfg.fault.seed = 7;
+        SimResult r = simulate(program, cfg, {.kind = PolicyKind::kSteered});
+        return Point{rate, interval,
+                     must_halt(r, "rate " + std::to_string(rate) +
+                                      " scrub " + std::to_string(interval))};
+      });
+    }
+  }
+  const auto points = parallel_map(jobs);
+
+  const double clean_ipc = points.front().result.stats.ipc();
+
+  Table table({"upset rate", "scrub", "IPC", "vs clean", "injected",
+               "detected", "repaired", "kills", "mean det. lat.",
+               "degraded %"});
+  CsvWriter csv("bench_fault_resilience.csv");
+  csv.row({"upset_rate", "scrub_interval", "ipc", "cycles",
+           "upsets_injected", "upsets_detected", "slots_repaired",
+           "executions_killed", "instructions_retried",
+           "mean_detection_latency", "degraded_cycles"});
+  for (const Point& p : points) {
+    const SimResult& r = p.result;
+    const double degraded_pct =
+        r.stats.cycles == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(r.loader.degraded_cycles) /
+                  static_cast<double>(r.stats.cycles);
+    table.add_row({Table::num(p.upset_rate, 5),
+                   Table::num(std::uint64_t{p.scrub_interval}),
+                   Table::num(r.stats.ipc()),
+                   Table::num(r.stats.ipc() / clean_ipc, 3),
+                   Table::num(r.fault.upsets_injected),
+                   Table::num(r.loader.upsets_detected),
+                   Table::num(r.loader.slots_repaired),
+                   Table::num(r.fault.executions_killed),
+                   Table::num(r.loader.detection_latency.mean(), 1),
+                   Table::num(degraded_pct, 2)});
+    csv.row({Table::num(p.upset_rate, 6),
+             Table::num(std::uint64_t{p.scrub_interval}),
+             Table::num(r.stats.ipc(), 4), Table::num(r.stats.cycles),
+             Table::num(r.fault.upsets_injected),
+             Table::num(r.loader.upsets_detected),
+             Table::num(r.loader.slots_repaired),
+             Table::num(r.fault.executions_killed),
+             Table::num(r.fault.instructions_retried),
+             Table::num(r.loader.detection_latency.mean(), 2),
+             Table::num(r.loader.degraded_cycles)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // Worst case: every RFU slot permanently fenced early in the run, on top
+  // of a high upset rate. The machine must degrade to its fixed units and
+  // still complete the program.
+  MachineConfig worst;
+  worst.loader.scrub_interval = 64;
+  worst.fault.upset_rate = 1e-3;
+  worst.fault.seed = 7;
+  for (unsigned s = 0; s < worst.loader.num_slots; ++s) {
+    worst.fault.script.push_back(
+        {1000 + 500 * std::uint64_t{s}, FaultKind::kPermanentFailure, s});
+  }
+  const SimResult wiped = must_halt(
+      simulate(program, worst, {.kind = PolicyKind::kSteered}),
+      "all-slots-fenced point");
+  std::printf(
+      "\nall slots fenced by cycle 4500 (+1e-3 upsets): IPC %.3f "
+      "(%.1f%% of clean), %llu units dropped, %llu fence events\n",
+      wiped.stats.ipc(), 100.0 * wiped.stats.ipc() / clean_ipc,
+      static_cast<unsigned long long>(wiped.loader.units_dropped),
+      static_cast<unsigned long long>(wiped.loader.fence_events));
+
+  std::printf(
+      "\nwrote bench_fault_resilience.csv\n"
+      "Expected shape: IPC degrades gracefully with upset rate; tighter "
+      "scrub intervals cut detection latency (and time spent computing on "
+      "a corrupt fabric) at the cost of extra repair traffic on the "
+      "single configuration port; even a fully fenced fabric makes "
+      "forward progress on the fixed units.\n");
+  return 0;
+}

@@ -107,6 +107,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fault: %s\n", cpu->fault_message().c_str());
     return 1;
   }
+  if (outcome == RunOutcome::kStalled) {
+    std::fprintf(stderr, "%s\n", cpu->fault_message().c_str());
+    return 1;
+  }
   if (dump_words > 0) {
     std::printf("data memory (first %u words):\n", dump_words);
     for (unsigned w = 0; w < dump_words; ++w) {

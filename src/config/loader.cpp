@@ -9,7 +9,7 @@ namespace steersim {
 ConfigurationLoader::ConfigurationLoader(const LoaderParams& params,
                                          AllocationVector initial)
     : params_(params), allocation_(std::move(initial)),
-      target_(allocation_) {
+      target_(allocation_), requested_(allocation_) {
   STEERSIM_EXPECTS(params.num_slots >= 1 &&
                    params.num_slots <= kMaxRfuSlots);
   STEERSIM_EXPECTS(params.cycles_per_slot >= 1);
@@ -19,11 +19,64 @@ ConfigurationLoader::ConfigurationLoader(const LoaderParams& params,
 
 void ConfigurationLoader::request(const AllocationVector& target) {
   STEERSIM_EXPECTS(target.num_slots() == params_.num_slots);
-  if (target == target_) {
+  if (target == requested_) {
     return;
   }
-  target_ = target;
+  requested_ = target;
   ++stats_.targets_requested;
+  retarget();
+}
+
+void ConfigurationLoader::retarget() {
+  if (fenced_.none()) {
+    target_ = requested_;
+    return;
+  }
+  unsigned dropped = 0;
+  target_ = place_avoiding_fence(requested_, &dropped);
+  stats_.units_dropped += dropped;
+  // Detected-damage slots the new target no longer covers will never see a
+  // repair rewrite; their span was already cleared, so stop tracking them.
+  if (repairing_.any()) {
+    SlotMask cover;
+    for (const auto& region : target_.regions()) {
+      for (unsigned i = 0; i < region.len; ++i) {
+        cover.set(region.base + i);
+      }
+    }
+    repairing_ = repairing_ & cover;
+  }
+}
+
+AllocationVector ConfigurationLoader::place_avoiding_fence(
+    const AllocationVector& wanted, unsigned* dropped) const {
+  if (fenced_.none()) {
+    return wanted;
+  }
+  AllocationVector placed(params_.num_slots);
+  SlotMask used = fenced_;
+  for (const auto& region : wanted.regions()) {
+    bool fits = false;
+    for (unsigned base = 0; base + region.len <= params_.num_slots; ++base) {
+      bool free = true;
+      for (unsigned i = 0; i < region.len; ++i) {
+        free = free && !used.test(base + i);
+      }
+      if (!free) {
+        continue;
+      }
+      placed.write_region(SlotRegion{region.type, base, region.len});
+      for (unsigned i = 0; i < region.len; ++i) {
+        used.set(base + i);
+      }
+      fits = true;
+      break;
+    }
+    if (!fits && dropped != nullptr) {
+      ++*dropped;
+    }
+  }
+  return placed;
 }
 
 bool ConfigurationLoader::region_satisfied(const SlotRegion& region) const {
@@ -71,8 +124,11 @@ unsigned ConfigurationLoader::reconfig_cost(
   // Slots covered by candidate regions not yet implemented. Target-empty
   // slots are don't-care: steering loads the units the chosen configuration
   // specifies and leaves leftover capacity in place (it can only help).
+  // With fenced slots the cost is that of the *realizable* placement, so
+  // selectors rank candidates by what they would actually get.
+  const AllocationVector placed = place_avoiding_fence(candidate);
   unsigned cost = 0;
-  for (const auto& region : candidate.regions()) {
+  for (const auto& region : placed.regions()) {
     if (!region_satisfied(region)) {
       cost += region.len;
     }
@@ -80,12 +136,166 @@ unsigned ConfigurationLoader::reconfig_cost(
   return cost;
 }
 
+AllocationVector ConfigurationLoader::effective_allocation() const {
+  const SlotMask broken = corrupted_ | fenced_;
+  AllocationVector effective = allocation_;
+  if (broken.none()) {
+    return effective;
+  }
+  for (const auto& region : allocation_.regions()) {
+    bool hit = false;
+    for (unsigned i = 0; i < region.len; ++i) {
+      hit = hit || broken.test(region.base + i);
+    }
+    if (hit) {
+      effective.clear_span(region.base, region.len);
+    }
+  }
+  // Stray codes on broken slots outside any complete region read as garbage.
+  for (unsigned slot = 0; slot < params_.num_slots; ++slot) {
+    if (broken.test(slot)) {
+      effective.clear_span(slot, 1);
+    }
+  }
+  return effective;
+}
+
+bool ConfigurationLoader::corrupt_slot(unsigned slot) {
+  STEERSIM_EXPECTS(slot < params_.num_slots);
+  if (fenced_.test(slot)) {
+    return false;
+  }
+  if (!corrupted_.test(slot)) {
+    corrupted_.set(slot);
+    corrupt_cycle_[slot] = cycle_;  // detection latency from first upset
+  }
+  return true;
+}
+
+bool ConfigurationLoader::fence_slot(unsigned slot) {
+  STEERSIM_EXPECTS(slot < params_.num_slots);
+  if (fenced_.test(slot)) {
+    return false;
+  }
+  fenced_.set(slot);
+  corrupted_.reset(slot);
+  repairing_.reset(slot);
+  ++stats_.fence_events;
+  // Abort rewrites touching the slot: the write can never complete.
+  std::erase_if(active_, [slot](const Rewrite& rewrite) {
+    return slot >= rewrite.region.base &&
+           slot < rewrite.region.base + rewrite.region.len;
+  });
+  // Evict the unit straddling the slot, if any; the survivors of its span
+  // become free capacity for the re-placed target.
+  for (const auto& region : allocation_.regions()) {
+    if (slot >= region.base && slot < region.base + region.len) {
+      allocation_.clear_span(region.base, region.len);
+      break;
+    }
+  }
+  allocation_.clear_span(slot, 1);
+  retarget();
+  return true;
+}
+
+void ConfigurationLoader::begin_span_write(unsigned base, unsigned len) {
+  // Fresh frames replace whatever was in the span: pre-existing silent
+  // corruption is healed incidentally (not counted as detected/repaired —
+  // those are scrubber metrics). Upsets arriving *during* the rewrite set
+  // corrupted_ again afterwards and persist past completion, modeling a
+  // write whose frames were hit in flight.
+  for (unsigned i = 0; i < len; ++i) {
+    corrupted_.reset(base + i);
+  }
+}
+
+void ConfigurationLoader::finish_span_write(unsigned base, unsigned len) {
+  for (unsigned i = 0; i < len; ++i) {
+    if (repairing_.test(base + i)) {
+      repairing_.reset(base + i);
+      ++stats_.slots_repaired;
+    }
+  }
+}
+
+void ConfigurationLoader::scrub_readback() {
+  const unsigned n = params_.num_slots;
+  for (unsigned tried = 0; tried < n; ++tried) {
+    const unsigned slot = scrub_ptr_;
+    scrub_ptr_ = (scrub_ptr_ + 1) % n;
+    if (fenced_.test(slot)) {
+      continue;  // nothing to read back; advance to a live slot
+    }
+    ++stats_.scrub_reads;
+    if (full_remaining_ > 0 || overlaps_active(slot, 1)) {
+      return;  // frames changing under the readback; retry next pass
+    }
+    if (!corrupted_.test(slot)) {
+      return;
+    }
+    // Damage found. Repair is region-granular: schedule a rewrite of the
+    // whole containing unit by clearing its span — step_partial() then sees
+    // the target region unsatisfied and rewrites it through the ordinary
+    // configuration port, competing with steering rewrites.
+    const auto detect = [this](unsigned s) {
+      ++stats_.upsets_detected;
+      const double latency = static_cast<double>(cycle_ - corrupt_cycle_[s]);
+      stats_.detection_latency.add(latency);
+      stats_.detection_latency_hist.add(latency);
+      corrupted_.reset(s);
+    };
+    SlotMask target_cover;
+    for (const auto& region : target_.regions()) {
+      for (unsigned i = 0; i < region.len; ++i) {
+        target_cover.set(region.base + i);
+      }
+    }
+    bool in_region = false;
+    for (const auto& region : allocation_.regions()) {
+      if (slot < region.base || slot >= region.base + region.len) {
+        continue;
+      }
+      in_region = true;
+      for (unsigned i = 0; i < region.len; ++i) {
+        const unsigned s = region.base + i;
+        if (corrupted_.test(s)) {
+          detect(s);
+          if (target_cover.test(s)) {
+            repairing_.set(s);
+          }
+        }
+      }
+      allocation_.clear_span(region.base, region.len);
+      break;
+    }
+    if (!in_region) {
+      // Corrupted slot outside any complete unit (empty or a stray code):
+      // the readback rewrites it to empty on the spot — no port traffic.
+      detect(slot);
+      allocation_.clear_span(slot, 1);
+    }
+    return;
+  }
+}
+
 void ConfigurationLoader::step(SlotMask slot_busy) {
+  if (params_.scrub_interval > 0) {
+    if (scrub_countdown_ == 0) {
+      scrub_readback();
+      scrub_countdown_ = params_.scrub_interval;
+    }
+    --scrub_countdown_;
+  }
   if (params_.partial) {
     step_partial(slot_busy);
   } else {
     step_full(slot_busy);
   }
+  if ((corrupted_ | fenced_ | repairing_).any()) {
+    ++stats_.degraded_cycles;
+  }
+  ++cycle_;
 }
 
 void ConfigurationLoader::step_partial(SlotMask slot_busy) {
@@ -120,12 +330,15 @@ void ConfigurationLoader::step_partial(SlotMask slot_busy) {
           std::min(current.base + current.len, region.base + region.len);
       if (lo < hi) {
         allocation_.clear_span(current.base, current.len);
+        begin_span_write(current.base, current.len);
       }
     }
     allocation_.clear_span(region.base, region.len);
+    begin_span_write(region.base, region.len);
     if (params_.instant) {
       allocation_.write_region(region);
       stats_.slots_rewritten += region.len;
+      finish_span_write(region.base, region.len);
     } else {
       active_.push_back(
           Rewrite{region, params_.cycles_per_slot * region.len});
@@ -142,6 +355,7 @@ void ConfigurationLoader::step_partial(SlotMask slot_busy) {
     if (--it->remaining == 0) {
       allocation_.write_region(it->region);
       stats_.slots_rewritten += it->region.len;
+      finish_span_write(it->region.base, it->region.len);
       it = active_.erase(it);
     } else {
       ++it;
@@ -164,6 +378,7 @@ void ConfigurationLoader::step_full(SlotMask slot_busy) {
       return;
     }
     allocation_.clear_span(0, params_.num_slots);
+    begin_span_write(0, params_.num_slots);
     full_remaining_ = params_.cycles_per_slot * params_.num_slots;
   }
   if (--full_remaining_ == 0) {
@@ -171,6 +386,7 @@ void ConfigurationLoader::step_full(SlotMask slot_busy) {
       allocation_.write_region(region);
       stats_.slots_rewritten += region.len;
     }
+    finish_span_write(0, params_.num_slots);
     ++stats_.regions_started;
   }
 }

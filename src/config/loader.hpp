@@ -7,10 +7,25 @@
 // Busy slots are skipped — that is what makes the active configuration a
 // hybrid overlap of steering configurations. A non-partial mode reproduces
 // the [7]-style baseline where the whole fabric must be rewritten at once.
+//
+// Fault extension (docs/FAULTS.md): configuration memory can suffer
+// transient upsets (a slot's bits silently corrupted) and permanent slot
+// failures (the slot fenced off for good). The loader masks broken slots
+// out of the allocation the rest of the machine sees, runs an optional
+// readback scrubber that walks one slot every `scrub_interval` cycles to
+// detect silent corruption, and repairs detected regions through the
+// ordinary partial-reconfiguration path — repair rewrites compete with
+// steering rewrites for the same configuration port. Fenced slots are
+// routed around: requested targets are re-placed onto the surviving slots
+// (first fit, preserving the candidate's unit order) and units that no
+// longer fit are dropped, so steering always chooses among *realizable*
+// configurations on the shrunken fabric.
 #pragma once
 
+#include <array>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "config/allocation.hpp"
 
 namespace steersim {
@@ -26,6 +41,11 @@ struct LoaderParams {
   /// Oracle mode: rewrites complete in the same cycle they start (busy
   /// slots are still respected). Used only by the oracle upper bound.
   bool instant = false;
+  /// Scrubber readback cadence: one slot is read back every
+  /// `scrub_interval` cycles (0 disables scrubbing). Readback uses a
+  /// dedicated port and is free; only the repair *rewrites* it schedules
+  /// occupy the configuration port.
+  unsigned scrub_interval = 0;
 };
 
 struct LoaderStats {
@@ -35,6 +55,19 @@ struct LoaderStats {
   /// Cycles in which at least one wanted region could not start because a
   /// slot it needs was busy executing.
   std::uint64_t blocked_cycles = 0;
+
+  // Scrubbing / fault-recovery side (see docs/FAULTS.md).
+  std::uint64_t scrub_reads = 0;       ///< readback operations performed
+  std::uint64_t upsets_detected = 0;   ///< corrupted slots found by readback
+  std::uint64_t slots_repaired = 0;    ///< detected slots restored by rewrites
+  std::uint64_t fence_events = 0;      ///< permanent failures accepted
+  std::uint64_t units_dropped = 0;     ///< target units unplaceable after fencing
+  /// Cycles with any fault state outstanding (silent corruption, detected
+  /// damage awaiting rewrite, or fenced slots).
+  std::uint64_t degraded_cycles = 0;
+  /// Upset-to-detection delay of every scrub detection, in cycles.
+  RunningStat detection_latency;
+  Histogram detection_latency_hist{0.0, 4096.0, 32};
 };
 
 class ConfigurationLoader {
@@ -42,7 +75,8 @@ class ConfigurationLoader {
   ConfigurationLoader(const LoaderParams& params, AllocationVector initial);
 
   /// Sets the steering target (the configuration chosen by the selector).
-  /// In-flight rewrites for a previous target run to completion.
+  /// In-flight rewrites for a previous target run to completion. With
+  /// fenced slots present the target is first re-placed around them.
   void request(const AllocationVector& target);
   const AllocationVector& target() const { return target_; }
 
@@ -52,14 +86,38 @@ class ConfigurationLoader {
 
   /// Units currently loaded and usable. Slots under rewrite are cleared, so
   /// `allocation().counts()` is exactly the configured-unit count vector.
+  /// This is the loader's *bookkeeping* view: silently corrupted units are
+  /// still present here (the hardware does not know they broke).
   const AllocationVector& allocation() const { return allocation_; }
+
+  /// The allocation the execution engine may actually use: regions
+  /// overlapping corrupted or fenced slots are masked out, so no
+  /// instruction ever issues to a broken unit.
+  AllocationVector effective_allocation() const;
 
   SlotMask reconfiguring() const;
   bool idle() const { return active_.empty() && full_remaining_ == 0; }
 
   /// Slots that would need rewriting to realize `candidate` from the
   /// current allocation (the selector's least-reconfiguration tie-break).
+  /// With fenced slots present the cost is computed against the re-placed
+  /// (realizable) form of the candidate.
   unsigned reconfig_cost(const AllocationVector& candidate) const;
+
+  // Fault hooks (called by the processor's injection stage).
+  /// Marks a slot's configuration memory as corrupted. Returns false if
+  /// the slot is fenced (dead config logic cannot be upset in any way that
+  /// matters). Corruption is silent: only effective_allocation() changes.
+  bool corrupt_slot(unsigned slot);
+  /// Permanently fences a slot: evicts the unit occupying it, aborts any
+  /// rewrite touching it, and re-places the requested target around the
+  /// fence. Returns false if already fenced.
+  bool fence_slot(unsigned slot);
+
+  SlotMask corrupted() const { return corrupted_; }
+  SlotMask fenced() const { return fenced_; }
+  /// Detected-damage slots whose repair rewrite has not completed yet.
+  SlotMask repairing() const { return repairing_; }
 
   const LoaderStats& stats() const { return stats_; }
   const LoaderParams& params() const { return params_; }
@@ -77,11 +135,38 @@ class ConfigurationLoader {
   void step_partial(SlotMask slot_busy);
   void step_full(SlotMask slot_busy);
 
+  /// Re-places `wanted`'s unit regions onto non-fenced slots, first fit in
+  /// the candidate's own region order; units that fit nowhere are dropped
+  /// (counted into *dropped if given). Identity when nothing is fenced.
+  AllocationVector place_avoiding_fence(const AllocationVector& wanted,
+                                        unsigned* dropped = nullptr) const;
+  /// Recomputes target_ from requested_ after the fence set grew.
+  void retarget();
+  /// A rewrite is about to lay fresh frames over [base, base+len): clears
+  /// pre-existing corruption (the write replaces the bits).
+  void begin_span_write(unsigned base, unsigned len);
+  /// A rewrite finished writing [base, base+len): completes any pending
+  /// repairs in the span.
+  void finish_span_write(unsigned base, unsigned len);
+  /// One readback step of the scrubber.
+  void scrub_readback();
+
   LoaderParams params_;
   AllocationVector allocation_;
-  AllocationVector target_;
+  AllocationVector target_;     ///< realizable target actually steered to
+  AllocationVector requested_;  ///< last externally requested target
   std::vector<Rewrite> active_;
   unsigned full_remaining_ = 0;  ///< full-reconfig mode countdown
+
+  // Fault state.
+  SlotMask corrupted_;   ///< silent upsets not yet detected or overwritten
+  SlotMask fenced_;      ///< permanently failed slots
+  SlotMask repairing_;   ///< detected damage awaiting a repair rewrite
+  std::array<std::uint64_t, kMaxRfuSlots> corrupt_cycle_{};
+  std::uint64_t cycle_ = 0;       ///< step() count, for latency bookkeeping
+  unsigned scrub_countdown_ = 0;
+  unsigned scrub_ptr_ = 0;        ///< next slot the readback pass visits
+
   LoaderStats stats_;
 };
 

@@ -161,6 +161,21 @@ void ExecutionEngine::cancel(unsigned wakeup_row) {
   }
 }
 
+FixedVector<unsigned, kMaxWakeupEntries> ExecutionEngine::kill_slot(
+    unsigned slot) {
+  FixedVector<unsigned, kMaxWakeupEntries> killed;
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    const unsigned len = slot_cost(it->type);
+    if (!it->fixed && slot >= it->base && slot < it->base + len) {
+      killed.push_back(it->wakeup_row);
+      it = in_flight_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return killed;
+}
+
 SlotMask ExecutionEngine::slot_busy() const {
   SlotMask mask;
   for (const auto& f : in_flight_) {

@@ -73,6 +73,12 @@ class ExecutionEngine {
   /// Cancels in-flight work for a squashed wake-up row (frees the unit).
   void cancel(unsigned wakeup_row);
 
+  /// A configuration upset hit `slot`: kills every in-flight operation on
+  /// an RFU unit whose span covers the slot and returns the affected
+  /// wake-up rows so the scheduler can retry them. Not counted as cancels
+  /// (fault statistics track kills separately).
+  FixedVector<unsigned, kMaxWakeupEntries> kill_slot(unsigned slot);
+
   /// Slots occupied by busy RFU units (input to the configuration loader).
   SlotMask slot_busy() const;
 

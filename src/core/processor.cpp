@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 
 #include "common/contracts.hpp"
 #include "core/exec.hpp"
@@ -30,10 +31,72 @@ bool ranges_overlap(std::uint64_t a, unsigned a_size, std::uint64_t b,
 
 }  // namespace
 
+const MachineConfig& Processor::validated(const MachineConfig& config) {
+  const auto reject = [](const std::string& what) {
+    throw std::invalid_argument("MachineConfig: " + what);
+  };
+  if (config.fetch_width < 1 || config.fetch_width > kMaxFetchWidth) {
+    reject("fetch_width " + std::to_string(config.fetch_width) +
+           " outside [1, " + std::to_string(kMaxFetchWidth) + "]");
+  }
+  if (config.retire_width < 1) {
+    reject("retire_width must be at least 1");
+  }
+  if (config.queue_entries < 1 ||
+      config.queue_entries > kMaxWakeupEntries) {
+    reject("queue_entries " + std::to_string(config.queue_entries) +
+           " outside [1, " + std::to_string(kMaxWakeupEntries) + "]");
+  }
+  if (config.ruu_entries < 1) {
+    reject("ruu_entries must be at least 1");
+  }
+  if (config.ruu_entries < config.queue_entries) {
+    reject("ruu_entries " + std::to_string(config.ruu_entries) +
+           " smaller than queue_entries " +
+           std::to_string(config.queue_entries) +
+           " (every queue row cross-references an RUU entry)");
+  }
+  if (config.loader.num_slots < 1 ||
+      config.loader.num_slots > kMaxRfuSlots) {
+    reject("loader.num_slots " + std::to_string(config.loader.num_slots) +
+           " outside [1, " + std::to_string(kMaxRfuSlots) + "]");
+  }
+  if (config.loader.num_slots != config.steering.num_slots) {
+    reject("loader.num_slots " + std::to_string(config.loader.num_slots) +
+           " != steering.num_slots " +
+           std::to_string(config.steering.num_slots));
+  }
+  if (config.loader.cycles_per_slot < 1) {
+    reject("loader.cycles_per_slot must be at least 1");
+  }
+  if (config.loader.max_concurrent_regions < 1) {
+    reject("loader.max_concurrent_regions must be at least 1");
+  }
+  if (config.data_memory_bytes == 0) {
+    reject("data_memory_bytes must be nonzero");
+  }
+  if (config.fault.upset_rate < 0.0 || config.fault.upset_rate > 1.0) {
+    reject("fault.upset_rate " + std::to_string(config.fault.upset_rate) +
+           " outside [0, 1]");
+  }
+  if (config.fault.permanent_rate < 0.0 ||
+      config.fault.permanent_rate > 1.0) {
+    reject("fault.permanent_rate " +
+           std::to_string(config.fault.permanent_rate) + " outside [0, 1]");
+  }
+  for (const FaultEvent& ev : config.fault.script) {
+    if (ev.slot >= config.loader.num_slots) {
+      reject("fault script slot " + std::to_string(ev.slot) +
+             " >= num_slots " + std::to_string(config.loader.num_slots));
+    }
+  }
+  return config;
+}
+
 Processor::Processor(const Program& program, const MachineConfig& config,
                      std::unique_ptr<SteeringPolicy> policy,
                      AllocationVector initial_rfu)
-    : config_(config),
+    : config_(validated(config)),
       program_(program),
       mem_(config.data_memory_bytes),
       dcache_(config.use_dcache ? std::make_unique<DataCache>(config.dcache)
@@ -49,10 +112,9 @@ Processor::Processor(const Program& program, const MachineConfig& config,
       ruu_(config.ruu_entries),
       engine_(config.steering.ffu, config.pipelined_units),
       loader_(config.loader, std::move(initial_rfu)),
-      policy_(std::move(policy)) {
+      policy_(std::move(policy)),
+      injector_(config.fault, config.loader.num_slots) {
   STEERSIM_EXPECTS(policy_ != nullptr);
-  STEERSIM_EXPECTS(config.loader.num_slots == config.steering.num_slots);
-  STEERSIM_EXPECTS(config.ruu_entries >= config.queue_entries);
   mem_.load_image(program_.data);
 }
 
@@ -179,6 +241,39 @@ void Processor::stage_retire() {
   }
 }
 
+void Processor::stage_faults() {
+  if (!config_.fault.enabled()) {
+    return;
+  }
+  for (const FaultEvent& ev : injector_.sample(stats_.cycles)) {
+    const bool accepted = ev.kind == FaultKind::kPermanentFailure
+                              ? loader_.fence_slot(ev.slot)
+                              : loader_.corrupt_slot(ev.slot);
+    if (!accepted) {
+      continue;  // slot already fenced: dead logic absorbs the hit
+    }
+    if (ev.kind == FaultKind::kPermanentFailure) {
+      ++fault_stats_.permanent_failures;
+    } else {
+      ++fault_stats_.upsets_injected;
+    }
+    // An upset under an executing instruction kills the execution: the
+    // scheduler rolls the instruction back to waiting so it reissues on a
+    // healthy unit — an FFU, another instance, or this slot once repaired.
+    // No dependent has consumed the result yet (results broadcast only at
+    // completion), so the rollback is invisible to architectural state.
+    for (const unsigned row : engine_.kill_slot(ev.slot)) {
+      RuuEntry* entry = ruu_.find(wakeup_.entry(row).tag);
+      STEERSIM_ENSURES(entry != nullptr &&
+                       entry->wakeup_row == static_cast<int>(row));
+      entry->state = RuuState::kWaiting;
+      entry->fault_retry = true;
+      wakeup_.reschedule(row);
+      ++fault_stats_.executions_killed;
+    }
+  }
+}
+
 void Processor::stage_complete() {
   const auto completed_rows = engine_.step();
   // Snapshot (row, tag) pairs before any squash can recycle a row, then
@@ -221,8 +316,12 @@ void Processor::stage_complete() {
 }
 
 void Processor::stage_issue() {
-  engine_.begin_cycle(loader_.allocation());
-  const ResourceAvail avail = engine_.availability(loader_.allocation());
+  // Issue consults the *effective* allocation: units overlapping corrupted
+  // or fenced slots are masked out so nothing issues to broken hardware.
+  // Without faults this is exactly loader_.allocation().
+  const AllocationVector effective = loader_.effective_allocation();
+  engine_.begin_cycle(effective);
+  const ResourceAvail avail = engine_.availability(effective);
 
   EntryMask requests = wakeup_.request_execution(avail);
 
@@ -265,6 +364,10 @@ void Processor::stage_issue() {
   for (const unsigned row : grants) {
     RuuEntry* entry = ruu_.find(wakeup_.entry(row).tag);
     STEERSIM_ENSURES(entry != nullptr);
+    if (entry->fault_retry) {
+      entry->fault_retry = false;
+      ++fault_stats_.instructions_retried;
+    }
     const Instruction& inst = entry->inst;
     const OpInfo& info = op_info(inst.op);
 
@@ -442,6 +545,7 @@ void Processor::step() {
     ++stats_.cycles;
     return;
   }
+  stage_faults();
   stage_complete();
   stage_issue();
   stage_steer();
@@ -463,6 +567,41 @@ RunOutcome Processor::run(std::uint64_t max_cycles) {
     step();
     if (stats_.retired == last_retired) {
       if (++stall_window >= kStallLimit) {
+        // One-line machine-state digest so a stall report is actionable
+        // without rerunning under a debugger.
+        std::string digest =
+            "stalled: no retirement for " + std::to_string(stall_window) +
+            " cycles at cycle " + std::to_string(stats_.cycles) +
+            ", retired " + std::to_string(stats_.retired);
+        if (ruu_.empty()) {
+          digest += ", ruu empty";
+        } else {
+          const RuuEntry& head = ruu_.at(0);
+          static constexpr const char* kStateNames[] = {"waiting", "issued",
+                                                        "done"};
+          digest += ", ruu head pc " + std::to_string(head.pc) + " " +
+                    std::string(op_info(head.inst.op).mnemonic) + " (" +
+                    kStateNames[static_cast<unsigned>(head.state)] + ")";
+        }
+        digest += ", ruu " + std::to_string(ruu_.size()) + "/" +
+                  std::to_string(ruu_.capacity()) + ", queue " +
+                  std::to_string(wakeup_.num_entries() -
+                                 wakeup_.free_entries()) +
+                  "/" + std::to_string(wakeup_.num_entries()) +
+                  ", alloc [" + loader_.allocation().to_string() +
+                  "], target [" + loader_.target().to_string() + "]";
+        if (loader_.reconfiguring().any()) {
+          digest += ", reconfiguring";
+        }
+        if (loader_.fenced().any()) {
+          digest +=
+              ", fenced slots " + std::to_string(loader_.fenced().count());
+        }
+        if (loader_.corrupted().any()) {
+          digest += ", corrupted slots " +
+                    std::to_string(loader_.corrupted().count());
+        }
+        fault_message_ = std::move(digest);
         return RunOutcome::kStalled;
       }
     } else {

@@ -34,6 +34,7 @@
 #include "core/execution_engine.hpp"
 #include "core/policy.hpp"
 #include "core/ruu.hpp"
+#include "fault/injector.hpp"
 #include "frontend/fetch_unit.hpp"
 #include "memory/cache.hpp"
 #include "memory/data_memory.hpp"
@@ -64,6 +65,8 @@ struct MachineConfig {
   /// latency is hit/miss-dependent instead of the fixed LSU latency.
   bool use_dcache = false;
   CacheParams dcache;
+  /// Configuration-memory fault injection (docs/FAULTS.md); off by default.
+  FaultParams fault;
 
   MachineConfig() : steering(default_steering_set()) {
     loader.num_slots = steering.num_slots;
@@ -133,6 +136,9 @@ class Processor {
   const DataCache* dcache() const { return dcache_.get(); }
   const std::string& fault_message() const { return fault_message_; }
   const MachineConfig& config() const { return config_; }
+  /// Injection-side fault statistics (detection/repair live in
+  /// `loader().stats()`).
+  const FaultStats& fault_stats() const { return fault_stats_; }
 
   /// Test/debug hook invoked for every committed instruction, in order.
   void set_retire_hook(std::function<void(const RuuEntry&)> hook) {
@@ -140,7 +146,12 @@ class Processor {
   }
 
  private:
+  /// Throws std::invalid_argument on an inconsistent configuration; called
+  /// before any member constructs so no module ever sees bad parameters.
+  static const MachineConfig& validated(const MachineConfig& config);
+
   void stage_retire();
+  void stage_faults();
   void stage_complete();
   void stage_issue();
   void stage_steer();
@@ -177,9 +188,11 @@ class Processor {
   ExecutionEngine engine_;
   ConfigurationLoader loader_;
   std::unique_ptr<SteeringPolicy> policy_;
+  FaultInjector injector_;
 
   std::function<void(const RuuEntry&)> retire_hook_;
   SimStats stats_;
+  FaultStats fault_stats_;
   bool halted_ = false;
   bool faulted_ = false;
   std::string fault_message_;

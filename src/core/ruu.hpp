@@ -43,6 +43,10 @@ struct RuuEntry {
   bool branch_taken = false;
   std::uint32_t actual_next = 0;
 
+  /// Execution was killed by a configuration upset and the entry rolled
+  /// back to waiting; cleared (and counted) when it reissues.
+  bool fault_retry = false;
+
   /// Memory bookkeeping.
   bool addr_known = false;
   std::uint64_t mem_addr = 0;

@@ -1,0 +1,68 @@
+// Configuration-memory fault model for the RFU fabric.
+//
+// The paper's forward-progress argument — one fixed unit of every type
+// always exists, so every instruction eventually executes regardless of
+// RFU state — is only testable if the RFU state can actually go bad. This
+// header defines the fault classes the injector exercises:
+//
+//   kTransientUpset    — a single-event upset flips configuration memory
+//                        of one slot; the unit occupying that slot is
+//                        silently broken until a scrub readback detects it
+//                        (or a rewrite happens to replace the frame).
+//   kPermanentFailure  — the slot's configuration logic dies for good; the
+//                        slot is fenced off and steering must re-place
+//                        configurations around it.
+//
+// An upset that lands on a slot whose unit is mid-execution additionally
+// kills the in-flight instruction: the processor squashes it back to the
+// ready queue and it retries on a fixed unit or a repaired slot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace steersim {
+
+enum class FaultKind : std::uint8_t {
+  kTransientUpset,    ///< config memory corrupted until repaired
+  kPermanentFailure,  ///< slot fenced off for the rest of the run
+};
+
+/// One scheduled or sampled fault.
+struct FaultEvent {
+  std::uint64_t cycle = 0;
+  FaultKind kind = FaultKind::kTransientUpset;
+  unsigned slot = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultParams {
+  /// Per-cycle probability of one transient upset at a uniform random slot.
+  double upset_rate = 0.0;
+  /// Per-cycle probability of one permanent failure at a uniform random
+  /// slot (already-fenced slots draw again nothing; the event is dropped).
+  double permanent_rate = 0.0;
+  std::uint64_t seed = 1;
+  /// Scripted schedule, applied in addition to the rate-based draws.
+  /// Events need not be sorted; the injector sorts at construction.
+  std::vector<FaultEvent> script;
+
+  /// True if any fault source is configured. With no sources the injector
+  /// is never consulted and the machine behaves bit-identically to a
+  /// fault-free build.
+  bool enabled() const {
+    return upset_rate > 0.0 || permanent_rate > 0.0 || !script.empty();
+  }
+};
+
+/// Injection-side statistics kept by the processor (the loader keeps the
+/// detection/repair side in LoaderStats, since scrubbing is its machinery).
+struct FaultStats {
+  std::uint64_t upsets_injected = 0;      ///< transient upsets applied
+  std::uint64_t permanent_failures = 0;   ///< slots fenced
+  std::uint64_t executions_killed = 0;    ///< in-flight work squashed by upsets
+  std::uint64_t instructions_retried = 0; ///< killed instructions re-issued
+};
+
+}  // namespace steersim

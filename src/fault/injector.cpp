@@ -1,0 +1,48 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+FaultInjector::FaultInjector(const FaultParams& params, unsigned num_slots)
+    : params_(params), num_slots_(num_slots), rng_(params.seed) {
+  STEERSIM_EXPECTS(num_slots >= 1 && num_slots <= kMaxRfuSlots);
+  STEERSIM_EXPECTS(params.upset_rate >= 0.0 && params.upset_rate <= 1.0);
+  STEERSIM_EXPECTS(params.permanent_rate >= 0.0 &&
+                   params.permanent_rate <= 1.0);
+  for (const FaultEvent& ev : params_.script) {
+    STEERSIM_EXPECTS(ev.slot < num_slots_);
+  }
+  std::ranges::stable_sort(params_.script,
+                           [](const FaultEvent& a, const FaultEvent& b) {
+                             return a.cycle < b.cycle;
+                           });
+}
+
+FixedVector<FaultEvent, kMaxRfuSlots> FaultInjector::sample(
+    std::uint64_t cycle) {
+  FixedVector<FaultEvent, kMaxRfuSlots> due;
+  while (script_pos_ < params_.script.size() &&
+         params_.script[script_pos_].cycle <= cycle && !due.full()) {
+    due.push_back(params_.script[script_pos_++]);
+  }
+  // Rates of zero must not consume RNG state: a machine configured with
+  // the subsystem on but rates at zero is bit-identical to one without it.
+  if (params_.upset_rate > 0.0 && rng_.next_bool(params_.upset_rate) &&
+      !due.full()) {
+    due.push_back(FaultEvent{
+        cycle, FaultKind::kTransientUpset,
+        static_cast<unsigned>(rng_.next_below(num_slots_))});
+  }
+  if (params_.permanent_rate > 0.0 &&
+      rng_.next_bool(params_.permanent_rate) && !due.full()) {
+    due.push_back(FaultEvent{
+        cycle, FaultKind::kPermanentFailure,
+        static_cast<unsigned>(rng_.next_below(num_slots_))});
+  }
+  return due;
+}
+
+}  // namespace steersim

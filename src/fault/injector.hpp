@@ -1,0 +1,37 @@
+// Deterministic, seeded fault injector.
+//
+// Two fault sources compose: a scripted schedule (exact cycle/slot/kind
+// triples, for directed tests) and rate-based sampling (one Bernoulli draw
+// per configured rate per cycle, slot uniform). All randomness flows
+// through one seeded Xoshiro256, and a rate of zero performs no draw at
+// all, so enabling the subsystem with zero rates leaves the RNG stream —
+// and therefore every simulation statistic — untouched.
+#pragma once
+
+#include "common/fixed_vector.hpp"
+#include "common/rng.hpp"
+#include "config/allocation.hpp"
+#include "fault/fault_model.hpp"
+
+namespace steersim {
+
+class FaultInjector {
+ public:
+  /// Scripted slots must be < `num_slots`.
+  FaultInjector(const FaultParams& params, unsigned num_slots);
+
+  /// Faults due at `cycle`. Cycles must be consulted in nondecreasing
+  /// order (the script cursor only advances). Scripted events whose cycle
+  /// has passed fire on the first consultation at or after it.
+  FixedVector<FaultEvent, kMaxRfuSlots> sample(std::uint64_t cycle);
+
+  const FaultParams& params() const { return params_; }
+
+ private:
+  FaultParams params_;  ///< script sorted by cycle
+  unsigned num_slots_;
+  Xoshiro256 rng_;
+  std::size_t script_pos_ = 0;
+};
+
+}  // namespace steersim

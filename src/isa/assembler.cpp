@@ -353,7 +353,7 @@ class Assembler {
           expect_operands(tokens, 2);
           const std::int64_t imm = parse_int(tokens[2]);
           if (imm < kImm15Min || imm > kImm15Max) {
-            fail("immediate out of range");
+            fail("immediate out of range: " + std::to_string(imm));
           }
           append(emit, make_ri(op, parse_reg(tokens[1], info.rd_class), 0,
                                static_cast<std::int32_t>(imm)));
@@ -362,7 +362,7 @@ class Assembler {
         expect_operands(tokens, 3);
         const std::int64_t imm = parse_int(tokens[3]);
         if (imm < kImm15Min || imm > kImm15Max) {
-          fail("immediate out of range");
+          fail("immediate out of range: " + std::to_string(imm));
         }
         append(emit, make_ri(op, parse_reg(tokens[1], info.rd_class),
                              parse_reg(tokens[2], info.rs1_class),

@@ -79,6 +79,36 @@ std::string format_report(const SimResult& r) {
             std::to_string(r.engine.busy_unit_cycles[fu_index(t)]);
   }
   out += line("utilization", util);
+  if (r.fault.upsets_injected > 0 || r.fault.permanent_failures > 0 ||
+      r.loader.scrub_reads > 0) {
+    out += "faults & scrubbing\n";
+    out += line("upsets injected / detected",
+                std::to_string(r.fault.upsets_injected) + " / " +
+                    std::to_string(r.loader.upsets_detected));
+    out += line("slots repaired", std::to_string(r.loader.slots_repaired));
+    out += line("permanent failures",
+                std::to_string(r.fault.permanent_failures) + " (" +
+                    std::to_string(r.loader.units_dropped) +
+                    " target units dropped)");
+    out += line("executions killed / retried",
+                std::to_string(r.fault.executions_killed) + " / " +
+                    std::to_string(r.fault.instructions_retried));
+    out += line("scrub readbacks", std::to_string(r.loader.scrub_reads));
+    if (r.loader.detection_latency.count() > 0) {
+      out += line("detection latency",
+                  "mean " +
+                      format_double(r.loader.detection_latency.mean(), 1) +
+                      ", max " +
+                      format_double(r.loader.detection_latency.max(), 0) +
+                      ", p95 " +
+                      format_double(
+                          r.loader.detection_latency_hist.quantile(0.95),
+                          0));
+    }
+    out += line("degraded cycles",
+                std::to_string(r.loader.degraded_cycles) + " of " +
+                    std::to_string(r.stats.cycles));
+  }
   return out;
 }
 

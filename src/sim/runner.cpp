@@ -113,6 +113,7 @@ SimResult simulate(const Program& program, const MachineConfig& config,
   if (cpu->dcache() != nullptr) {
     result.dcache = cpu->dcache()->stats();
   }
+  result.fault = cpu->fault_stats();
   return result;
 }
 

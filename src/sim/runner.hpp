@@ -55,6 +55,7 @@ struct SimResult {
   TraceCacheStats trace_cache;
   WakeupStats wakeup;
   CacheStats dcache;
+  FaultStats fault;
 };
 
 /// Builds the processor for (config, spec): chooses the policy object, the

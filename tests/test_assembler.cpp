@@ -236,5 +236,45 @@ TEST(Assembler, DoubleDirectiveBitPattern) {
   EXPECT_EQ(p.data[0], 0x3ff0000000000000LL);
 }
 
+/// Asserts that assembling `source` fails with an error locating the
+/// problem at exactly `expected_line` and mentioning `needle` — a bad line
+/// must never crash, be skipped silently, or be blamed on another line.
+void expect_error_at_line(const std::string& source, int expected_line,
+                          const std::string& needle) {
+  try {
+    assemble(source);
+    FAIL() << "expected AssemblyError for:\n" << source;
+  } catch (const AssemblyError& e) {
+    EXPECT_EQ(e.line(), expected_line) << e.what();
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line " + std::to_string(expected_line)),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find(needle), std::string::npos) << what;
+  }
+}
+
+TEST(AssemblerErrors, MalformedOpcodeNamesItsSourceLine) {
+  expect_error_at_line("  addi r1, r0, 1\n  nop\n  frobnicate r1, r2\n"
+                       "  halt\n",
+                       3, "frobnicate");
+}
+
+TEST(AssemblerErrors, OutOfRangeRegisterNamesItsSourceLine) {
+  expect_error_at_line("# leading comment\n  nop\n\n  add r1, r32, r2\n"
+                       "  halt\n",
+                       4, "r32");
+  expect_error_at_line("  fadd f1, f2, f40\n  halt\n", 1, "f40");
+}
+
+TEST(AssemblerErrors, BadImmediateNamesItsSourceLine) {
+  // Non-numeric immediate (not a known label either).
+  expect_error_at_line("  nop\n  addi r1, r0, banana\n  halt\n", 2,
+                       "banana");
+  // Out-of-range immediate.
+  expect_error_at_line("  nop\n  nop\n  addi r1, r0, 999999\n  halt\n", 3,
+                       "999999");
+}
+
 }  // namespace
 }  // namespace steersim

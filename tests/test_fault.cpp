@@ -1,0 +1,381 @@
+// Fault-injection, scrubbing and graceful-degradation tests: injector
+// determinism and scripting, loader corruption masking, scrub detection
+// and repair accounting, permanent-failure fencing with target
+// re-placement, kill/retry of in-flight executions, forward progress with
+// the whole RFU fabric fenced off, and bit-identity of the fault-free
+// path.
+#include <gtest/gtest.h>
+
+#include "config/steering_set.hpp"
+#include "core/reference.hpp"
+#include "cosim.hpp"
+#include "fault/injector.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "workload/kernels.hpp"
+#include "workload/synthetic.hpp"
+
+namespace steersim {
+namespace {
+
+// ---------------------------------------------------------------- injector
+
+TEST(FaultInjector, ScriptedEventsFireInCycleOrder) {
+  FaultParams fp;
+  fp.script = {{5, FaultKind::kTransientUpset, 1},
+               {2, FaultKind::kPermanentFailure, 0}};  // deliberately unsorted
+  FaultInjector inj(fp, 8);
+  EXPECT_EQ(inj.sample(0).size(), 0u);
+  EXPECT_EQ(inj.sample(1).size(), 0u);
+  const auto at2 = inj.sample(2);
+  ASSERT_EQ(at2.size(), 1u);
+  EXPECT_EQ(at2[0].kind, FaultKind::kPermanentFailure);
+  EXPECT_EQ(at2[0].slot, 0u);
+  EXPECT_EQ(inj.sample(3).size(), 0u);
+  const auto at5 = inj.sample(5);
+  ASSERT_EQ(at5.size(), 1u);
+  EXPECT_EQ(at5[0].kind, FaultKind::kTransientUpset);
+  EXPECT_EQ(at5[0].slot, 1u);
+  EXPECT_EQ(inj.sample(100).size(), 0u);
+}
+
+TEST(FaultInjector, PassedScriptedEventsFireOnFirstConsultation) {
+  FaultParams fp;
+  fp.script = {{3, FaultKind::kTransientUpset, 2},
+               {7, FaultKind::kTransientUpset, 4}};
+  FaultInjector inj(fp, 8);
+  const auto late = inj.sample(50);
+  ASSERT_EQ(late.size(), 2u);
+  EXPECT_EQ(late[0].slot, 2u);
+  EXPECT_EQ(late[1].slot, 4u);
+}
+
+TEST(FaultInjector, RateSamplingIsDeterministicAcrossInstances) {
+  FaultParams fp;
+  fp.upset_rate = 0.05;
+  fp.permanent_rate = 0.01;
+  fp.seed = 77;
+  FaultInjector a(fp, 8);
+  FaultInjector b(fp, 8);
+  unsigned total = 0;
+  for (std::uint64_t c = 0; c < 2000; ++c) {
+    const auto ea = a.sample(c);
+    const auto eb = b.sample(c);
+    ASSERT_EQ(ea.size(), eb.size()) << c;
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i], eb[i]) << c;
+      EXPECT_LT(ea[i].slot, 8u);
+    }
+    total += static_cast<unsigned>(ea.size());
+  }
+  EXPECT_GT(total, 0u) << "rates this high must fire within 2000 cycles";
+}
+
+TEST(FaultInjector, CertainRateFiresEveryCycle) {
+  FaultParams fp;
+  fp.upset_rate = 1.0;
+  FaultInjector inj(fp, 4);
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    const auto events = inj.sample(c);
+    ASSERT_EQ(events.size(), 1u) << c;
+    EXPECT_EQ(events[0].kind, FaultKind::kTransientUpset);
+    EXPECT_LT(events[0].slot, 4u);
+  }
+}
+
+TEST(FaultInjector, DisabledParamsReportDisabled) {
+  EXPECT_FALSE(FaultParams{}.enabled());
+  FaultParams scripted;
+  scripted.script = {{0, FaultKind::kTransientUpset, 0}};
+  EXPECT_TRUE(scripted.enabled());
+  FaultParams rated;
+  rated.upset_rate = 1e-6;
+  EXPECT_TRUE(rated.enabled());
+}
+
+// ------------------------------------------------------------------ loader
+
+LoaderParams fault_params(unsigned cycles_per_slot = 4,
+                          unsigned scrub_interval = 0) {
+  LoaderParams p;
+  p.num_slots = 8;
+  p.cycles_per_slot = cycles_per_slot;
+  p.scrub_interval = scrub_interval;
+  return p;
+}
+
+TEST(LoaderFaults, CorruptionMasksUnitFromEffectiveAllocationOnly) {
+  const SteeringSet set = default_steering_set();
+  ConfigurationLoader loader(fault_params(), set.preset_allocation(0));
+  const FuCounts before = loader.allocation().counts();
+  ASSERT_TRUE(loader.corrupt_slot(4));  // MDU head slot
+  // Bookkeeping view unchanged (the hardware does not know), but the
+  // engine-facing view loses the whole MDU.
+  EXPECT_EQ(loader.allocation().counts(), before);
+  const FuCounts effective = loader.effective_allocation().counts();
+  EXPECT_EQ(effective[fu_index(FuType::kIntMdu)], 0u);
+  EXPECT_EQ(effective[fu_index(FuType::kIntAlu)],
+            before[fu_index(FuType::kIntAlu)]);
+  EXPECT_TRUE(loader.corrupted().test(4));
+}
+
+TEST(LoaderFaults, ScrubDetectsRepairsAndRecordsLatency) {
+  const SteeringSet set = default_steering_set();
+  ConfigurationLoader loader(fault_params(4, /*scrub_interval=*/1),
+                             set.preset_allocation(0));
+  loader.request(set.preset_allocation(0));
+  ASSERT_TRUE(loader.corrupt_slot(4));  // MDU occupies slots 4-5
+
+  // Readback walks one slot per cycle from slot 0: detection at cycle 4.
+  for (int c = 0; c < 5; ++c) {
+    loader.step(SlotMask{});
+  }
+  EXPECT_EQ(loader.stats().upsets_detected, 1u);
+  EXPECT_EQ(loader.stats().detection_latency.count(), 1u);
+  EXPECT_DOUBLE_EQ(loader.stats().detection_latency.mean(), 4.0);
+  EXPECT_TRUE(loader.corrupted().none()) << "detection clears corruption";
+  EXPECT_TRUE(loader.repairing().test(4));
+  EXPECT_EQ(loader.allocation().counts()[fu_index(FuType::kIntMdu)], 0u)
+      << "damaged region scrapped pending rewrite";
+
+  // The repair rewrite flows through the ordinary partial-reconfig path.
+  for (int c = 0; c < 16; ++c) {
+    loader.step(SlotMask{});
+  }
+  EXPECT_EQ(loader.stats().slots_repaired, 1u);
+  EXPECT_TRUE(loader.repairing().none());
+  EXPECT_EQ(loader.allocation().counts()[fu_index(FuType::kIntMdu)], 1u);
+  EXPECT_EQ(loader.effective_allocation(), loader.allocation());
+  EXPECT_GT(loader.stats().degraded_cycles, 0u);
+  EXPECT_GT(loader.stats().scrub_reads, 4u);
+}
+
+TEST(LoaderFaults, CorruptedEmptySlotDetectedWithoutRepairTraffic) {
+  ConfigurationLoader loader(fault_params(4, 1), AllocationVector(8));
+  ASSERT_TRUE(loader.corrupt_slot(3));
+  for (int c = 0; c < 4; ++c) {
+    loader.step(SlotMask{});
+  }
+  EXPECT_EQ(loader.stats().upsets_detected, 1u);
+  EXPECT_EQ(loader.stats().slots_repaired, 0u);
+  EXPECT_TRUE(loader.repairing().none());
+  EXPECT_TRUE(loader.corrupted().none());
+  EXPECT_TRUE(loader.idle()) << "no rewrite scheduled for an empty slot";
+}
+
+TEST(LoaderFaults, RewriteIncidentallyHealsUndetectedCorruption) {
+  // An upset on a slot that steering rewrites anyway is healed by the
+  // fresh frames without ever being counted as detected.
+  ConfigurationLoader loader(fault_params(2), AllocationVector(8));
+  ASSERT_TRUE(loader.corrupt_slot(0));
+  loader.request(AllocationVector::place({1, 0, 0, 0, 0}, 8));
+  for (int c = 0; c < 4; ++c) {
+    loader.step(SlotMask{});
+  }
+  EXPECT_TRUE(loader.corrupted().none());
+  EXPECT_EQ(loader.stats().upsets_detected, 0u);
+  EXPECT_EQ(loader.effective_allocation().counts()[0], 1u);
+}
+
+TEST(LoaderFaults, FenceEvictsReplacesTargetAndDropsWhatCannotFit) {
+  const SteeringSet set = default_steering_set();
+  ConfigurationLoader loader(fault_params(1), set.preset_allocation(0));
+  loader.request(set.preset_allocation(0));
+
+  ASSERT_TRUE(loader.fence_slot(0));
+  EXPECT_FALSE(loader.fence_slot(0)) << "double fence is a no-op";
+  EXPECT_EQ(loader.stats().fence_events, 1u);
+  EXPECT_EQ(loader.allocation().code(0), kEncEmpty);
+  EXPECT_EQ(loader.effective_allocation().counts()[0], 3u)
+      << "the fenced slot's ALU is gone, its neighbours survive";
+
+  // Integer preset (4 ALU, 1 MDU, 2 LSU = 8 slots) on 7 surviving slots:
+  // first fit keeps 4 ALU + MDU + 1 LSU and drops the second LSU.
+  EXPECT_EQ(loader.stats().units_dropped, 1u);
+  const FuCounts target = loader.target().counts();
+  EXPECT_EQ(target[fu_index(FuType::kIntAlu)], 4u);
+  EXPECT_EQ(target[fu_index(FuType::kIntMdu)], 1u);
+  EXPECT_EQ(target[fu_index(FuType::kLsu)], 1u);
+
+  // The loader converges to the re-placed target and never touches slot 0.
+  for (int c = 0; c < 40; ++c) {
+    loader.step(SlotMask{});
+    EXPECT_EQ(loader.allocation().code(0), kEncEmpty) << c;
+  }
+  EXPECT_EQ(loader.reconfig_cost(set.preset_allocation(0)), 0u)
+      << "cost is measured against the realizable placement";
+  EXPECT_EQ(loader.allocation().counts(), loader.target().counts());
+}
+
+TEST(LoaderFaults, FenceAbortsInFlightRewriteAndRelocatesUnit) {
+  ConfigurationLoader loader(fault_params(4), AllocationVector(8));
+  loader.request(AllocationVector::place({0, 1, 0, 0, 0}, 8));  // MDU @ 0-1
+  loader.step(SlotMask{});
+  ASSERT_TRUE(loader.reconfiguring().test(0));
+
+  ASSERT_TRUE(loader.fence_slot(0));
+  EXPECT_TRUE(loader.reconfiguring().none()) << "in-flight write aborted";
+  for (int c = 0; c < 20; ++c) {
+    loader.step(SlotMask{});
+  }
+  EXPECT_EQ(loader.allocation().counts()[fu_index(FuType::kIntMdu)], 1u);
+  EXPECT_EQ(loader.allocation().code(0), kEncEmpty);
+  EXPECT_EQ(loader.allocation().code(1), encoding_of(FuType::kIntMdu))
+      << "unit re-placed at the first non-fenced base";
+}
+
+TEST(LoaderFaults, CorruptingFencedSlotIsRejected) {
+  ConfigurationLoader loader(fault_params(), AllocationVector(8));
+  ASSERT_TRUE(loader.fence_slot(5));
+  EXPECT_FALSE(loader.corrupt_slot(5));
+}
+
+TEST(LoaderFaults, AllSlotsFencedYieldsEmptyRealizableTarget) {
+  const SteeringSet set = default_steering_set();
+  ConfigurationLoader loader(fault_params(1), set.preset_allocation(2));
+  for (unsigned s = 0; s < 8; ++s) {
+    ASSERT_TRUE(loader.fence_slot(s));
+  }
+  loader.request(set.preset_allocation(0));
+  EXPECT_EQ(loader.target().counts(), FuCounts{});
+  EXPECT_EQ(loader.reconfig_cost(set.preset_allocation(0)), 0u);
+  EXPECT_EQ(loader.effective_allocation().counts(), FuCounts{});
+  for (int c = 0; c < 10; ++c) {
+    loader.step(SlotMask{});
+  }
+  EXPECT_TRUE(loader.idle());
+  EXPECT_EQ(loader.stats().degraded_cycles, 10u);
+}
+
+// --------------------------------------------------------------- processor
+
+TEST(ProcessorFaults, UpsetsKillExecutionsWhichRetryToCompletion) {
+  // MDU-heavy work on the frozen integer preset keeps the RFU multiplier
+  // busy; a high upset rate guarantees some executions die mid-flight.
+  // Every killed instruction must retry and the final architectural state
+  // must still match the in-order reference exactly.
+  const Program program =
+      generate_synthetic(single_phase(mdu_heavy_mix(), 48, 150, 7));
+  MachineConfig cfg;
+  cfg.loader.cycles_per_slot = 4;
+  cfg.loader.scrub_interval = 16;
+  cfg.fault.upset_rate = 0.1;
+  cfg.fault.seed = 99;
+
+  ReferenceInterpreter ref(cfg.data_memory_bytes);
+  const auto ref_result = ref.run(program);
+  ASSERT_TRUE(ref_result.halted);
+
+  auto cpu = make_processor(
+      program, cfg, {.kind = PolicyKind::kStaticPreset, .preset_index = 0});
+  const RunOutcome outcome = cpu->run(5'000'000);
+  ASSERT_EQ(outcome, RunOutcome::kHalted) << cpu->fault_message();
+
+  EXPECT_TRUE(cpu->registers() == ref.registers());
+  EXPECT_TRUE(cpu->memory() == ref.memory());
+  EXPECT_EQ(cpu->stats().retired, ref_result.instructions);
+
+  const FaultStats& fs = cpu->fault_stats();
+  EXPECT_GT(fs.upsets_injected, 0u);
+  EXPECT_GT(fs.executions_killed, 0u);
+  EXPECT_GT(fs.instructions_retried, 0u);
+  EXPECT_LE(fs.instructions_retried, fs.executions_killed);
+  const LoaderStats& ls = cpu->loader().stats();
+  EXPECT_GT(ls.upsets_detected, 0u);
+  EXPECT_GT(ls.slots_repaired, 0u);
+  EXPECT_GT(ls.degraded_cycles, 0u);
+}
+
+TEST(ProcessorFaults, ForwardProgressWithEntireFabricFencedMidRun) {
+  // Script: permanently fence all 8 slots at staggered cycles while
+  // transient upsets also rain down. The machine must finish on FFUs
+  // alone, architecturally intact (the paper's forward-progress argument).
+  MachineConfig cfg;
+  cfg.loader.cycles_per_slot = 4;
+  cfg.loader.scrub_interval = 8;
+  cfg.fault.upset_rate = 0.02;
+  cfg.fault.seed = 3;
+  for (unsigned s = 0; s < 8; ++s) {
+    cfg.fault.script.push_back(
+        {200 + 150 * static_cast<std::uint64_t>(s),
+         FaultKind::kPermanentFailure, s});
+  }
+  const Program program = generate_synthetic(alternating_phases(512, 3, 11));
+  EXPECT_TRUE(cosim_match(program, cfg, {.kind = PolicyKind::kSteered}));
+
+  auto cpu = make_processor(program, cfg, {.kind = PolicyKind::kSteered});
+  ASSERT_EQ(cpu->run(10'000'000), RunOutcome::kHalted)
+      << cpu->fault_message();
+  EXPECT_EQ(cpu->fault_stats().permanent_failures, 8u);
+  EXPECT_EQ(cpu->loader().fenced().count(), 8u);
+  EXPECT_EQ(cpu->loader().effective_allocation().counts(), FuCounts{});
+}
+
+TEST(ProcessorFaults, RandomizedProgramsSurviveAggressiveUpsets) {
+  // Property: across seeds, aggressive rate-based injection never breaks
+  // architectural equivalence and never wedges the machine.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Program program = generate_synthetic(
+        single_phase(mixed_mix(), 40, 100, seed));
+    MachineConfig cfg;
+    cfg.loader.cycles_per_slot = 2;
+    cfg.loader.scrub_interval = 4;
+    cfg.fault.upset_rate = 0.05;
+    cfg.fault.permanent_rate = 0.0005;
+    cfg.fault.seed = seed * 13 + 1;
+    EXPECT_TRUE(cosim_match(program, cfg, {.kind = PolicyKind::kSteered}))
+        << "seed " << seed;
+  }
+}
+
+TEST(ProcessorFaults, ZeroRateConfigurationIsBitIdenticalToSeedPath) {
+  // Enabling the scrubber with no fault source must leave every statistic
+  // of a normal run untouched (readback is free and finds nothing).
+  const Program program = kernel_by_name("fir").assemble_program();
+  MachineConfig plain;
+  MachineConfig scrubbed;
+  scrubbed.loader.scrub_interval = 64;
+
+  const PolicySpec spec{.kind = PolicyKind::kSteered};
+  const SimResult a = simulate(program, plain, spec);
+  const SimResult b = simulate(program, scrubbed, spec);
+
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.stats.retired, b.stats.retired);
+  EXPECT_EQ(a.stats.dispatched, b.stats.dispatched);
+  EXPECT_EQ(a.stats.issued, b.stats.issued);
+  EXPECT_EQ(a.stats.squashed, b.stats.squashed);
+  EXPECT_EQ(a.stats.branches, b.stats.branches);
+  EXPECT_EQ(a.stats.mispredicts, b.stats.mispredicts);
+  EXPECT_EQ(a.stats.resource_starved, b.stats.resource_starved);
+  EXPECT_EQ(a.stats.queue_occupancy_sum, b.stats.queue_occupancy_sum);
+  EXPECT_EQ(a.loader.targets_requested, b.loader.targets_requested);
+  EXPECT_EQ(a.loader.regions_started, b.loader.regions_started);
+  EXPECT_EQ(a.loader.slots_rewritten, b.loader.slots_rewritten);
+  EXPECT_EQ(a.loader.blocked_cycles, b.loader.blocked_cycles);
+  // The only difference the scrubber may make: readbacks happened.
+  EXPECT_EQ(a.loader.scrub_reads, 0u);
+  EXPECT_GT(b.loader.scrub_reads, 0u);
+  EXPECT_EQ(b.loader.upsets_detected, 0u);
+  EXPECT_EQ(b.loader.degraded_cycles, 0u);
+  EXPECT_EQ(b.fault.upsets_injected, 0u);
+}
+
+TEST(ProcessorFaults, ReportContainsFaultSectionOnlyWhenActive) {
+  const Program program = kernel_by_name("fib").assemble_program();
+  MachineConfig cfg;
+  const SimResult quiet = simulate(program, cfg, {});
+  EXPECT_EQ(format_report(quiet).find("faults & scrubbing"),
+            std::string::npos);
+
+  cfg.fault.script = {{10, FaultKind::kTransientUpset, 0}};
+  cfg.loader.scrub_interval = 8;
+  const SimResult noisy = simulate(program, cfg, {});
+  const std::string report = format_report(noisy);
+  EXPECT_NE(report.find("faults & scrubbing"), std::string::npos);
+  EXPECT_NE(report.find("upsets injected / detected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace steersim

@@ -284,6 +284,59 @@ TEST(Loader, ConvergesToAnyTargetOnceIdle) {
   }
 }
 
+TEST(Loader, RetargetWhileRewriteInFlightConvergesToNewTarget) {
+  // Retarget twice while a write is in the air: the in-flight region still
+  // completes (it is never aborted by a target change), and the loader
+  // then converts the fabric to the *latest* target, not an earlier one.
+  ConfigurationLoader loader(params(4), AllocationVector(8));
+  loader.request(AllocationVector::place({0, 1, 0, 0, 0}, 8));  // MDU @ 0-1
+  loader.step(SlotMask{});
+  ASSERT_TRUE(loader.reconfiguring().test(0));
+  loader.request(AllocationVector::place({0, 0, 0, 1, 0}, 8));  // FpAlu
+  loader.request(AllocationVector::place({1, 0, 1, 0, 0}, 8));  // ALU+LSU
+  EXPECT_EQ(loader.stats().targets_requested, 3u);
+  EXPECT_TRUE(loader.reconfiguring().test(0)) << "in-flight write survives";
+  for (int c = 0; c < 40; ++c) {
+    loader.step(SlotMask{});
+  }
+  const FuCounts final_counts = loader.allocation().counts();
+  EXPECT_EQ(final_counts[fu_index(FuType::kIntAlu)], 1u);
+  EXPECT_EQ(final_counts[fu_index(FuType::kLsu)], 1u);
+  EXPECT_EQ(final_counts[fu_index(FuType::kIntMdu)], 0u)
+      << "first target's unit must be evicted again";
+  EXPECT_EQ(final_counts[fu_index(FuType::kFpAlu)], 0u)
+      << "the intermediate target must leave no trace";
+  EXPECT_TRUE(loader.idle());
+}
+
+TEST(Loader, ReconfigCostTracksPartiallyRewrittenFabric) {
+  // Cost must reflect exactly the still-unsatisfied region slots while a
+  // multi-region target is being realized piecewise.
+  ConfigurationLoader loader(params(4), AllocationVector(8));
+  const auto target = AllocationVector::place({2, 1, 0, 0, 0}, 8);
+  EXPECT_EQ(loader.reconfig_cost(target), 4u);  // 2x ALU + 2-slot MDU
+  loader.request(target);
+  loader.step(SlotMask{});  // first ALU rewrite begins (not finished)
+  EXPECT_EQ(loader.reconfig_cost(target), 4u)
+      << "an in-flight rewrite has not satisfied anything yet";
+  for (int c = 0; c < 3; ++c) {
+    loader.step(SlotMask{});
+  }
+  EXPECT_EQ(loader.reconfig_cost(target), 3u) << "first ALU landed";
+  for (int c = 0; c < 4; ++c) {
+    loader.step(SlotMask{});
+  }
+  EXPECT_EQ(loader.reconfig_cost(target), 2u) << "second ALU landed";
+  for (int c = 0; c < 8; ++c) {
+    loader.step(SlotMask{});
+  }
+  EXPECT_EQ(loader.reconfig_cost(target), 0u);
+  // A different candidate sharing the satisfied prefix prices only its
+  // own unsatisfied remainder against this hybrid fabric.
+  const auto other = AllocationVector::place({2, 0, 1, 0, 0}, 8);
+  EXPECT_EQ(loader.reconfig_cost(other), 1u);  // LSU @ slot 2 missing
+}
+
 TEST(Loader, StatsTrackTargetChanges) {
   ConfigurationLoader loader(params(), AllocationVector(8));
   const auto target = AllocationVector::place({1, 0, 0, 0, 0}, 8);

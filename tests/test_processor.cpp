@@ -3,6 +3,8 @@
 // (registers, data memory, retired-instruction count).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "core/reference.hpp"
 #include "isa/assembler.hpp"
 #include "sim/runner.hpp"
@@ -325,6 +327,113 @@ TEST(Processor, OutOfOrderCompletionObservable) {
   ASSERT_EQ(cpu->run(10'000), RunOutcome::kHalted);
   EXPECT_EQ(cpu->registers().read_int(3), 142);
   EXPECT_EQ(cpu->registers().read_int(7), 4);
+}
+
+// ------------------------------------------- construction validation
+
+/// Expects Processor construction to reject `cfg` with a message
+/// mentioning `needle` (descriptive errors beat deep-in-module aborts).
+void expect_rejected(const MachineConfig& cfg, const std::string& needle) {
+  const Program p = assemble("  halt\n");
+  try {
+    Processor cpu(p, cfg, std::make_unique<StaticPolicy>("test"));
+    FAIL() << "expected std::invalid_argument mentioning '" << needle
+           << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ConfigValidation, DefaultConfigIsAccepted) {
+  const Program p = assemble("  halt\n");
+  EXPECT_NO_THROW(
+      Processor(p, MachineConfig{}, std::make_unique<StaticPolicy>("test")));
+}
+
+TEST(ConfigValidation, RejectsSlotCountMismatchWithSteeringSet) {
+  MachineConfig cfg;
+  cfg.loader.num_slots = 4;  // steering set still declares 8
+  expect_rejected(cfg, "num_slots");
+}
+
+TEST(ConfigValidation, RejectsZeroCyclesPerSlot) {
+  MachineConfig cfg;
+  cfg.loader.cycles_per_slot = 0;
+  expect_rejected(cfg, "cycles_per_slot");
+}
+
+TEST(ConfigValidation, RejectsZeroConcurrentRegions) {
+  MachineConfig cfg;
+  cfg.loader.max_concurrent_regions = 0;
+  expect_rejected(cfg, "max_concurrent_regions");
+}
+
+TEST(ConfigValidation, RejectsZeroEntryRuuAndQueue) {
+  MachineConfig cfg;
+  cfg.ruu_entries = 0;
+  expect_rejected(cfg, "ruu_entries");
+  cfg = MachineConfig{};
+  cfg.queue_entries = 0;
+  expect_rejected(cfg, "queue_entries");
+  cfg = MachineConfig{};
+  cfg.queue_entries = kMaxWakeupEntries + 1;
+  expect_rejected(cfg, "queue_entries");
+}
+
+TEST(ConfigValidation, RejectsRuuSmallerThanQueue) {
+  MachineConfig cfg;
+  cfg.ruu_entries = 4;  // < default queue_entries (7)
+  expect_rejected(cfg, "queue_entries");
+}
+
+TEST(ConfigValidation, RejectsBadWidthsAndMemory) {
+  MachineConfig cfg;
+  cfg.fetch_width = 0;
+  expect_rejected(cfg, "fetch_width");
+  cfg = MachineConfig{};
+  cfg.fetch_width = kMaxFetchWidth + 1;
+  expect_rejected(cfg, "fetch_width");
+  cfg = MachineConfig{};
+  cfg.retire_width = 0;
+  expect_rejected(cfg, "retire_width");
+  cfg = MachineConfig{};
+  cfg.data_memory_bytes = 0;
+  expect_rejected(cfg, "data_memory_bytes");
+}
+
+TEST(ConfigValidation, RejectsBadFaultParameters) {
+  MachineConfig cfg;
+  cfg.fault.upset_rate = 1.5;
+  expect_rejected(cfg, "upset_rate");
+  cfg = MachineConfig{};
+  cfg.fault.permanent_rate = -0.25;
+  expect_rejected(cfg, "permanent_rate");
+  cfg = MachineConfig{};
+  cfg.fault.script = {{0, FaultKind::kTransientUpset, 8}};  // slots are 0-7
+  expect_rejected(cfg, "script slot");
+}
+
+// ------------------------------------------------- stall diagnostics
+
+TEST(StallDetection, StallProducesMachineStateDigest) {
+  // A machine whose steering set has no FP-MDU anywhere (FFU count zeroed,
+  // fabric left empty by the static-ffu policy) can never issue an fmul:
+  // the RUU head waits forever and the stall detector must fire with an
+  // actionable one-line digest instead of a bare return code.
+  MachineConfig cfg;
+  cfg.steering.ffu[fu_index(FuType::kFpMdu)] = 0;
+  const Program p = assemble("  fmul f1, f2, f3\n  halt\n");
+  auto cpu = make_processor(p, cfg, {.kind = PolicyKind::kStaticFfu});
+  ASSERT_EQ(cpu->run(300'000), RunOutcome::kStalled);
+  const std::string& digest = cpu->fault_message();
+  ASSERT_FALSE(digest.empty());
+  EXPECT_NE(digest.find("stalled"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("fmul"), std::string::npos)
+      << "digest must name the stuck RUU-head instruction: " << digest;
+  EXPECT_NE(digest.find("ruu"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("queue"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("alloc"), std::string::npos) << digest;
 }
 
 }  // namespace
