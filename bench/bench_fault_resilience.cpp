@@ -23,6 +23,12 @@ struct Point {
 
 SimResult must_halt(const SimResult& r, const std::string& what) {
   if (r.outcome != RunOutcome::kHalted) {
+    // A CI smoke run caps cycles below the natural halt point; running out
+    // of budget is then the expected outcome, not a failure.
+    if (r.outcome == RunOutcome::kMaxCycles &&
+        bench::cycle_budget_overridden()) {
+      return r;
+    }
     std::fprintf(stderr, "FAIL: %s did not halt (outcome %d)\n",
                  what.c_str(), static_cast<int>(r.outcome));
     std::exit(1);
@@ -50,7 +56,8 @@ int main() {
         cfg.loader.scrub_interval = interval;
         cfg.fault.upset_rate = rate;
         cfg.fault.seed = 7;
-        SimResult r = simulate(program, cfg, {.kind = PolicyKind::kSteered});
+        SimResult r = simulate(program, cfg, {.kind = PolicyKind::kSteered},
+                               bench::cycle_budget());
         return Point{rate, interval,
                      must_halt(r, "rate " + std::to_string(rate) +
                                       " scrub " + std::to_string(interval))};
@@ -111,7 +118,8 @@ int main() {
         {1000 + 500 * std::uint64_t{s}, FaultKind::kPermanentFailure, s});
   }
   const SimResult wiped = must_halt(
-      simulate(program, worst, {.kind = PolicyKind::kSteered}),
+      simulate(program, worst, {.kind = PolicyKind::kSteered},
+               bench::cycle_budget()),
       "all-slots-fenced point");
   std::printf(
       "\nall slots fenced by cycle 4500 (+1e-3 upsets): IPC %.3f "
@@ -127,5 +135,91 @@ int main() {
       "a corrupt fabric) at the cost of extra repair traffic on the "
       "single configuration port; even a fully fenced fabric makes "
       "forward progress on the fixed units.\n");
+
+  // Protection-mode comparison: periodic scrub readback vs per-slot SECDED
+  // decoded at every read vs ECC backed by checkpoint/rollback. Two
+  // scripted permanent failures ride on each point so the checkpoint mode
+  // has something to recover from.
+  bench::print_header("E13b", "protection modes: scrub vs ECC vs "
+                              "ECC+checkpoint");
+
+  struct Mode {
+    const char* name;
+    unsigned scrub_interval;
+    bool ecc;
+    unsigned checkpoint_interval;
+  };
+  const Mode modes[] = {
+      {"scrub-64", 64, false, 0},
+      {"ecc", 0, true, 0},
+      {"ecc+ckpt-2048", 0, true, 2048},
+  };
+  const double mode_rates[] = {1e-4, 1e-3, 1e-2};
+
+  struct ModePoint {
+    double upset_rate;
+    const Mode* mode;
+    SimResult result;
+  };
+  std::vector<std::function<ModePoint()>> mode_jobs;
+  for (const double rate : mode_rates) {
+    for (const Mode& mode : modes) {
+      mode_jobs.emplace_back([&program, rate, &mode] {
+        MachineConfig cfg;
+        cfg.loader.scrub_interval = mode.scrub_interval;
+        cfg.loader.ecc = mode.ecc;
+        cfg.recovery.checkpoint_interval = mode.checkpoint_interval;
+        cfg.fault.upset_rate = rate;
+        cfg.fault.seed = 7;
+        cfg.fault.script.push_back({3000, FaultKind::kPermanentFailure, 2});
+        cfg.fault.script.push_back({9000, FaultKind::kPermanentFailure, 5});
+        SimResult r = simulate(program, cfg, {.kind = PolicyKind::kSteered},
+                               bench::cycle_budget());
+        return ModePoint{rate, &mode,
+                         must_halt(r, std::string(mode.name) + " rate " +
+                                          std::to_string(rate))};
+      });
+    }
+  }
+  const auto mode_points = parallel_map(mode_jobs);
+
+  Table mode_table({"upset rate", "mode", "IPC", "mean det. lat.",
+                    "scrub reads", "slots rewritten", "ECC corr.",
+                    "ECC uncorr.", "rollbacks", "ckpts"});
+  CsvWriter mode_csv("bench_fault_modes.csv");
+  mode_csv.row({"upset_rate", "mode", "ipc", "cycles",
+                "mean_detection_latency", "scrub_reads", "slots_rewritten",
+                "ecc_corrections", "ecc_uncorrectable", "rollbacks",
+                "checkpoints_taken", "cycles_rewound"});
+  for (const ModePoint& p : mode_points) {
+    const SimResult& r = p.result;
+    mode_table.add_row({Table::num(p.upset_rate, 5), p.mode->name,
+                        Table::num(r.stats.ipc()),
+                        Table::num(r.loader.detection_latency.mean(), 1),
+                        Table::num(r.loader.scrub_reads),
+                        Table::num(r.loader.slots_rewritten),
+                        Table::num(r.loader.ecc_corrections),
+                        Table::num(r.loader.ecc_uncorrectable),
+                        Table::num(r.recovery.rollbacks),
+                        Table::num(r.recovery.checkpoints_taken)});
+    mode_csv.row({Table::num(p.upset_rate, 6), p.mode->name,
+                  Table::num(r.stats.ipc(), 4), Table::num(r.stats.cycles),
+                  Table::num(r.loader.detection_latency.mean(), 2),
+                  Table::num(r.loader.scrub_reads),
+                  Table::num(r.loader.slots_rewritten),
+                  Table::num(r.loader.ecc_corrections),
+                  Table::num(r.loader.ecc_uncorrectable),
+                  Table::num(r.recovery.rollbacks),
+                  Table::num(r.recovery.checkpoints_taken),
+                  Table::num(r.recovery.cycles_rewound)});
+  }
+  std::fputs(mode_table.to_string().c_str(), stdout);
+
+  std::printf(
+      "\nwrote bench_fault_modes.csv\n"
+      "Expected shape: ECC detects at first read (near-zero latency, no "
+      "readback traffic on the config port) where the scrubber pays "
+      "interval/2 on average plus one read per scrub; checkpointing adds "
+      "rollbacks on permanent failures in exchange for replayed cycles.\n");
   return 0;
 }

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -16,12 +17,32 @@ inline void print_header(const std::string& id, const std::string& title) {
   std::printf("\n=== %s: %s ===\n\n", id.c_str(), title.c_str());
 }
 
+/// True when STEERSIM_MAX_CYCLES caps this run (CI smoke); self-checks
+/// that require a clean halt should tolerate kMaxCycles in that case.
+inline bool cycle_budget_overridden() {
+  return std::getenv("STEERSIM_MAX_CYCLES") != nullptr;
+}
+
+/// Per-run cycle budget: `fallback` unless the STEERSIM_MAX_CYCLES
+/// environment variable holds a positive integer (used by CI to smoke-run
+/// every bench on a tiny budget without touching the default output).
+inline std::uint64_t cycle_budget(std::uint64_t fallback = 50'000'000) {
+  if (const char* env = std::getenv("STEERSIM_MAX_CYCLES")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return v;
+    }
+  }
+  return fallback;
+}
+
 /// Runs every (program, policy) pair in parallel; results are indexed
 /// [program][policy].
 inline std::vector<std::vector<SimResult>> run_grid(
     const std::vector<Program>& programs, const MachineConfig& config,
     const std::vector<PolicySpec>& policies,
-    std::uint64_t max_cycles = 50'000'000) {
+    std::uint64_t max_cycles = cycle_budget()) {
   std::vector<std::function<SimResult()>> jobs;
   jobs.reserve(programs.size() * policies.size());
   for (const auto& program : programs) {

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Builds, tests, and runs every reproduction/experiment binary, teeing the
-# outputs the repo's EXPERIMENTS.md references.
+# outputs the repo's EXPERIMENTS.md references. Every bench runs even if an
+# earlier one fails; failures are summarized at the end and make the script
+# exit nonzero.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,7 +10,21 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
 {
+  status=0
+  failed=""
   for b in build/bench/*; do
-    [ -x "$b" ] && "$b"
+    if [ ! -f "$b" ] || [ ! -x "$b" ]; then
+      continue
+    fi
+    if ! "$b"; then
+      status=1
+      failed="$failed $(basename "$b")"
+    fi
   done
+  if [ "$status" -ne 0 ]; then
+    echo "FAILED benches:$failed"
+  else
+    echo "all benches passed"
+  fi
+  exit "$status"
 } 2>&1 | tee bench_output.txt

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/contracts.hpp"
+#include "config/ecc.hpp"
 
 namespace steersim {
 
@@ -165,6 +166,14 @@ bool ConfigurationLoader::corrupt_slot(unsigned slot) {
   if (fenced_.test(slot)) {
     return false;
   }
+  if (params_.ecc) {
+    // Each upset flips one deterministic codeword bit, varied by the
+    // slot's upset ordinal so a scripted double hit lands on two distinct
+    // bits. Flipping the same bit an even number of times restores it.
+    const unsigned bit = (slot + upset_seq_[slot]++) % 8u;
+    ecc_flips_[slot] = static_cast<std::uint8_t>(ecc_flips_[slot] ^
+                                                 (1u << bit));
+  }
   if (!corrupted_.test(slot)) {
     corrupted_.set(slot);
     corrupt_cycle_[slot] = cycle_;  // detection latency from first upset
@@ -180,6 +189,7 @@ bool ConfigurationLoader::fence_slot(unsigned slot) {
   fenced_.set(slot);
   corrupted_.reset(slot);
   repairing_.reset(slot);
+  ecc_flips_[slot] = 0;
   ++stats_.fence_events;
   // Abort rewrites touching the slot: the write can never complete.
   std::erase_if(active_, [slot](const Rewrite& rewrite) {
@@ -207,6 +217,7 @@ void ConfigurationLoader::begin_span_write(unsigned base, unsigned len) {
   // write whose frames were hit in flight.
   for (unsigned i = 0; i < len; ++i) {
     corrupted_.reset(base + i);
+    ecc_flips_[base + i] = 0;
   }
 }
 
@@ -216,6 +227,51 @@ void ConfigurationLoader::finish_span_write(unsigned base, unsigned len) {
       repairing_.reset(base + i);
       ++stats_.slots_repaired;
     }
+  }
+}
+
+void ConfigurationLoader::escalate_corruption(unsigned slot) {
+  // Repair is region-granular: schedule a rewrite of the whole containing
+  // unit by clearing its span — step_partial() then sees the target region
+  // unsatisfied and rewrites it through the ordinary configuration port,
+  // competing with steering rewrites.
+  const auto detect = [this](unsigned s) {
+    ++stats_.upsets_detected;
+    const double latency = static_cast<double>(cycle_ - corrupt_cycle_[s]);
+    stats_.detection_latency.add(latency);
+    stats_.detection_latency_hist.add(latency);
+    corrupted_.reset(s);
+    ecc_flips_[s] = 0;
+  };
+  SlotMask target_cover;
+  for (const auto& region : target_.regions()) {
+    for (unsigned i = 0; i < region.len; ++i) {
+      target_cover.set(region.base + i);
+    }
+  }
+  bool in_region = false;
+  for (const auto& region : allocation_.regions()) {
+    if (slot < region.base || slot >= region.base + region.len) {
+      continue;
+    }
+    in_region = true;
+    for (unsigned i = 0; i < region.len; ++i) {
+      const unsigned s = region.base + i;
+      if (corrupted_.test(s)) {
+        detect(s);
+        if (target_cover.test(s)) {
+          repairing_.set(s);
+        }
+      }
+    }
+    allocation_.clear_span(region.base, region.len);
+    break;
+  }
+  if (!in_region) {
+    // Corrupted slot outside any complete unit (empty or a stray code):
+    // detection rewrites it to empty on the spot — no port traffic.
+    detect(slot);
+    allocation_.clear_span(slot, 1);
   }
 }
 
@@ -234,52 +290,59 @@ void ConfigurationLoader::scrub_readback() {
     if (!corrupted_.test(slot)) {
       return;
     }
-    // Damage found. Repair is region-granular: schedule a rewrite of the
-    // whole containing unit by clearing its span — step_partial() then sees
-    // the target region unsatisfied and rewrites it through the ordinary
-    // configuration port, competing with steering rewrites.
-    const auto detect = [this](unsigned s) {
-      ++stats_.upsets_detected;
-      const double latency = static_cast<double>(cycle_ - corrupt_cycle_[s]);
-      stats_.detection_latency.add(latency);
-      stats_.detection_latency_hist.add(latency);
-      corrupted_.reset(s);
-    };
-    SlotMask target_cover;
-    for (const auto& region : target_.regions()) {
-      for (unsigned i = 0; i < region.len; ++i) {
-        target_cover.set(region.base + i);
-      }
-    }
-    bool in_region = false;
-    for (const auto& region : allocation_.regions()) {
-      if (slot < region.base || slot >= region.base + region.len) {
-        continue;
-      }
-      in_region = true;
-      for (unsigned i = 0; i < region.len; ++i) {
-        const unsigned s = region.base + i;
-        if (corrupted_.test(s)) {
-          detect(s);
-          if (target_cover.test(s)) {
-            repairing_.set(s);
-          }
-        }
-      }
-      allocation_.clear_span(region.base, region.len);
-      break;
-    }
-    if (!in_region) {
-      // Corrupted slot outside any complete unit (empty or a stray code):
-      // the readback rewrites it to empty on the spot — no port traffic.
-      detect(slot);
-      allocation_.clear_span(slot, 1);
-    }
+    escalate_corruption(slot);
     return;
   }
 }
 
+void ConfigurationLoader::ecc_check() {
+  // The decoder sits on the functional configuration read path, so every
+  // slot is (conceptually) decoded each cycle; only slots with an
+  // outstanding upset can decode non-clean, so iterate those.
+  if (corrupted_.none()) {
+    return;
+  }
+  for (unsigned slot = 0; slot < params_.num_slots; ++slot) {
+    if (!corrupted_.test(slot)) {
+      continue;
+    }
+    const std::uint8_t flips = ecc_flips_[slot];
+    if (flips == 0) {
+      // An even number of upsets hit the same bit: the codeword reads
+      // clean again. Nothing to detect or repair.
+      corrupted_.reset(slot);
+      continue;
+    }
+    const std::uint8_t truth = allocation_.code(slot);
+    const EccDecoded dec =
+        ecc_decode(static_cast<std::uint8_t>(ecc_encode(truth) ^ flips));
+    if (dec.outcome == EccOutcome::kCorrected && dec.data == truth) {
+      // Single-bit upset: corrected at read. No scrub pass, no rewrite —
+      // the per-slot parity storage paid for the instant detection.
+      ecc_flips_[slot] = 0;
+      corrupted_.reset(slot);
+      ++stats_.ecc_corrections;
+      const double latency =
+          static_cast<double>(cycle_ - corrupt_cycle_[slot]);
+      stats_.detection_latency.add(latency);
+      stats_.detection_latency_hist.add(latency);
+    } else {
+      // Double-bit (or aliased multi-bit) error: the decoder can only
+      // flag it. Escalate to the ordinary repair path, exactly like a
+      // scrub detection.
+      ++stats_.ecc_uncorrectable;
+      escalate_corruption(slot);
+    }
+  }
+}
+
 void ConfigurationLoader::step(SlotMask slot_busy) {
+  // A corrected ECC upset still cost this cycle (the slot was masked from
+  // issue until the read), so sample degradation before the correction.
+  const bool ecc_degraded = params_.ecc && corrupted_.any();
+  if (params_.ecc) {
+    ecc_check();
+  }
   if (params_.scrub_interval > 0) {
     if (scrub_countdown_ == 0) {
       scrub_readback();
@@ -292,7 +355,7 @@ void ConfigurationLoader::step(SlotMask slot_busy) {
   } else {
     step_full(slot_busy);
   }
-  if ((corrupted_ | fenced_ | repairing_).any()) {
+  if (ecc_degraded || (corrupted_ | fenced_ | repairing_).any()) {
     ++stats_.degraded_cycles;
   }
   ++cycle_;

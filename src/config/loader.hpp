@@ -46,6 +46,12 @@ struct LoaderParams {
   /// dedicated port and is free; only the repair *rewrites* it schedules
   /// occupy the configuration port.
   unsigned scrub_interval = 0;
+  /// SECDED-protected slot encodings (src/config/ecc.hpp): every read
+  /// decodes the slot's codeword, correcting single-bit upsets in place
+  /// and escalating double-bit errors to the repair path. Detect-at-read
+  /// makes the scrubber redundant (scrub_interval may stay 0), trading
+  /// readback traffic for per-slot storage (8 codeword bits vs 4).
+  bool ecc = false;
 };
 
 struct LoaderStats {
@@ -62,6 +68,10 @@ struct LoaderStats {
   std::uint64_t slots_repaired = 0;    ///< detected slots restored by rewrites
   std::uint64_t fence_events = 0;      ///< permanent failures accepted
   std::uint64_t units_dropped = 0;     ///< target units unplaceable after fencing
+  /// ECC side (LoaderParams::ecc): single-bit upsets corrected at read and
+  /// double-bit codewords escalated to the repair path.
+  std::uint64_t ecc_corrections = 0;
+  std::uint64_t ecc_uncorrectable = 0;
   /// Cycles with any fault state outstanding (silent corruption, detected
   /// damage awaiting rewrite, or fenced slots).
   std::uint64_t degraded_cycles = 0;
@@ -79,6 +89,9 @@ class ConfigurationLoader {
   /// fenced slots present the target is first re-placed around them.
   void request(const AllocationVector& target);
   const AllocationVector& target() const { return target_; }
+  /// The last externally requested target, before any fence re-placement
+  /// (checkpoint/rollback snapshots restore steering intent through this).
+  const AllocationVector& requested() const { return requested_; }
 
   /// Advances one cycle. `slot_busy` marks slots whose unit is executing a
   /// multi-cycle instruction (all slots of a busy unit are set).
@@ -150,6 +163,14 @@ class ConfigurationLoader {
   void finish_span_write(unsigned base, unsigned len);
   /// One readback step of the scrubber.
   void scrub_readback();
+  /// Decodes every outstanding-upset codeword (the ECC read path runs
+  /// every cycle): corrects single-bit errors in place, escalates the rest.
+  void ecc_check();
+  /// Confirmed damage at `slot` (scrub mismatch or uncorrectable ECC):
+  /// records detections for every corrupted slot of the containing unit,
+  /// clears its span so the partial-reconfiguration path rewrites it, and
+  /// marks target-covered slots as repairing.
+  void escalate_corruption(unsigned slot);
 
   LoaderParams params_;
   AllocationVector allocation_;
@@ -163,6 +184,10 @@ class ConfigurationLoader {
   SlotMask fenced_;      ///< permanently failed slots
   SlotMask repairing_;   ///< detected damage awaiting a repair rewrite
   std::array<std::uint64_t, kMaxRfuSlots> corrupt_cycle_{};
+  /// ECC mode: accumulated flipped codeword bits per slot (0 = clean) and
+  /// a per-slot upset ordinal that decorrelates which bit each hit flips.
+  std::array<std::uint8_t, kMaxRfuSlots> ecc_flips_{};
+  std::array<std::uint8_t, kMaxRfuSlots> upset_seq_{};
   std::uint64_t cycle_ = 0;       ///< step() count, for latency bookkeeping
   unsigned scrub_countdown_ = 0;
   unsigned scrub_ptr_ = 0;        ///< next slot the readback pass visits

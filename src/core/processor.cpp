@@ -113,7 +113,10 @@ Processor::Processor(const Program& program, const MachineConfig& config,
       engine_(config.steering.ffu, config.pipelined_units),
       loader_(config.loader, std::move(initial_rfu)),
       policy_(std::move(policy)),
-      injector_(config.fault, config.loader.num_slots) {
+      injector_(config.fault, config.loader.num_slots),
+      recovery_(config.recovery.enabled()
+                    ? std::make_unique<RecoveryManager>(config.recovery)
+                    : nullptr) {
   STEERSIM_EXPECTS(policy_ != nullptr);
   mem_.load_image(program_.data);
 }
@@ -198,6 +201,9 @@ void Processor::stage_retire() {
               " at pc " + std::to_string(head.pc));
         return;
       }
+      if (recovery_ != nullptr) {
+        recovery_->journal_store(mem_, head.mem_addr, head.mem_size);
+      }
       switch (head.inst.op) {
         case Opcode::kSw:
           mem_.store_word(head.mem_addr, head.int_result);
@@ -254,6 +260,13 @@ void Processor::stage_faults() {
     }
     if (ev.kind == FaultKind::kPermanentFailure) {
       ++fault_stats_.permanent_failures;
+      // Checkpoint recovery treats a permanent failure as a rollback
+      // trigger: the fence (and its re-placement) stands, but execution
+      // restarts from the snapshot instead of limping on kill/retry.
+      if (recovery_ != nullptr && recovery_->params().rollback_on_permanent &&
+          recovery_->has_checkpoint()) {
+        rollback_pending_ = true;
+      }
     } else {
       ++fault_stats_.upsets_injected;
     }
@@ -484,6 +497,57 @@ void Processor::stage_steer() {
   loader_.step(engine_.slot_busy());
 }
 
+std::uint32_t Processor::next_architectural_pc() const {
+  // Oldest un-retired instruction. The RUU head is on the committed path
+  // (every older branch retired); with the RUU empty, any mispredicted
+  // older branch already redirected fetch and cleared the decode buffer
+  // when it completed, so the buffer head (or the fetch PC) is committed-
+  // path too.
+  if (!ruu_.empty()) {
+    return ruu_.at(0).pc;
+  }
+  if (!decode_buffer_.empty()) {
+    return decode_buffer_[0].pc;
+  }
+  return fetch_.pc();
+}
+
+void Processor::take_checkpoint() {
+  Checkpoint cp;
+  cp.cycle = stats_.cycles;
+  cp.retired = stats_.retired;
+  cp.resume_pc = next_architectural_pc();
+  cp.regs = regs_;
+  cp.fabric = loader_.allocation();
+  cp.requested = loader_.requested();
+  cp.fenced = loader_.fenced();
+  recovery_->take_checkpoint(std::move(cp));
+}
+
+void Processor::perform_rollback() {
+  const Checkpoint& cp = recovery_->checkpoint();
+  // Flush the whole window — a rollback squashes like a mispredict at the
+  // checkpoint boundary, so no in-flight result survives.
+  const unsigned flushed = ruu_.squash_all([this](const RuuEntry& squashed) {
+    engine_.cancel(static_cast<unsigned>(squashed.wakeup_row));
+    wakeup_.squash(static_cast<unsigned>(squashed.wakeup_row));
+  });
+  decode_buffer_.clear();
+  regs_ = cp.regs;
+  recovery_->unwind_memory(mem_);
+  fetch_.redirect(cp.resume_pc);
+  // Restore steering intent. request() re-places it around the current
+  // fence set, which may have grown since the snapshot — that is the
+  // "re-place the fabric around the fences" half of recovery.
+  loader_.request(cp.requested);
+  recovery_->note_rollback(stats_.cycles, stats_.retired, flushed);
+  // Rewind the commit counter with the architecture: `retired` means
+  // committed-and-not-rolled-back, so replayed instructions are not
+  // double-counted (the replay cost lives in RecoveryStats) and a later
+  // checkpoint's `retired` stays aligned with the committed stream.
+  stats_.retired = cp.retired;
+}
+
 void Processor::stage_dispatch() {
   std::size_t consumed = 0;
   while (consumed < decode_buffer_.size() && !ruu_.full() &&
@@ -545,10 +609,32 @@ void Processor::step() {
     ++stats_.cycles;
     return;
   }
+  // Checkpoint right after retire: the snapshot captures a clean boundary
+  // (this cycle's commits drained, nothing new dispatched yet).
+  if (recovery_ != nullptr && recovery_->checkpoint_due(stats_.cycles)) {
+    take_checkpoint();
+  }
   stage_faults();
   stage_complete();
   stage_issue();
   stage_steer();
+  // Rollback triggers fire during faults (permanent failure) or steer (the
+  // loader's ECC decode escalating an uncorrectable word); apply them once
+  // here, before new work dispatches into the window.
+  if (recovery_ != nullptr) {
+    const std::uint64_t uncorrectable = loader_.stats().ecc_uncorrectable;
+    if (uncorrectable > ecc_uncorrectable_seen_) {
+      ecc_uncorrectable_seen_ = uncorrectable;
+      if (recovery_->params().rollback_on_uncorrectable &&
+          recovery_->has_checkpoint()) {
+        rollback_pending_ = true;
+      }
+    }
+    if (rollback_pending_) {
+      rollback_pending_ = false;
+      perform_rollback();
+    }
+  }
   stage_dispatch();
   stage_fetch();
   wakeup_.tick();

@@ -35,6 +35,7 @@
 #include "core/policy.hpp"
 #include "core/ruu.hpp"
 #include "fault/injector.hpp"
+#include "recovery/recovery.hpp"
 #include "frontend/fetch_unit.hpp"
 #include "memory/cache.hpp"
 #include "memory/data_memory.hpp"
@@ -67,6 +68,8 @@ struct MachineConfig {
   CacheParams dcache;
   /// Configuration-memory fault injection (docs/FAULTS.md); off by default.
   FaultParams fault;
+  /// Checkpoint/rollback recovery (docs/FAULTS.md); off by default.
+  RecoveryParams recovery;
 
   MachineConfig() : steering(default_steering_set()) {
     loader.num_slots = steering.num_slots;
@@ -139,6 +142,10 @@ class Processor {
   /// Injection-side fault statistics (detection/repair live in
   /// `loader().stats()`).
   const FaultStats& fault_stats() const { return fault_stats_; }
+  /// Checkpoint/rollback manager; null when recovery is disabled. The
+  /// non-const overload lets tests install a rollback hook.
+  const RecoveryManager* recovery() const { return recovery_.get(); }
+  RecoveryManager* recovery() { return recovery_.get(); }
 
   /// Test/debug hook invoked for every committed instruction, in order.
   void set_retire_hook(std::function<void(const RuuEntry&)> hook) {
@@ -157,6 +164,17 @@ class Processor {
   void stage_steer();
   void stage_dispatch();
   void stage_fetch();
+
+  /// PC of the oldest un-retired instruction: the point a checkpoint
+  /// resumes from. Valid any time retire has drained this cycle's commits.
+  std::uint32_t next_architectural_pc() const;
+  /// Snapshots architectural + loader state into the recovery manager.
+  void take_checkpoint();
+  /// Restores the last checkpoint: flushes every in-flight instruction,
+  /// rewinds registers and memory, restarts fetch at the resume PC, and
+  /// re-requests the checkpoint's steering target (re-placed around the
+  /// *current* fences — fences are physical and never roll back).
+  void perform_rollback();
 
   /// Reads one operand at issue time: forwarded from the producer's RUU
   /// entry if still in flight, otherwise from the register file.
@@ -189,12 +207,17 @@ class Processor {
   ConfigurationLoader loader_;
   std::unique_ptr<SteeringPolicy> policy_;
   FaultInjector injector_;
+  std::unique_ptr<RecoveryManager> recovery_;
 
   std::function<void(const RuuEntry&)> retire_hook_;
   SimStats stats_;
   FaultStats fault_stats_;
   bool halted_ = false;
   bool faulted_ = false;
+  /// A rollback trigger fired earlier this cycle; applied after steer.
+  bool rollback_pending_ = false;
+  /// Loader ecc_uncorrectable count already inspected for triggers.
+  std::uint64_t ecc_uncorrectable_seen_ = 0;
   std::string fault_message_;
 };
 

@@ -119,6 +119,20 @@ class RegisterUpdateUnit {
     return squashed;
   }
 
+  /// Removes every in-flight entry (a whole-window rollback flush), same
+  /// youngest-first callback and id-recycling contract as
+  /// squash_younger_than.
+  template <typename Fn>
+  unsigned squash_all(Fn on_squash) {
+    const unsigned squashed = count_;
+    while (count_ > 0) {
+      on_squash(at(count_ - 1));
+      --count_;
+    }
+    next_id_ -= squashed;
+    return squashed;
+  }
+
   void clear() { count_ = 0; }
 
  private:

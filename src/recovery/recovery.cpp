@@ -1,0 +1,85 @@
+#include "recovery/recovery.hpp"
+
+#include <algorithm>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+namespace {
+
+std::uint64_t journal_key(std::uint64_t addr, unsigned size) {
+  return addr * 2 + (size == 1 ? 1 : 0);
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(const RecoveryParams& params)
+    : params_(params) {
+  STEERSIM_EXPECTS(params.enabled());
+}
+
+void RecoveryManager::take_checkpoint(Checkpoint snapshot) {
+  checkpoint_ = std::move(snapshot);
+  has_checkpoint_ = true;
+  journal_.clear();
+  journaled_.clear();
+  ++stats_.checkpoints_taken;
+}
+
+const Checkpoint& RecoveryManager::checkpoint() const {
+  STEERSIM_EXPECTS(has_checkpoint_);
+  return checkpoint_;
+}
+
+void RecoveryManager::journal_store(const DataMemory& mem,
+                                    std::uint64_t addr, unsigned size) {
+  if (!has_checkpoint_) {
+    return;  // nothing to roll back to yet
+  }
+  STEERSIM_EXPECTS(size == 1 || size == 8);
+  if (!journaled_.insert(journal_key(addr, size)).second) {
+    return;  // this epoch already holds the pre-image
+  }
+  UndoRecord record;
+  record.addr = addr;
+  record.size = size;
+  record.old_value = size == 1 ? mem.load_byte(addr) : mem.load_word(addr);
+  journal_.push_back(record);
+  ++stats_.journal_records;
+  stats_.journal_records_peak =
+      std::max(stats_.journal_records_peak,
+               static_cast<std::uint64_t>(journal_.size()));
+}
+
+void RecoveryManager::unwind_memory(DataMemory& mem) {
+  STEERSIM_EXPECTS(has_checkpoint_);
+  // Newest-first: overlapping records (a word journaled before a byte
+  // inside it, or vice versa) each restore the state before their own
+  // first write, so reverse replay lands exactly on the snapshot image.
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    if (it->size == 1) {
+      mem.store_byte(it->addr, it->old_value);
+    } else {
+      mem.store_word(it->addr, it->old_value);
+    }
+  }
+  journal_.clear();
+  journaled_.clear();
+}
+
+void RecoveryManager::note_rollback(std::uint64_t cycle,
+                                    std::uint64_t retired,
+                                    unsigned flushed_in_flight) {
+  STEERSIM_EXPECTS(has_checkpoint_);
+  STEERSIM_EXPECTS(cycle >= checkpoint_.cycle);
+  STEERSIM_EXPECTS(retired >= checkpoint_.retired);
+  ++stats_.rollbacks;
+  stats_.instructions_replayed += retired - checkpoint_.retired;
+  stats_.cycles_rewound += cycle - checkpoint_.cycle;
+  stats_.flushed_in_flight += flushed_in_flight;
+  if (on_rollback_) {
+    on_rollback_(checkpoint_);
+  }
+}
+
+}  // namespace steersim

@@ -15,13 +15,26 @@ class CsvWriter {
     STEERSIM_EXPECTS(out_.good());
   }
 
+  /// Flushes and verifies the stream: a sweep that silently wrote a
+  /// truncated CSV (disk full, deleted directory) must fail loudly, not
+  /// hand downstream plots a partial artifact.
+  ~CsvWriter() {
+    out_.flush();
+    STEERSIM_ENSURES(out_.good());
+  }
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
   void row(const std::vector<std::string>& cells) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (i > 0) {
         out_ << ',';
       }
-      // Quote cells containing separators.
-      if (cells[i].find_first_of(",\"\n") != std::string::npos) {
+      // Quote cells containing separators or line breaks (\r included:
+      // a bare carriage return inside a cell corrupts the record framing
+      // for RFC-4180 readers just like \n does).
+      if (cells[i].find_first_of(",\"\n\r") != std::string::npos) {
         out_ << '"';
         for (const char c : cells[i]) {
           if (c == '"') {
@@ -35,6 +48,7 @@ class CsvWriter {
       }
     }
     out_ << '\n';
+    STEERSIM_ENSURES(out_.good());
   }
 
  private:

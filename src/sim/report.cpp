@@ -108,6 +108,25 @@ std::string format_report(const SimResult& r) {
     out += line("degraded cycles",
                 std::to_string(r.loader.degraded_cycles) + " of " +
                     std::to_string(r.stats.cycles));
+    if (r.loader.ecc_corrections > 0 || r.loader.ecc_uncorrectable > 0) {
+      out += line("ECC corrected/uncorrectable",
+                  std::to_string(r.loader.ecc_corrections) + " / " +
+                      std::to_string(r.loader.ecc_uncorrectable));
+    }
+  }
+  if (r.recovery.checkpoints_taken > 0) {
+    out += "checkpoint recovery\n";
+    out += line("checkpoints taken",
+                std::to_string(r.recovery.checkpoints_taken));
+    out += line("rollbacks", std::to_string(r.recovery.rollbacks));
+    out += line("cycles rewound / replayed",
+                std::to_string(r.recovery.cycles_rewound) + " / " +
+                    std::to_string(r.recovery.instructions_replayed));
+    out += line("in-flight flushed",
+                std::to_string(r.recovery.flushed_in_flight));
+    out += line("journal records (peak)",
+                std::to_string(r.recovery.journal_records) + " (" +
+                    std::to_string(r.recovery.journal_records_peak) + ")");
   }
   return out;
 }

@@ -114,6 +114,9 @@ SimResult simulate(const Program& program, const MachineConfig& config,
     result.dcache = cpu->dcache()->stats();
   }
   result.fault = cpu->fault_stats();
+  if (cpu->recovery() != nullptr) {
+    result.recovery = cpu->recovery()->stats();
+  }
   return result;
 }
 

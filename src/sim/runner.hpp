@@ -56,6 +56,7 @@ struct SimResult {
   WakeupStats wakeup;
   CacheStats dcache;
   FaultStats fault;
+  RecoveryStats recovery;
 };
 
 /// Builds the processor for (config, spec): chooses the policy object, the

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <atomic>
+#include <exception>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -28,13 +29,21 @@ std::vector<Result> parallel_map(
   }
   workers = std::min<unsigned>(workers, static_cast<unsigned>(jobs.size()));
   std::atomic<std::size_t> next{0};
+  // An exception escaping a jthread body calls std::terminate, so workers
+  // capture per-job exceptions; the lowest-index one is rethrown after
+  // every worker has joined (remaining jobs still run to completion).
+  std::vector<std::exception_ptr> errors(jobs.size());
   auto worker = [&]() {
     while (true) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= jobs.size()) {
         return;
       }
-      results[i] = jobs[i]();
+      try {
+        results[i] = jobs[i]();
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
     }
   };
   std::vector<std::jthread> pool;
@@ -43,6 +52,11 @@ std::vector<Result> parallel_map(
     pool.emplace_back(worker);
   }
   pool.clear();  // join
+  for (const std::exception_ptr& error : errors) {
+    if (error) {
+      std::rethrow_exception(error);
+    }
+  }
   return results;
 }
 

@@ -13,13 +13,18 @@ bool looks_numeric(const std::string& cell) {
   if (cell.empty()) {
     return false;
   }
+  // At least one digit is required: bare punctuation ("-", "e", "x") is a
+  // text cell, not a number, and must stay left-aligned.
+  bool has_digit = false;
   for (const char c : cell) {
-    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
-        c != '-' && c != '+' && c != '%' && c != 'x' && c != 'e') {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      has_digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'x' &&
+               c != 'e') {
       return false;
     }
   }
-  return true;
+  return has_digit;
 }
 
 }  // namespace

@@ -1,0 +1,297 @@
+// ECC and checkpoint/rollback tests: SECDED codec round-trips over every
+// single- and double-bit corruption, loader detect-at-read behaviour,
+// undo-journal memory rewind, and full-machine rollback producing the same
+// retired-instruction stream as a fault-free run.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "config/ecc.hpp"
+#include "config/steering_set.hpp"
+#include "cosim.hpp"
+#include "recovery/recovery.hpp"
+#include "sim/report.hpp"
+#include "sim/runner.hpp"
+#include "workload/kernels.hpp"
+#include "workload/synthetic.hpp"
+
+namespace steersim {
+namespace {
+
+// ------------------------------------------------------------------- codec
+
+TEST(Ecc, CleanCodewordsRoundTripAllPayloads) {
+  for (unsigned data = 0; data < 16; ++data) {
+    const std::uint8_t cw = ecc_encode(static_cast<std::uint8_t>(data));
+    const EccDecoded d = ecc_decode(cw);
+    EXPECT_EQ(d.outcome, EccOutcome::kClean) << "data " << data;
+    EXPECT_EQ(d.data, data);
+  }
+}
+
+TEST(Ecc, EverySingleBitFlipIsCorrectedToTheOriginalPayload) {
+  for (unsigned data = 0; data < 16; ++data) {
+    const std::uint8_t cw = ecc_encode(static_cast<std::uint8_t>(data));
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      const EccDecoded d =
+          ecc_decode(static_cast<std::uint8_t>(cw ^ (1u << bit)));
+      EXPECT_EQ(d.outcome, EccOutcome::kCorrected)
+          << "data " << data << " bit " << bit;
+      EXPECT_EQ(d.data, data) << "data " << data << " bit " << bit;
+    }
+  }
+}
+
+TEST(Ecc, EveryDoubleBitFlipIsDetectedAsUncorrectable) {
+  for (unsigned data = 0; data < 16; ++data) {
+    const std::uint8_t cw = ecc_encode(static_cast<std::uint8_t>(data));
+    for (unsigned a = 0; a < 8; ++a) {
+      for (unsigned b = a + 1; b < 8; ++b) {
+        const EccDecoded d = ecc_decode(
+            static_cast<std::uint8_t>(cw ^ (1u << a) ^ (1u << b)));
+        EXPECT_EQ(d.outcome, EccOutcome::kUncorrectable)
+            << "data " << data << " bits " << a << "," << b;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- loader + ECC
+
+LoaderParams ecc_params() {
+  LoaderParams p;
+  p.num_slots = 8;
+  p.cycles_per_slot = 4;
+  p.ecc = true;
+  return p;
+}
+
+TEST(LoaderEcc, SingleUpsetCorrectedAtNextReadWithoutRepairTraffic) {
+  const SteeringSet set = default_steering_set();
+  ConfigurationLoader loader(ecc_params(), set.preset_allocation(0));
+  const FuCounts before = loader.allocation().counts();
+  ASSERT_TRUE(loader.corrupt_slot(4));
+  EXPECT_TRUE(loader.corrupted().test(4));
+
+  loader.step(SlotMask{});
+  EXPECT_EQ(loader.stats().ecc_corrections, 1u);
+  EXPECT_EQ(loader.stats().ecc_uncorrectable, 0u);
+  EXPECT_TRUE(loader.corrupted().none()) << "corrected in place";
+  EXPECT_TRUE(loader.repairing().none()) << "no rewrite needed";
+  EXPECT_EQ(loader.allocation().counts(), before);
+  EXPECT_EQ(loader.effective_allocation().counts(), before);
+  // Detect-at-read: latency is the cycles until the next loader step.
+  EXPECT_EQ(loader.stats().detection_latency.count(), 1u);
+  EXPECT_EQ(loader.stats().scrub_reads, 0u) << "no readback traffic";
+}
+
+TEST(LoaderEcc, DoubleUpsetEscalatesToRepairPath) {
+  const SteeringSet set = default_steering_set();
+  ConfigurationLoader loader(ecc_params(), set.preset_allocation(0));
+  // Two upsets on the same slot in one cycle flip two distinct codeword
+  // bits: beyond SECDED correction, so detection must escalate to the
+  // scrub-style scrap-and-rewrite path.
+  ASSERT_TRUE(loader.corrupt_slot(4));
+  ASSERT_TRUE(loader.corrupt_slot(4));
+
+  loader.step(SlotMask{});
+  EXPECT_EQ(loader.stats().ecc_corrections, 0u);
+  EXPECT_EQ(loader.stats().ecc_uncorrectable, 1u);
+  EXPECT_EQ(loader.stats().upsets_detected, 1u);
+  EXPECT_TRUE(loader.corrupted().none()) << "detection clears corruption";
+  EXPECT_TRUE(loader.repairing().test(4));
+  EXPECT_EQ(loader.allocation().counts()[fu_index(FuType::kIntMdu)], 0u)
+      << "damaged region scrapped pending rewrite";
+  loader.request(set.preset_allocation(0));
+  for (int c = 0; c < 20; ++c) {
+    loader.step(SlotMask{});
+  }
+  EXPECT_EQ(loader.stats().slots_repaired, 1u);
+  EXPECT_EQ(loader.allocation().counts()[fu_index(FuType::kIntMdu)], 1u);
+}
+
+TEST(LoaderEcc, EccIdleWithNoUpsetsChangesNothing) {
+  const SteeringSet set = default_steering_set();
+  ConfigurationLoader loader(ecc_params(), set.preset_allocation(1));
+  for (int c = 0; c < 50; ++c) {
+    loader.step(SlotMask{});
+  }
+  EXPECT_EQ(loader.stats().ecc_corrections, 0u);
+  EXPECT_EQ(loader.stats().ecc_uncorrectable, 0u);
+  EXPECT_EQ(loader.stats().degraded_cycles, 0u);
+}
+
+// --------------------------------------------------------- recovery manager
+
+TEST(RecoveryManager, JournalUnwindRestoresOverlappingWrites) {
+  RecoveryParams rp;
+  rp.checkpoint_interval = 64;
+  RecoveryManager mgr(rp);
+  DataMemory mem(256);
+  mem.store_word(8, 0x1122334455667788LL);
+  mem.store_byte(40, 0x5a);
+
+  mgr.take_checkpoint(Checkpoint{});
+  // Overlapping writes: whole word, then a byte inside it, then the word
+  // again (deduped). Undo replays newest-first, so the original image must
+  // come back exactly.
+  mgr.journal_store(mem, 8, 8);
+  mem.store_word(8, -1);
+  mgr.journal_store(mem, 12, 1);
+  mem.store_byte(12, 0x7f);
+  mgr.journal_store(mem, 8, 8);  // duplicate (addr,size): no new record
+  mem.store_word(8, 42);
+  mgr.journal_store(mem, 40, 1);
+  mem.store_byte(40, 0);
+
+  EXPECT_EQ(mgr.stats().journal_records, 3u);
+  mgr.unwind_memory(mem);
+  EXPECT_EQ(mem.load_word(8), 0x1122334455667788LL);
+  EXPECT_EQ(mem.load_byte(40), 0x5a);
+  EXPECT_EQ(mgr.stats().journal_records_peak, 3u);
+}
+
+TEST(RecoveryManager, CheckpointOpensFreshJournalEpoch) {
+  RecoveryParams rp;
+  rp.checkpoint_interval = 10;
+  RecoveryManager mgr(rp);
+  EXPECT_FALSE(mgr.has_checkpoint());
+  DataMemory mem(64);
+  mgr.journal_store(mem, 0, 8);  // before any checkpoint: ignored
+  EXPECT_EQ(mgr.stats().journal_records, 0u);
+
+  mgr.take_checkpoint(Checkpoint{});
+  ASSERT_TRUE(mgr.has_checkpoint());
+  mgr.journal_store(mem, 0, 8);
+  EXPECT_EQ(mgr.stats().journal_records, 1u);
+  mgr.take_checkpoint(Checkpoint{});
+  mgr.journal_store(mem, 0, 8);  // same address journals again: new epoch
+  EXPECT_EQ(mgr.stats().journal_records, 2u);
+  EXPECT_TRUE(mgr.checkpoint_due(20));
+  EXPECT_FALSE(mgr.checkpoint_due(25));
+}
+
+// --------------------------------------------------------------- processor
+
+/// Runs with checkpointing and the given faults; asserts the observed
+/// retired stream (rollback-truncated) matches the fault-free reference.
+void expect_rollback_preserves_commit_stream(const MachineConfig& cfg,
+                                             const Program& program) {
+  const auto ref =
+      reference_commits(program, cfg.data_memory_bytes, 5'000'000);
+
+  auto cpu = make_processor(program, cfg, {.kind = PolicyKind::kSteered});
+  ASSERT_NE(cpu->recovery(), nullptr);
+  std::vector<CommitRecord> ooo;
+  cpu->set_retire_hook([&ooo](const RuuEntry& e) {
+    ooo.push_back(CommitRecord{e.pc, e.actual_next, e.int_result});
+  });
+  cpu->recovery()->set_rollback_hook([&ooo](const Checkpoint& cp) {
+    ASSERT_LE(cp.retired, ooo.size());
+    ooo.resize(cp.retired);  // commits past the checkpoint will replay
+  });
+  ASSERT_EQ(cpu->run(10'000'000), RunOutcome::kHalted)
+      << cpu->fault_message();
+
+  EXPECT_GT(cpu->recovery()->stats().rollbacks, 0u)
+      << "scenario must actually exercise a rollback";
+  ASSERT_EQ(ooo.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(ooo[i].pc, ref[i].pc) << "commit #" << i;
+    ASSERT_EQ(ooo[i].next_pc, ref[i].next_pc) << "commit #" << i;
+    ASSERT_EQ(ooo[i].int_result, ref[i].int_result) << "commit #" << i;
+  }
+}
+
+TEST(ProcessorRecovery, RollbackOnPermanentFailureReplaysIdentically) {
+  MachineConfig cfg;
+  cfg.loader.cycles_per_slot = 4;
+  cfg.recovery.checkpoint_interval = 256;
+  cfg.fault.script.push_back({900, FaultKind::kPermanentFailure, 2});
+  cfg.fault.script.push_back({2500, FaultKind::kPermanentFailure, 5});
+  const Program program = generate_synthetic(alternating_phases(512, 3, 11));
+  expect_rollback_preserves_commit_stream(cfg, program);
+}
+
+TEST(ProcessorRecovery, RollbackUnderUpsetRainStaysArchitecturallyCorrect) {
+  MachineConfig cfg;
+  cfg.loader.cycles_per_slot = 2;
+  cfg.loader.ecc = true;
+  cfg.recovery.checkpoint_interval = 128;
+  cfg.fault.upset_rate = 0.01;
+  cfg.fault.seed = 21;
+  cfg.fault.script.push_back({700, FaultKind::kPermanentFailure, 1});
+  const Program program =
+      generate_synthetic(single_phase(mixed_mix(), 48, 120, 5));
+  expect_rollback_preserves_commit_stream(cfg, program);
+}
+
+TEST(ProcessorRecovery, RecoveryStatsAccountForTheRewind) {
+  MachineConfig cfg;
+  cfg.recovery.checkpoint_interval = 512;
+  cfg.fault.script.push_back({1500, FaultKind::kPermanentFailure, 3});
+  const Program program = generate_synthetic(alternating_phases(512, 2, 9));
+
+  const SimResult r =
+      simulate(program, cfg, {.kind = PolicyKind::kSteered}, 10'000'000);
+  ASSERT_EQ(r.outcome, RunOutcome::kHalted);
+  EXPECT_GT(r.recovery.checkpoints_taken, 0u);
+  ASSERT_EQ(r.recovery.rollbacks, 1u);
+  EXPECT_GT(r.recovery.cycles_rewound, 0u);
+  EXPECT_LE(r.recovery.cycles_rewound, 512u)
+      << "rewind never exceeds the checkpoint interval";
+  EXPECT_GT(r.recovery.journal_records, 0u);
+
+  const std::string report = format_report(r);
+  EXPECT_NE(report.find("checkpoint recovery"), std::string::npos);
+  EXPECT_NE(report.find("rollbacks"), std::string::npos);
+}
+
+TEST(ProcessorRecovery, EccAloneMatchesReferenceWithoutScrubbing) {
+  // ECC with no scrubber: upsets are corrected at the read path and the
+  // machine stays architecturally exact.
+  MachineConfig cfg;
+  cfg.loader.cycles_per_slot = 2;
+  cfg.loader.ecc = true;
+  cfg.loader.scrub_interval = 0;
+  cfg.fault.upset_rate = 0.05;
+  cfg.fault.seed = 31;
+  const Program program =
+      generate_synthetic(single_phase(mdu_heavy_mix(), 40, 120, 3));
+  EXPECT_TRUE(cosim_match(program, cfg, {.kind = PolicyKind::kSteered}));
+}
+
+TEST(ProcessorRecovery, DisabledRecoveryAndEccAreBitIdenticalToPlain) {
+  // The whole subsystem off (the default) must leave every statistic of a
+  // normal run untouched; enabled-but-quiet checkpointing may only add
+  // checkpoint accounting, never perturb the machine.
+  const Program program = kernel_by_name("fir").assemble_program();
+  MachineConfig plain;
+  MachineConfig quiet;
+  quiet.loader.ecc = true;
+  quiet.recovery.checkpoint_interval = 1024;
+
+  const PolicySpec spec{.kind = PolicyKind::kSteered};
+  const SimResult a = simulate(program, plain, spec);
+  const SimResult b = simulate(program, quiet, spec);
+
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.stats.retired, b.stats.retired);
+  EXPECT_EQ(a.stats.dispatched, b.stats.dispatched);
+  EXPECT_EQ(a.stats.issued, b.stats.issued);
+  EXPECT_EQ(a.stats.squashed, b.stats.squashed);
+  EXPECT_EQ(a.stats.mispredicts, b.stats.mispredicts);
+  EXPECT_EQ(a.stats.queue_occupancy_sum, b.stats.queue_occupancy_sum);
+  EXPECT_EQ(a.loader.targets_requested, b.loader.targets_requested);
+  EXPECT_EQ(a.loader.slots_rewritten, b.loader.slots_rewritten);
+  EXPECT_EQ(a.loader.blocked_cycles, b.loader.blocked_cycles);
+  EXPECT_EQ(b.loader.ecc_corrections, 0u);
+  EXPECT_EQ(b.loader.ecc_uncorrectable, 0u);
+  EXPECT_EQ(b.recovery.rollbacks, 0u);
+  EXPECT_GT(b.recovery.checkpoints_taken, 0u);
+  EXPECT_EQ(a.recovery.checkpoints_taken, 0u);
+}
+
+}  // namespace
+}  // namespace steersim
