@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/strings.hpp"
 #include "sim/runner.hpp"
 #include "sim/sweep.hpp"
 #include "sim/table.hpp"
@@ -19,20 +20,26 @@ inline void print_header(const std::string& id, const std::string& title) {
 
 /// True when STEERSIM_MAX_CYCLES caps this run (CI smoke); self-checks
 /// that require a clean halt should tolerate kMaxCycles in that case.
+/// A malformed value does not cap anything, so it does not count.
 inline bool cycle_budget_overridden() {
-  return std::getenv("STEERSIM_MAX_CYCLES") != nullptr;
+  const char* env = std::getenv("STEERSIM_MAX_CYCLES");
+  return env != nullptr && parse_positive_u64(env).has_value();
 }
 
 /// Per-run cycle budget: `fallback` unless the STEERSIM_MAX_CYCLES
-/// environment variable holds a positive integer (used by CI to smoke-run
-/// every bench on a tiny budget without touching the default output).
+/// environment variable holds a positive decimal integer (used by CI to
+/// smoke-run every bench on a tiny budget without touching the default
+/// output). Anything else — "-1" would wrap through strtoull to 2^64-1
+/// and silently disable the budget — is rejected with a warning.
 inline std::uint64_t cycle_budget(std::uint64_t fallback = 50'000'000) {
   if (const char* env = std::getenv("STEERSIM_MAX_CYCLES")) {
-    char* end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env && *end == '\0' && v > 0) {
-      return v;
+    if (const auto v = parse_positive_u64(env)) {
+      return *v;
     }
+    std::fprintf(stderr,
+                 "steersim: ignoring STEERSIM_MAX_CYCLES='%s' (expected a "
+                 "positive decimal cycle count); using %llu\n",
+                 env, static_cast<unsigned long long>(fallback));
   }
   return fallback;
 }

@@ -31,12 +31,27 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x) {
-  const double span = hi_ - lo_;
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / span *
-                                         static_cast<double>(counts_.size()));
-  idx = std::clamp<std::ptrdiff_t>(
-      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // A NaN sample has no bucket; converting it to an integer index would be
+  // undefined behavior. Drop it, visibly.
+  if (std::isnan(x)) {
+    ++nan_samples_;
+    return;
+  }
+  std::size_t idx;
+  if (x <= lo_) {
+    idx = 0;  // below-range and -inf clamp to the first bucket
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;  // above-range and +inf clamp to the last
+  } else {
+    // In-range and finite: the scaled position is in [0, buckets), so the
+    // integer conversion is well defined; min() guards the x ≈ hi_ edge
+    // where rounding could land exactly on buckets.
+    const double span = hi_ - lo_;
+    const double pos =
+        (x - lo_) / span * static_cast<double>(counts_.size());
+    idx = std::min(counts_.size() - 1, static_cast<std::size_t>(pos));
+  }
+  ++counts_[idx];
   ++total_;
 }
 
@@ -56,8 +71,11 @@ double Histogram::quantile(double p) const {
   if (total_ == 0) {
     return lo_;
   }
-  const auto target =
-      static_cast<std::uint64_t>(p * static_cast<double>(total_));
+  // Clamp the target rank to the last sample so p = 1.0 resolves to the
+  // top *occupied* bucket's lower edge (hi_ is not a sample location).
+  const auto target = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(p * static_cast<double>(total_)),
+      total_ - 1);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];

@@ -17,8 +17,14 @@ class RunningStat {
   double mean() const { return count_ == 0 ? 0.0 : mean_; }
   double variance() const;
   double stddev() const;
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  /// NaN when no sample was added: an empty stat must not read as a real
+  /// 0.0 sample in reports (format_double renders NaN as "-").
+  double min() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
   double sum() const { return sum_; }
 
  private:
@@ -30,19 +36,23 @@ class RunningStat {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp to the
-/// end buckets so totals always balance.
+/// Fixed-bucket histogram over [lo, hi); out-of-range samples (infinities
+/// included) clamp to the end buckets so totals always balance. NaN
+/// samples are dropped deterministically and counted in nan_samples().
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
 
   void add(double x);
   std::uint64_t total() const { return total_; }
+  /// NaN samples seen by add(); never part of total() or any bucket.
+  std::uint64_t nan_samples() const { return nan_samples_; }
   std::uint64_t bucket_count(std::size_t i) const;
   std::size_t buckets() const { return counts_.size(); }
   /// Inclusive lower edge of bucket i.
   double bucket_lo(std::size_t i) const;
-  /// p in [0,1]; returns the lower edge of the bucket holding that quantile.
+  /// p in [0,1]; returns the lower edge of the bucket holding that
+  /// quantile (for p = 1.0, the top occupied bucket).
   double quantile(double p) const;
   std::string to_string(int width = 50) const;
 
@@ -51,6 +61,7 @@ class Histogram {
   double hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t nan_samples_ = 0;
 };
 
 }  // namespace steersim

@@ -1,7 +1,9 @@
 #include "common/strings.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/contracts.hpp"
 
@@ -9,9 +11,33 @@ namespace steersim {
 
 std::string format_double(double value, int precision) {
   STEERSIM_EXPECTS(precision >= 0 && precision <= 17);
+  if (std::isnan(value)) {
+    return "-";
+  }
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
   return buffer;
+}
+
+std::optional<std::uint64_t> parse_positive_u64(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;  // would overflow 64 bits
+    }
+    value = value * 10 + digit;
+  }
+  if (value == 0) {
+    return std::nullopt;
+  }
+  return value;
 }
 
 std::string pad(std::string_view text, int width) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,7 +12,14 @@
 namespace steersim {
 
 /// Fixed-precision decimal rendering ("3.14"); no locale, no scientific.
+/// NaN renders as "-" so empty statistics are visibly empty in reports.
 std::string format_double(double value, int precision);
+
+/// Strict positive-decimal parse for environment/CLI knobs: accepts only
+/// pure decimal digit strings whose value is > 0 and fits in 64 bits.
+/// Signs ("-1" would wrap through strtoull), whitespace, hex, exponents
+/// and overflow all yield nullopt.
+std::optional<std::uint64_t> parse_positive_u64(std::string_view text);
 
 /// Left-pads (or right-pads if width < 0) to |width| columns with spaces.
 std::string pad(std::string_view text, int width);

@@ -26,6 +26,13 @@ void ConfigurationLoader::request(const AllocationVector& target) {
   requested_ = target;
   ++stats_.targets_requested;
   retarget();
+  if (tracer_ != nullptr && tracer_->wants(trace_cat::kLoader, cycle_)) {
+    tracer_->ensure_lane(trace_lane::kLoaderTarget, "loader target");
+    TraceArgs args;
+    args.str("target", target_.to_string());
+    tracer_->instant("retarget", trace_cat::kLoader,
+                     trace_lane::kLoaderTarget, cycle_, args);
+  }
 }
 
 void ConfigurationLoader::retarget() {
@@ -402,9 +409,10 @@ void ConfigurationLoader::step_partial(SlotMask slot_busy) {
       allocation_.write_region(region);
       stats_.slots_rewritten += region.len;
       finish_span_write(region.base, region.len);
+      trace_rewrite(region, cycle_, 0);
     } else {
       active_.push_back(
-          Rewrite{region, params_.cycles_per_slot * region.len});
+          Rewrite{region, params_.cycles_per_slot * region.len, cycle_});
     }
     ++stats_.regions_started;
   }
@@ -419,11 +427,28 @@ void ConfigurationLoader::step_partial(SlotMask slot_busy) {
       allocation_.write_region(it->region);
       stats_.slots_rewritten += it->region.len;
       finish_span_write(it->region.base, it->region.len);
+      trace_rewrite(it->region, it->start, cycle_ - it->start + 1);
       it = active_.erase(it);
     } else {
       ++it;
     }
   }
+}
+
+void ConfigurationLoader::trace_rewrite(const SlotRegion& region,
+                                        std::uint64_t start,
+                                        std::uint64_t duration) const {
+  if (tracer_ == nullptr ||
+      !tracer_->wants_span(trace_cat::kLoader, start, duration)) {
+    return;
+  }
+  const unsigned lane = trace_lane::kSlotBase + region.base;
+  tracer_->ensure_lane(lane, "rfu slot " + std::to_string(region.base));
+  TraceArgs args;
+  args.num("base", std::uint64_t{region.base})
+      .num("len", std::uint64_t{region.len});
+  tracer_->complete(fu_type_name(region.type), trace_cat::kLoader, lane,
+                    start, duration, args);
 }
 
 void ConfigurationLoader::step_full(SlotMask slot_busy) {
@@ -443,6 +468,7 @@ void ConfigurationLoader::step_full(SlotMask slot_busy) {
     allocation_.clear_span(0, params_.num_slots);
     begin_span_write(0, params_.num_slots);
     full_remaining_ = params_.cycles_per_slot * params_.num_slots;
+    full_start_ = cycle_;
   }
   if (--full_remaining_ == 0) {
     for (const auto& region : target_.regions()) {
@@ -451,6 +477,16 @@ void ConfigurationLoader::step_full(SlotMask slot_busy) {
     }
     finish_span_write(0, params_.num_slots);
     ++stats_.regions_started;
+    if (tracer_ != nullptr &&
+        tracer_->wants_span(trace_cat::kLoader, full_start_,
+                            cycle_ - full_start_ + 1)) {
+      tracer_->ensure_lane(trace_lane::kSlotBase, "rfu slot 0");
+      TraceArgs args;
+      args.num("slots", std::uint64_t{params_.num_slots});
+      tracer_->complete("full-reconfig", trace_cat::kLoader,
+                        trace_lane::kSlotBase, full_start_,
+                        cycle_ - full_start_ + 1, args);
+    }
   }
 }
 

@@ -27,6 +27,7 @@
 
 #include "common/stats.hpp"
 #include "config/allocation.hpp"
+#include "obs/trace.hpp"
 
 namespace steersim {
 
@@ -78,6 +79,29 @@ struct LoaderStats {
   /// Upset-to-detection delay of every scrub detection, in cycles.
   RunningStat detection_latency;
   Histogram detection_latency_hist{0.0, 4096.0, 32};
+
+  /// Metric-registry enumeration (docs/OBSERVABILITY.md).
+  template <typename V>
+  void visit_metrics(V&& visit) const {
+    visit("targets_requested", static_cast<double>(targets_requested));
+    visit("regions_started", static_cast<double>(regions_started));
+    visit("slots_rewritten", static_cast<double>(slots_rewritten));
+    visit("blocked_cycles", static_cast<double>(blocked_cycles));
+    visit("scrub_reads", static_cast<double>(scrub_reads));
+    visit("upsets_detected", static_cast<double>(upsets_detected));
+    visit("slots_repaired", static_cast<double>(slots_repaired));
+    visit("fence_events", static_cast<double>(fence_events));
+    visit("units_dropped", static_cast<double>(units_dropped));
+    visit("ecc_corrections", static_cast<double>(ecc_corrections));
+    visit("ecc_uncorrectable", static_cast<double>(ecc_uncorrectable));
+    visit("degraded_cycles", static_cast<double>(degraded_cycles));
+    if (detection_latency.count() > 0) {
+      visit("detection_latency_mean", detection_latency.mean());
+      visit("detection_latency_max", detection_latency.max());
+      visit("detection_latency_p95",
+            detection_latency_hist.quantile(0.95));
+    }
+  }
 };
 
 class ConfigurationLoader {
@@ -135,10 +159,16 @@ class ConfigurationLoader {
   const LoaderStats& stats() const { return stats_; }
   const LoaderParams& params() const { return params_; }
 
+  /// Attaches the cycle tracer (nullptr detaches): region rewrites emit
+  /// trace_cat::kLoader duration events on per-slot lanes. Observation
+  /// only — never affects loader behaviour.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Rewrite {
     SlotRegion region;
     unsigned remaining = 0;
+    std::uint64_t start = 0;  ///< cycle_ when the rewrite began (tracing)
   };
 
   /// True if `allocation_` already implements `region` exactly.
@@ -191,8 +221,14 @@ class ConfigurationLoader {
   std::uint64_t cycle_ = 0;       ///< step() count, for latency bookkeeping
   unsigned scrub_countdown_ = 0;
   unsigned scrub_ptr_ = 0;        ///< next slot the readback pass visits
+  std::uint64_t full_start_ = 0;  ///< full-reconfig start cycle (tracing)
 
+  Tracer* tracer_ = nullptr;  ///< optional observer; never owns
   LoaderStats stats_;
+
+  /// Trace hook: one duration event per completed region rewrite.
+  void trace_rewrite(const SlotRegion& region, std::uint64_t start,
+                     std::uint64_t duration) const;
 };
 
 }  // namespace steersim

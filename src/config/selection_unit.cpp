@@ -102,6 +102,7 @@ SelectionTrace ConfigSelectionUnit::select_counts(
   }
 
   // Stage 4: minimal error selection.
+  trace.costs = reconfig_cost;
   unsigned best = 0;
   for (unsigned c = 1; c < kNumCandidates; ++c) {
     const bool better = trace.errors[c] < trace.errors[best];
@@ -125,6 +126,11 @@ SelectionTrace ConfigSelectionUnit::select_counts(
     }
   }
   trace.selection = best;
+  for (unsigned c = 0; c < kNumCandidates; ++c) {
+    trace.tie_broken =
+        trace.tie_broken ||
+        (c != best && trace.errors[c] == trace.errors[best]);
+  }
   return trace;
 }
 

@@ -82,8 +82,13 @@ struct SelectionTrace {
   FuCounts required{};
   /// Stage 3 outputs, candidate order: [0]=current, [1..3]=presets.
   std::array<double, kNumCandidates> errors{};
+  /// Stage 4 tie-break input, recorded for the steering audit log.
+  std::array<unsigned, kNumCandidates> costs{};
   /// Stage 4 output (2-bit selection).
   unsigned selection = 0;
+  /// True when a losing candidate matched the winning error exactly — the
+  /// tie-break rule, not the CEM, decided this selection.
+  bool tie_broken = false;
 };
 
 class ConfigSelectionUnit {

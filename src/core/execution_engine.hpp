@@ -11,10 +11,12 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/fixed_vector.hpp"
 #include "config/availability.hpp"
+#include "isa/fu_type.hpp"
 #include "sched/wakeup_array.hpp"
 
 namespace steersim {
@@ -32,6 +34,20 @@ struct EngineStats {
   std::array<std::uint64_t, kNumFuTypes> configured_unit_cycles{};
   std::uint64_t issues = 0;
   std::uint64_t cancels = 0;
+
+  /// Metric-registry enumeration (docs/OBSERVABILITY.md).
+  template <typename V>
+  void visit_metrics(V&& visit) const {
+    visit("issues", static_cast<double>(issues));
+    visit("cancels", static_cast<double>(cancels));
+    for (unsigned t = 0; t < kNumFuTypes; ++t) {
+      const std::string type(fu_type_name(static_cast<FuType>(t)));
+      visit("busy_cycles." + type,
+            static_cast<double>(busy_unit_cycles[t]));
+      visit("configured_cycles." + type,
+            static_cast<double>(configured_unit_cycles[t]));
+    }
+  }
 };
 
 class ExecutionEngine {

@@ -67,14 +67,49 @@ void SteeredPolicy::steer(const SteerContext& ctx,
     pending_selection_ = trace.selection;
     pending_streak_ = 1;
   }
+  AuditIntent intent = AuditIntent::kHold;
   if (trace.selection != 0) {
     if (pending_streak_ >= confirm_) {
+      intent = AuditIntent::kRetarget;
       loader.request(preset_allocs_[trace.selection - 1]);
+    } else {
+      intent = AuditIntent::kAwaitConfirm;
     }
   } else {
     // Selecting the current configuration freezes the target where the
     // fabric already is, so no further rewrites begin.
     loader.request(loader.allocation());
+  }
+
+  if (audit_ != nullptr) {
+    AuditRecord rec;
+    rec.cycle = ctx.cycle;
+    rec.num_types = kNumFuTypes;
+    rec.num_candidates = kNumCandidates;
+    for (unsigned t = 0; t < kNumFuTypes; ++t) {
+      rec.required[t] = required[t];
+    }
+    for (unsigned c = 0; c < kNumCandidates; ++c) {
+      rec.errors[c] = trace.errors[c];
+      rec.costs[c] = trace.costs[c];
+    }
+    rec.selection = trace.selection;
+    rec.tie_broken = trace.tie_broken;
+    rec.streak = pending_streak_;
+    rec.confirm = confirm_;
+    rec.intent = intent;
+    audit_->record(rec);
+  }
+  if (tracer_ != nullptr && tracer_->wants(trace_cat::kSteer, ctx.cycle)) {
+    tracer_->ensure_lane(trace_lane::kSteer, "steer");
+    TraceArgs args;
+    args.num("selection", std::uint64_t{trace.selection})
+        .num("error", trace.errors[trace.selection])
+        .num("cost", std::uint64_t{trace.costs[trace.selection]})
+        .num("streak", std::uint64_t{pending_streak_})
+        .str("intent", audit_intent_name(intent));
+    tracer_->instant("steer", trace_cat::kSteer, trace_lane::kSteer,
+                     ctx.cycle, args);
   }
 }
 

@@ -18,6 +18,8 @@
 #include "common/rng.hpp"
 #include "config/loader.hpp"
 #include "config/selection_unit.hpp"
+#include "obs/audit.hpp"
+#include "obs/trace.hpp"
 
 namespace steersim {
 
@@ -30,11 +32,23 @@ struct SteerContext {
   /// (the [7]-style trace-cache annotation), or nullptr when the next
   /// fetch is not a trace hit. Enables lookahead steering.
   const FuCounts* lookahead = nullptr;
+  /// Current simulation cycle (timestamps trace/audit observations).
+  std::uint64_t cycle = 0;
 };
 
 struct PolicyStats {
   std::array<std::uint64_t, kNumCandidates> selections{};
   std::uint64_t steer_events = 0;
+
+  /// Metric-registry enumeration (docs/OBSERVABILITY.md).
+  template <typename V>
+  void visit_metrics(V&& visit) const {
+    visit("steer_events", static_cast<double>(steer_events));
+    for (unsigned c = 0; c < kNumCandidates; ++c) {
+      visit("selections." + std::to_string(c),
+            static_cast<double>(selections[c]));
+    }
+  }
 };
 
 class SteeringPolicy {
@@ -48,8 +62,17 @@ class SteeringPolicy {
   virtual std::string_view name() const = 0;
   const PolicyStats& stats() const { return stats_; }
 
+  /// Attaches the cycle tracer and steering audit log (either may be
+  /// nullptr). Observation only — steering decisions are unaffected.
+  void attach_observers(Tracer* tracer, SteeringAuditLog* audit) {
+    tracer_ = tracer;
+    audit_ = audit;
+  }
+
  protected:
   PolicyStats stats_;
+  Tracer* tracer_ = nullptr;          ///< optional observer; never owns
+  SteeringAuditLog* audit_ = nullptr; ///< optional observer; never owns
 };
 
 /// The paper's configuration manager.

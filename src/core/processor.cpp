@@ -116,9 +116,23 @@ Processor::Processor(const Program& program, const MachineConfig& config,
       injector_(config.fault, config.loader.num_slots),
       recovery_(config.recovery.enabled()
                     ? std::make_unique<RecoveryManager>(config.recovery)
-                    : nullptr) {
+                    : nullptr),
+      tracer_(config.trace.enabled ? std::make_unique<Tracer>(config.trace)
+                                   : nullptr),
+      audit_(config.audit.enabled
+                 ? std::make_unique<SteeringAuditLog>(config.audit)
+                 : nullptr) {
   STEERSIM_EXPECTS(policy_ != nullptr);
   mem_.load_image(program_.data);
+  loader_.set_tracer(tracer_.get());
+  policy_->attach_observers(tracer_.get(), audit_.get());
+  if (tracer_ != nullptr) {
+    tracer_->ensure_lane(trace_lane::kFetch, "fetch");
+    tracer_->ensure_lane(trace_lane::kDispatch, "dispatch");
+    tracer_->ensure_lane(trace_lane::kCommit, "commit");
+    tracer_->ensure_lane(trace_lane::kFault, "faults");
+    tracer_->ensure_lane(trace_lane::kRecovery, "recovery");
+  }
 }
 
 Processor::Processor(const Program& program, const MachineConfig& config,
@@ -233,6 +247,13 @@ void Processor::stage_retire() {
     if (retire_hook_) {
       retire_hook_(head);
     }
+    if (tracer_ != nullptr &&
+        tracer_->wants(trace_cat::kCommit, stats_.cycles)) {
+      TraceArgs args;
+      args.num("pc", std::uint64_t{head.pc}).num("id", head.id);
+      tracer_->instant(info.mnemonic, trace_cat::kCommit,
+                       trace_lane::kCommit, stats_.cycles, args);
+    }
     wakeup_.retire(static_cast<unsigned>(head.wakeup_row));
     ++stats_.retired;
     const bool is_halt = info.is_halt;
@@ -257,6 +278,15 @@ void Processor::stage_faults() {
                               : loader_.corrupt_slot(ev.slot);
     if (!accepted) {
       continue;  // slot already fenced: dead logic absorbs the hit
+    }
+    if (tracer_ != nullptr &&
+        tracer_->wants(trace_cat::kFault, stats_.cycles)) {
+      TraceArgs args;
+      args.num("slot", std::uint64_t{ev.slot});
+      tracer_->instant(ev.kind == FaultKind::kPermanentFailure ? "fence"
+                                                               : "upset",
+                       trace_cat::kFault, trace_lane::kFault, stats_.cycles,
+                       args);
     }
     if (ev.kind == FaultKind::kPermanentFailure) {
       ++fault_stats_.permanent_failures;
@@ -308,6 +338,17 @@ void Processor::stage_complete() {
     entry->cycle_complete = stats_.cycles;
 
     const OpInfo& info = op_info(entry->inst.op);
+    if (tracer_ != nullptr &&
+        tracer_->wants_span(trace_cat::kExecute, entry->cycle_issue,
+                            stats_.cycles - entry->cycle_issue)) {
+      const unsigned lane = trace_lane::kExecuteBase + row;
+      tracer_->ensure_lane(lane, "exec row " + std::to_string(row));
+      TraceArgs args;
+      args.num("pc", std::uint64_t{entry->pc}).num("id", entry->id);
+      tracer_->complete(info.mnemonic, trace_cat::kExecute, lane,
+                       entry->cycle_issue,
+                       stats_.cycles - entry->cycle_issue, args);
+    }
     if (info.is_branch) {
       ++stats_.branches;
       predictor_->update(entry->pc, entry->branch_taken);
@@ -486,6 +527,7 @@ void Processor::stage_steer() {
   SteerContext ctx;
   ctx.ready_ops = {ready_ops.begin(), ready_ops.end()};
   ctx.current_total = engine_.configured_units();
+  ctx.cycle = stats_.cycles;
   // Lookahead probe: the pre-decoded requirements of the trace line the
   // fetch unit is about to stream, if it will hit.
   if (trace_cache_ != nullptr) {
@@ -521,6 +563,13 @@ void Processor::take_checkpoint() {
   cp.fabric = loader_.allocation();
   cp.requested = loader_.requested();
   cp.fenced = loader_.fenced();
+  if (tracer_ != nullptr &&
+      tracer_->wants(trace_cat::kRecovery, stats_.cycles)) {
+    TraceArgs args;
+    args.num("resume_pc", std::uint64_t{cp.resume_pc});
+    tracer_->instant("checkpoint", trace_cat::kRecovery,
+                     trace_lane::kRecovery, stats_.cycles, args);
+  }
   recovery_->take_checkpoint(std::move(cp));
 }
 
@@ -540,6 +589,14 @@ void Processor::perform_rollback() {
   // fence set, which may have grown since the snapshot — that is the
   // "re-place the fabric around the fences" half of recovery.
   loader_.request(cp.requested);
+  if (tracer_ != nullptr &&
+      tracer_->wants(trace_cat::kRecovery, stats_.cycles)) {
+    TraceArgs args;
+    args.num("resume_pc", std::uint64_t{cp.resume_pc})
+        .num("flushed", std::uint64_t{flushed});
+    tracer_->instant("rollback", trace_cat::kRecovery, trace_lane::kRecovery,
+                     stats_.cycles, args);
+  }
   recovery_->note_rollback(stats_.cycles, stats_.retired, flushed);
   // Rewind the commit counter with the architecture: `retired` means
   // committed-and-not-rolled-back, so replayed instructions are not
@@ -584,6 +641,13 @@ void Processor::stage_dispatch() {
     const auto row = wakeup_.insert(fu_type_of(fi.inst.op), deps, entry.id);
     STEERSIM_ENSURES(row.has_value());
     entry.wakeup_row = static_cast<int>(*row);
+    if (tracer_ != nullptr &&
+        tracer_->wants(trace_cat::kDispatch, stats_.cycles)) {
+      TraceArgs args;
+      args.num("pc", std::uint64_t{fi.pc}).num("id", entry.id);
+      tracer_->instant(info.mnemonic, trace_cat::kDispatch,
+                       trace_lane::kDispatch, stats_.cycles, args);
+    }
     ++stats_.dispatched;
     ++consumed;
   }
@@ -597,6 +661,15 @@ void Processor::stage_fetch() {
   }
   FetchGroup group;
   fetch_.fetch_group(group);
+  if (tracer_ != nullptr && !group.empty() &&
+      tracer_->wants(trace_cat::kFetch, stats_.cycles)) {
+    TraceArgs args;
+    args.num("pc", std::uint64_t{group[0].pc})
+        .num("count", static_cast<std::uint64_t>(group.size()))
+        .num("from_trace", std::uint64_t{group[0].from_trace ? 1u : 0u});
+    tracer_->instant("fetch", trace_cat::kFetch, trace_lane::kFetch,
+                     stats_.cycles, args);
+  }
   for (const auto& fi : group) {
     decode_buffer_.push_back(fi);
   }

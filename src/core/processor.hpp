@@ -70,6 +70,10 @@ struct MachineConfig {
   FaultParams fault;
   /// Checkpoint/rollback recovery (docs/FAULTS.md); off by default.
   RecoveryParams recovery;
+  /// Cycle-event tracing (docs/OBSERVABILITY.md); off by default.
+  TraceConfig trace;
+  /// Steering audit log (docs/OBSERVABILITY.md); off by default.
+  AuditConfig audit;
 
   MachineConfig() : steering(default_steering_set()) {
     loader.num_slots = steering.num_slots;
@@ -105,6 +109,21 @@ struct SimStats {
     return branches == 0 ? 0.0
                          : static_cast<double>(mispredicts) /
                                static_cast<double>(branches);
+  }
+
+  /// Metric-registry enumeration (docs/OBSERVABILITY.md).
+  template <typename V>
+  void visit_metrics(V&& visit) const {
+    visit("cycles", static_cast<double>(cycles));
+    visit("retired", static_cast<double>(retired));
+    visit("dispatched", static_cast<double>(dispatched));
+    visit("issued", static_cast<double>(issued));
+    visit("squashed", static_cast<double>(squashed));
+    visit("branches", static_cast<double>(branches));
+    visit("mispredicts", static_cast<double>(mispredicts));
+    visit("resource_starved", static_cast<double>(resource_starved));
+    visit("ipc", ipc());
+    visit("mispredict_rate", mispredict_rate());
   }
 };
 
@@ -146,6 +165,11 @@ class Processor {
   /// non-const overload lets tests install a rollback hook.
   const RecoveryManager* recovery() const { return recovery_.get(); }
   RecoveryManager* recovery() { return recovery_.get(); }
+  /// Cycle tracer; null unless MachineConfig::trace.enabled.
+  const Tracer* tracer() const { return tracer_.get(); }
+  Tracer* tracer() { return tracer_.get(); }
+  /// Steering audit log; null unless MachineConfig::audit.enabled.
+  const SteeringAuditLog* audit_log() const { return audit_.get(); }
 
   /// Test/debug hook invoked for every committed instruction, in order.
   void set_retire_hook(std::function<void(const RuuEntry&)> hook) {
@@ -208,6 +232,8 @@ class Processor {
   std::unique_ptr<SteeringPolicy> policy_;
   FaultInjector injector_;
   std::unique_ptr<RecoveryManager> recovery_;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<SteeringAuditLog> audit_;
 
   std::function<void(const RuuEntry&)> retire_hook_;
   SimStats stats_;

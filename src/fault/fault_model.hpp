@@ -63,6 +63,15 @@ struct FaultStats {
   std::uint64_t permanent_failures = 0;   ///< slots fenced
   std::uint64_t executions_killed = 0;    ///< in-flight work squashed by upsets
   std::uint64_t instructions_retried = 0; ///< killed instructions re-issued
+
+  /// Metric-registry enumeration (docs/OBSERVABILITY.md).
+  template <typename V>
+  void visit_metrics(V&& visit) const {
+    visit("upsets_injected", static_cast<double>(upsets_injected));
+    visit("permanent_failures", static_cast<double>(permanent_failures));
+    visit("executions_killed", static_cast<double>(executions_killed));
+    visit("instructions_retried", static_cast<double>(instructions_retried));
+  }
 };
 
 }  // namespace steersim

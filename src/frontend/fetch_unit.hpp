@@ -33,6 +33,14 @@ struct FetchStats {
   std::uint64_t fetched = 0;
   std::uint64_t trace_fetched = 0;
   std::uint64_t redirects = 0;
+
+  /// Metric-registry enumeration (docs/OBSERVABILITY.md).
+  template <typename V>
+  void visit_metrics(V&& visit) const {
+    visit("fetched", static_cast<double>(fetched));
+    visit("trace_fetched", static_cast<double>(trace_fetched));
+    visit("redirects", static_cast<double>(redirects));
+  }
 };
 
 class FetchUnit {

@@ -42,6 +42,15 @@ struct TraceCacheStats {
                         : static_cast<double>(hits) /
                               static_cast<double>(lookups);
   }
+
+  /// Metric-registry enumeration (docs/OBSERVABILITY.md).
+  template <typename V>
+  void visit_metrics(V&& visit) const {
+    visit("lookups", static_cast<double>(lookups));
+    visit("hits", static_cast<double>(hits));
+    visit("installs", static_cast<double>(installs));
+    visit("hit_rate", hit_rate());
+  }
 };
 
 class TraceCache {

@@ -32,6 +32,14 @@ struct CacheStats {
                ? 0.0
                : static_cast<double>(misses) / static_cast<double>(accesses);
   }
+
+  /// Metric-registry enumeration (docs/OBSERVABILITY.md).
+  template <typename V>
+  void visit_metrics(V&& visit) const {
+    visit("accesses", static_cast<double>(accesses));
+    visit("misses", static_cast<double>(misses));
+    visit("miss_rate", miss_rate());
+  }
 };
 
 class DataCache {

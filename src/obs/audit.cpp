@@ -1,0 +1,106 @@
+#include "obs/audit.hpp"
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace steersim {
+
+std::string_view audit_intent_name(AuditIntent intent) {
+  switch (intent) {
+    case AuditIntent::kHold:
+      return "hold";
+    case AuditIntent::kRetarget:
+      return "retarget";
+    case AuditIntent::kAwaitConfirm:
+      return "await-confirm";
+  }
+  return "?";
+}
+
+SteeringAuditLog::SteeringAuditLog(const AuditConfig& config)
+    : config_(config) {
+  if (!config_.csv_path.empty()) {
+    csv_.open(config_.csv_path);
+    STEERSIM_EXPECTS(csv_.good());
+  }
+}
+
+SteeringAuditLog::~SteeringAuditLog() {
+  if (csv_.is_open()) {
+    csv_.flush();
+  }
+}
+
+std::string SteeringAuditLog::csv_header(unsigned num_types,
+                                         unsigned num_candidates) {
+  STEERSIM_EXPECTS(num_types <= kAuditMaxTypes);
+  STEERSIM_EXPECTS(num_candidates <= kAuditMaxCandidates);
+  std::string header = "cycle";
+  for (unsigned t = 0; t < num_types; ++t) {
+    header += ",req" + std::to_string(t);
+  }
+  for (unsigned c = 0; c < num_candidates; ++c) {
+    header += ",err" + std::to_string(c);
+  }
+  for (unsigned c = 0; c < num_candidates; ++c) {
+    header += ",cost" + std::to_string(c);
+  }
+  header += ",selection,tie_broken,streak,confirm,intent";
+  return header;
+}
+
+std::string SteeringAuditLog::csv_row(const AuditRecord& rec) {
+  std::string row = std::to_string(rec.cycle);
+  for (unsigned t = 0; t < rec.num_types; ++t) {
+    row += ',' + std::to_string(rec.required[t]);
+  }
+  for (unsigned c = 0; c < rec.num_candidates; ++c) {
+    row += ',' + format_double(rec.errors[c], 4);
+  }
+  for (unsigned c = 0; c < rec.num_candidates; ++c) {
+    row += ',' + std::to_string(rec.costs[c]);
+  }
+  row += ',' + std::to_string(rec.selection);
+  row += rec.tie_broken ? ",1" : ",0";
+  row += ',' + std::to_string(rec.streak);
+  row += ',' + std::to_string(rec.confirm);
+  row += ',';
+  row += audit_intent_name(rec.intent);
+  return row;
+}
+
+void SteeringAuditLog::record(const AuditRecord& rec) {
+  STEERSIM_EXPECTS(rec.num_types <= kAuditMaxTypes);
+  STEERSIM_EXPECTS(rec.num_candidates <= kAuditMaxCandidates);
+  STEERSIM_EXPECTS(rec.selection < rec.num_candidates);
+
+  ++summary_.records;
+  ++summary_.selections[rec.selection];
+  switch (rec.intent) {
+    case AuditIntent::kHold:
+      ++summary_.holds;
+      break;
+    case AuditIntent::kRetarget:
+      ++summary_.retargets;
+      break;
+    case AuditIntent::kAwaitConfirm:
+      ++summary_.confirm_suppressed;
+      break;
+  }
+  if (rec.tie_broken) {
+    ++summary_.ties_broken;
+  }
+
+  if (csv_.is_open()) {
+    if (!header_written_) {
+      csv_ << csv_header(rec.num_types, rec.num_candidates) << '\n';
+      header_written_ = true;
+    }
+    csv_ << csv_row(rec) << '\n';
+    STEERSIM_ENSURES(csv_.good());
+  } else {
+    records_.push_back(rec);
+  }
+}
+
+}  // namespace steersim

@@ -1,0 +1,99 @@
+// Steering audit log (docs/OBSERVABILITY.md).
+//
+// Records one row per steering decision: the per-type demand the selector
+// saw, every candidate's CEM score and reconfiguration cost, the winning
+// candidate, the hysteresis/confirm state, and the intent handed to the
+// configuration loader. End-of-run aggregates say *what* a run steered to;
+// the audit log says *why* each decision went the way it did.
+//
+// The log is policy-agnostic: it stores fixed-capacity candidate/type
+// arrays (capacities bound the paper's 4 candidates and 5 FU types) so
+// this module depends only on the common substrate. Rows either accumulate
+// in memory (csv_path empty; tests and short runs) or stream to a CSV file
+// as they are recorded (long runs); summary counters accumulate either way.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace steersim {
+
+struct AuditConfig {
+  bool enabled = false;
+  /// Empty: keep rows in memory (query via records()). Non-empty: stream
+  /// rows to this CSV file instead.
+  std::string csv_path;
+};
+
+/// Capacity bounds for one record (actual counts are per-record fields).
+inline constexpr unsigned kAuditMaxCandidates = 8;
+inline constexpr unsigned kAuditMaxTypes = 8;
+
+/// What the policy asked the loader to do after the decision.
+enum class AuditIntent : std::uint8_t {
+  kHold,          ///< selection 0: freeze the target where the fabric is
+  kRetarget,      ///< request the selected candidate's allocation
+  kAwaitConfirm,  ///< non-current winner suppressed by the confirm streak
+};
+
+std::string_view audit_intent_name(AuditIntent intent);
+
+struct AuditRecord {
+  std::uint64_t cycle = 0;
+  unsigned num_types = 0;
+  unsigned num_candidates = 0;
+  /// Per-type demand (3-bit saturating counts) entering the CEM stage.
+  std::array<std::uint8_t, kAuditMaxTypes> required{};
+  /// Per-candidate CEM score ([0] = current configuration).
+  std::array<double, kAuditMaxCandidates> errors{};
+  /// Per-candidate reconfiguration cost in slots.
+  std::array<unsigned, kAuditMaxCandidates> costs{};
+  unsigned selection = 0;  ///< winning candidate index
+  /// True when a non-winning candidate had the same score as the winner
+  /// (the tie-break rule decided the outcome).
+  bool tie_broken = false;
+  unsigned streak = 0;   ///< consecutive identical selections so far
+  unsigned confirm = 0;  ///< streak threshold configured for the policy
+  AuditIntent intent = AuditIntent::kHold;
+};
+
+struct AuditSummary {
+  std::uint64_t records = 0;
+  std::array<std::uint64_t, kAuditMaxCandidates> selections{};
+  std::uint64_t holds = 0;
+  std::uint64_t retargets = 0;
+  std::uint64_t confirm_suppressed = 0;
+  std::uint64_t ties_broken = 0;
+};
+
+class SteeringAuditLog {
+ public:
+  explicit SteeringAuditLog(const AuditConfig& config);
+  /// Flushes the CSV stream if one is open.
+  ~SteeringAuditLog();
+
+  SteeringAuditLog(const SteeringAuditLog&) = delete;
+  SteeringAuditLog& operator=(const SteeringAuditLog&) = delete;
+
+  void record(const AuditRecord& rec);
+
+  /// In-memory rows (empty when streaming to CSV).
+  const std::vector<AuditRecord>& records() const { return records_; }
+  const AuditSummary& summary() const { return summary_; }
+
+  /// The CSV header matching one record row.
+  static std::string csv_header(unsigned num_types, unsigned num_candidates);
+  static std::string csv_row(const AuditRecord& rec);
+
+ private:
+  AuditConfig config_;
+  std::ofstream csv_;
+  bool header_written_ = false;
+  std::vector<AuditRecord> records_;
+  AuditSummary summary_;
+};
+
+}  // namespace steersim

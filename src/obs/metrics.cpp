@@ -1,0 +1,54 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "common/contracts.hpp"
+#include "common/strings.hpp"
+
+namespace steersim {
+
+void MetricRegistry::add(std::string name, double value) {
+  STEERSIM_EXPECTS(!name.empty());
+  STEERSIM_EXPECTS(find(name) == nullptr);
+  metrics_.push_back(Metric{std::move(name), value});
+}
+
+const Metric* MetricRegistry::find(std::string_view name) const {
+  for (const Metric& m : metrics_) {
+    if (m.name == name) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+std::string MetricRegistry::to_csv() const {
+  std::string out = "metric,value\n";
+  for (const Metric& m : metrics_) {
+    out += m.name;
+    out += ',';
+    if (std::isnan(m.value)) {
+      out += "nan";
+    } else if (m.value == static_cast<double>(
+                              static_cast<std::int64_t>(m.value)) &&
+               std::abs(m.value) < 1e15) {
+      // Counters render as integers, not "123.000000".
+      out += std::to_string(static_cast<std::int64_t>(m.value));
+    } else {
+      out += format_double(m.value, 6);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void MetricRegistry::dump_csv(const std::string& path) const {
+  std::ofstream out(path);
+  STEERSIM_EXPECTS(out.good());
+  out << to_csv();
+  out.flush();
+  STEERSIM_ENSURES(out.good());
+}
+
+}  // namespace steersim

@@ -1,0 +1,52 @@
+// Named-metric registry (docs/OBSERVABILITY.md).
+//
+// The statistics structs scattered through the machine (SimStats,
+// LoaderStats, PolicyStats, ...) each expose a `visit_metrics(visitor)`
+// member that enumerates (name, value) pairs once, next to the fields
+// themselves. The registry collects those enumerations under per-subsystem
+// prefixes so reports, CSV dumps and dashboards iterate one flat namespace
+// instead of hand-listing fields that drift out of date.
+// `collect_metrics(SimResult)` in sim/metrics.hpp does the collecting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace steersim {
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+};
+
+class MetricRegistry {
+ public:
+  /// Registers a metric; names must be unique (enforced).
+  void add(std::string name, double value);
+
+  std::size_t size() const { return metrics_.size(); }
+  bool empty() const { return metrics_.empty(); }
+  const std::vector<Metric>& metrics() const { return metrics_; }
+
+  /// nullptr when no metric has that name.
+  const Metric* find(std::string_view name) const;
+
+  /// "metric,value\n" rows with a header line.
+  std::string to_csv() const;
+  void dump_csv(const std::string& path) const;
+
+  /// Visitor adapter: prefixes every visited name ("loader." + "scrub_reads")
+  /// and registers it here. Pass to a stats struct's visit_metrics().
+  auto prefixed(std::string prefix) {
+    return [this, prefix = std::move(prefix)](std::string_view name,
+                                              double value) {
+      add(prefix + std::string(name), value);
+    };
+  }
+
+ private:
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace steersim

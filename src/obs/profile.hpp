@@ -1,0 +1,58 @@
+// Host-side wall-clock profiling (docs/OBSERVABILITY.md).
+//
+// Where does *simulator* time go? simulate() times its phases (processor
+// construction, the run loop, statistics collection) with these helpers
+// and reports them in SimResult::host, from which bench_sim_throughput
+// derives simulated-cycles-per-second and KIPS. Host timings are about the
+// simulator process, never the simulated machine: they have no effect on
+// any simulated statistic.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace steersim {
+
+/// Wall-clock stopwatch (steady clock; immune to system time changes).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Per-phase wall-clock breakdown of one simulate() call.
+struct HostProfile {
+  double build_seconds = 0.0;    ///< processor construction
+  double run_seconds = 0.0;      ///< the cycle loop
+  double collect_seconds = 0.0;  ///< statistics gathering
+
+  double total_seconds() const {
+    return build_seconds + run_seconds + collect_seconds;
+  }
+
+  /// Simulated cycles per host second (0 when the run took no time).
+  double cycles_per_sec(std::uint64_t cycles) const {
+    return run_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(cycles) / run_seconds;
+  }
+  /// Simulated kilo-instructions (retired) per host second.
+  double kips(std::uint64_t retired) const {
+    return run_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(retired) / run_seconds / 1000.0;
+  }
+};
+
+}  // namespace steersim

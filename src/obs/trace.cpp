@@ -1,0 +1,227 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+std::string_view trace_cat::name(std::uint32_t category) {
+  switch (category) {
+    case kFetch:
+      return "fetch";
+    case kDispatch:
+      return "dispatch";
+    case kExecute:
+      return "execute";
+    case kCommit:
+      return "commit";
+    case kSteer:
+      return "steer";
+    case kLoader:
+      return "loader";
+    case kFault:
+      return "fault";
+    case kRecovery:
+      return "recovery";
+    default:
+      return "misc";
+  }
+}
+
+namespace {
+
+/// Minimal JSON string escaping: quotes, backslashes and control bytes.
+/// Everything the tracer emits is ASCII (mnemonics, unit names).
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+void TraceArgs::key(std::string_view k) {
+  if (!json_.empty()) {
+    json_ += ',';
+  }
+  json_ += '"';
+  json_ += k;
+  json_ += "\":";
+}
+
+TraceArgs& TraceArgs::num(std::string_view k, std::uint64_t value) {
+  key(k);
+  json_ += std::to_string(value);
+  return *this;
+}
+
+TraceArgs& TraceArgs::num(std::string_view k, std::int64_t value) {
+  key(k);
+  json_ += std::to_string(value);
+  return *this;
+}
+
+TraceArgs& TraceArgs::num(std::string_view k, double value) {
+  key(k);
+  if (std::isfinite(value)) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    json_ += buf;
+  } else {
+    // JSON has no Inf/NaN literals; render as a string.
+    json_ += '"';
+    json_ += std::isnan(value) ? "nan" : (value > 0 ? "inf" : "-inf");
+    json_ += '"';
+  }
+  return *this;
+}
+
+TraceArgs& TraceArgs::str(std::string_view k, std::string_view value) {
+  key(k);
+  json_ += '"';
+  append_escaped(json_, value);
+  json_ += '"';
+  return *this;
+}
+
+Tracer::Tracer(const TraceConfig& config) : config_(config) {
+  STEERSIM_EXPECTS(!config.path.empty());
+  STEERSIM_EXPECTS(config.start_cycle <= config.end_cycle);
+  out_.open(config_.path);
+  STEERSIM_EXPECTS(out_.good());
+  open_ = true;
+  emit_prefix();
+}
+
+Tracer::~Tracer() { close(); }
+
+void Tracer::emit_prefix() { out_ << "{\"traceEvents\":[\n"; }
+
+void Tracer::emit_suffix() { out_ << "\n]}\n"; }
+
+void Tracer::close() {
+  if (!open_) {
+    return;
+  }
+  emit_suffix();
+  out_.flush();
+  STEERSIM_ENSURES(out_.good());
+  out_.close();
+  open_ = false;
+}
+
+void Tracer::ensure_lane(unsigned lane, std::string_view name) {
+  if (!open_ || named_lanes_.contains(lane)) {
+    return;
+  }
+  named_lanes_.insert(lane);
+  std::string event;
+  if (!first_event_) {
+    event += ",\n";
+  }
+  first_event_ = false;
+  event += R"({"name":"thread_name","ph":"M","pid":0,"tid":)";
+  event += std::to_string(lane);
+  event += R"(,"args":{"name":")";
+  append_escaped(event, name);
+  event += "\"}}";
+  out_ << event;
+  // Sort-index metadata keeps lanes in our numeric order in the viewer.
+  event.clear();
+  event += R"(,
+{"name":"thread_sort_index","ph":"M","pid":0,"tid":)";
+  event += std::to_string(lane);
+  event += R"(,"args":{"sort_index":)";
+  event += std::to_string(lane);
+  event += "}}";
+  out_ << event;
+}
+
+void Tracer::instant(std::string_view name, std::uint32_t category,
+                     unsigned lane, std::uint64_t cycle,
+                     const TraceArgs& args) {
+  if (!open_ || !wants(category, cycle)) {
+    return;
+  }
+  std::string event;
+  if (!first_event_) {
+    event += ",\n";
+  }
+  first_event_ = false;
+  event += R"({"name":")";
+  append_escaped(event, name);
+  event += R"(","cat":")";
+  event += trace_cat::name(category);
+  event += R"(","ph":"i","s":"t","ts":)";
+  event += std::to_string(cycle);
+  event += R"(,"pid":0,"tid":)";
+  event += std::to_string(lane);
+  if (!args.empty()) {
+    event += R"(,"args":{)";
+    event += args.body();
+    event += '}';
+  }
+  event += '}';
+  out_ << event;
+  ++events_emitted_;
+}
+
+void Tracer::complete(std::string_view name, std::uint32_t category,
+                      unsigned lane, std::uint64_t start,
+                      std::uint64_t duration, const TraceArgs& args) {
+  if (!open_ || !wants_span(category, start, duration)) {
+    return;
+  }
+  std::string event;
+  if (!first_event_) {
+    event += ",\n";
+  }
+  first_event_ = false;
+  event += R"({"name":")";
+  append_escaped(event, name);
+  event += R"(","cat":")";
+  event += trace_cat::name(category);
+  event += R"(","ph":"X","ts":)";
+  event += std::to_string(start);
+  event += R"(,"dur":)";
+  event += std::to_string(duration);
+  event += R"(,"pid":0,"tid":)";
+  event += std::to_string(lane);
+  if (!args.empty()) {
+    event += R"(,"args":{)";
+    event += args.body();
+    event += '}';
+  }
+  event += '}';
+  out_ << event;
+  ++events_emitted_;
+}
+
+}  // namespace steersim

@@ -1,0 +1,136 @@
+// Structured cycle-event tracer (docs/OBSERVABILITY.md).
+//
+// Emits Chrome trace-event JSON (the catapult format: load the file in
+// Perfetto or chrome://tracing) for the pipeline stages, steering
+// decisions, loader region rewrites and fault/recovery events. One cycle
+// of simulated time maps to one microsecond of trace time, so the
+// timeline reads directly in cycles.
+//
+// The tracer is opt-in and observation-only: every call site guards on a
+// null pointer, so a machine built without tracing pays one pointer
+// compare per candidate event and produces bit-identical statistics.
+// Filtering is two-dimensional: a category bitmask (trace_cat::*) and a
+// [start_cycle, end_cycle] window, both checked before any formatting
+// work happens.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace steersim {
+
+/// Event-category bits for TraceConfig::categories.
+namespace trace_cat {
+inline constexpr std::uint32_t kFetch = 1u << 0;
+inline constexpr std::uint32_t kDispatch = 1u << 1;
+inline constexpr std::uint32_t kExecute = 1u << 2;
+inline constexpr std::uint32_t kCommit = 1u << 3;
+inline constexpr std::uint32_t kSteer = 1u << 4;
+inline constexpr std::uint32_t kLoader = 1u << 5;
+inline constexpr std::uint32_t kFault = 1u << 6;
+inline constexpr std::uint32_t kRecovery = 1u << 7;
+inline constexpr std::uint32_t kAll = (1u << 8) - 1;
+
+std::string_view name(std::uint32_t category);
+}  // namespace trace_cat
+
+/// Fixed lane (Chrome "tid") assignments. Execute events get one lane per
+/// wake-up row and loader rewrites one lane per base slot, so concurrent
+/// activity renders as parallel tracks.
+namespace trace_lane {
+inline constexpr unsigned kFetch = 0;
+inline constexpr unsigned kDispatch = 1;
+inline constexpr unsigned kCommit = 2;
+inline constexpr unsigned kSteer = 3;
+inline constexpr unsigned kFault = 4;
+inline constexpr unsigned kRecovery = 5;
+inline constexpr unsigned kLoaderTarget = 6;
+inline constexpr unsigned kExecuteBase = 16;  ///< + wake-up row
+inline constexpr unsigned kSlotBase = 64;     ///< + region base slot
+}  // namespace trace_lane
+
+struct TraceConfig {
+  bool enabled = false;
+  std::string path = "steersim_trace.json";
+  /// OR of trace_cat bits; events outside the mask are skipped.
+  std::uint32_t categories = trace_cat::kAll;
+  /// Only cycles in [start_cycle, end_cycle] are traced (inclusive).
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = ~0ull;
+};
+
+/// Ordered key/value bag rendered as the event's "args" object. Keys must
+/// be plain identifiers (no escaping is applied to keys).
+class TraceArgs {
+ public:
+  TraceArgs& num(std::string_view key, std::uint64_t value);
+  TraceArgs& num(std::string_view key, std::int64_t value);
+  TraceArgs& num(std::string_view key, double value);
+  TraceArgs& str(std::string_view key, std::string_view value);
+
+  bool empty() const { return json_.empty(); }
+  /// Comma-joined members, without the surrounding braces.
+  const std::string& body() const { return json_; }
+
+ private:
+  void key(std::string_view k);
+  std::string json_;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const TraceConfig& config);
+  /// Finalizes the JSON document (also done by close()).
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Fast pre-check: should an event of `category` at `cycle` be built at
+  /// all? Call sites use this to skip argument formatting.
+  bool wants(std::uint32_t category, std::uint64_t cycle) const {
+    return (config_.categories & category) != 0 &&
+           cycle >= config_.start_cycle && cycle <= config_.end_cycle;
+  }
+  /// Window-overlap variant for duration events.
+  bool wants_span(std::uint32_t category, std::uint64_t start,
+                  std::uint64_t duration) const {
+    return (config_.categories & category) != 0 &&
+           start <= config_.end_cycle &&
+           start + duration >= config_.start_cycle;
+  }
+
+  /// Instant event ("ph":"i") at `cycle` on `lane`.
+  void instant(std::string_view name, std::uint32_t category, unsigned lane,
+               std::uint64_t cycle, const TraceArgs& args = {});
+
+  /// Complete event ("ph":"X"): [start, start+duration] on `lane`.
+  void complete(std::string_view name, std::uint32_t category, unsigned lane,
+                std::uint64_t start, std::uint64_t duration,
+                const TraceArgs& args = {});
+
+  /// Names a lane in the viewer (thread_name metadata); idempotent.
+  void ensure_lane(unsigned lane, std::string_view name);
+
+  std::uint64_t events_emitted() const { return events_emitted_; }
+  const TraceConfig& config() const { return config_; }
+
+  /// Flushes and terminates the JSON document; further events are dropped.
+  void close();
+
+ private:
+  void emit_prefix();
+  void emit_suffix();
+
+  TraceConfig config_;
+  std::ofstream out_;
+  bool open_ = false;
+  bool first_event_ = true;
+  std::uint64_t events_emitted_ = 0;
+  std::set<unsigned> named_lanes_;
+};
+
+}  // namespace steersim

@@ -53,6 +53,20 @@ struct RecoveryStats {
   std::uint64_t flushed_in_flight = 0;
   std::uint64_t journal_records = 0;       ///< undo records written overall
   std::uint64_t journal_records_peak = 0;  ///< largest single-epoch journal
+
+  /// Metric-registry enumeration (docs/OBSERVABILITY.md).
+  template <typename V>
+  void visit_metrics(V&& visit) const {
+    visit("checkpoints_taken", static_cast<double>(checkpoints_taken));
+    visit("rollbacks", static_cast<double>(rollbacks));
+    visit("instructions_replayed",
+          static_cast<double>(instructions_replayed));
+    visit("cycles_rewound", static_cast<double>(cycles_rewound));
+    visit("flushed_in_flight", static_cast<double>(flushed_in_flight));
+    visit("journal_records", static_cast<double>(journal_records));
+    visit("journal_records_peak",
+          static_cast<double>(journal_records_peak));
+  }
 };
 
 /// One architectural snapshot. Everything needed to resume: committed

@@ -49,6 +49,16 @@ struct WakeupStats {
   std::uint64_t reschedules = 0;
   std::uint64_t retires = 0;
   std::uint64_t squashes = 0;
+
+  /// Metric-registry enumeration (docs/OBSERVABILITY.md).
+  template <typename V>
+  void visit_metrics(V&& visit) const {
+    visit("inserts", static_cast<double>(inserts));
+    visit("grants", static_cast<double>(grants));
+    visit("reschedules", static_cast<double>(reschedules));
+    visit("retires", static_cast<double>(retires));
+    visit("squashes", static_cast<double>(squashes));
+  }
 };
 
 class WakeupArray {

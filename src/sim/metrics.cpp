@@ -1,0 +1,24 @@
+#include "sim/metrics.hpp"
+
+namespace steersim {
+
+MetricRegistry collect_metrics(const SimResult& result) {
+  MetricRegistry reg;
+  result.stats.visit_metrics(reg.prefixed("sim."));
+  result.loader.visit_metrics(reg.prefixed("loader."));
+  result.steering.visit_metrics(reg.prefixed("steer."));
+  result.engine.visit_metrics(reg.prefixed("engine."));
+  result.fetch.visit_metrics(reg.prefixed("fetch."));
+  result.trace_cache.visit_metrics(reg.prefixed("tcache."));
+  result.wakeup.visit_metrics(reg.prefixed("wakeup."));
+  result.dcache.visit_metrics(reg.prefixed("dcache."));
+  result.fault.visit_metrics(reg.prefixed("fault."));
+  result.recovery.visit_metrics(reg.prefixed("recovery."));
+  return reg;
+}
+
+std::string metrics_csv(const SimResult& result) {
+  return collect_metrics(result).to_csv();
+}
+
+}  // namespace steersim

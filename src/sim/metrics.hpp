@@ -1,0 +1,19 @@
+// Flat metric view of a simulation result (docs/OBSERVABILITY.md).
+//
+// collect_metrics() walks every stats struct in a SimResult through its
+// visit_metrics() enumeration, prefixing each subsystem ("sim.", "loader.",
+// "steer.", ...), so consumers iterate one namespace instead of reaching
+// into a dozen structs.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "sim/runner.hpp"
+
+namespace steersim {
+
+MetricRegistry collect_metrics(const SimResult& result);
+
+/// collect_metrics() rendered as CSV ("metric,value" rows).
+std::string metrics_csv(const SimResult& result);
+
+}  // namespace steersim

@@ -114,6 +114,16 @@ std::string format_report(const SimResult& r) {
                       std::to_string(r.loader.ecc_uncorrectable));
     }
   }
+  if (r.audit.records > 0) {
+    out += "steering audit\n";
+    out += line("decisions audited", std::to_string(r.audit.records));
+    out += line("retargets / holds",
+                std::to_string(r.audit.retargets) + " / " +
+                    std::to_string(r.audit.holds));
+    out += line("confirm-suppressed",
+                std::to_string(r.audit.confirm_suppressed));
+    out += line("ties broken", std::to_string(r.audit.ties_broken));
+  }
   if (r.recovery.checkpoints_taken > 0) {
     out += "checkpoint recovery\n";
     out += line("checkpoints taken",

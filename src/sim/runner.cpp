@@ -97,10 +97,15 @@ std::unique_ptr<Processor> make_processor(const Program& program,
 
 SimResult simulate(const Program& program, const MachineConfig& config,
                    const PolicySpec& spec, std::uint64_t max_cycles) {
+  WallTimer timer;
   auto cpu = make_processor(program, config, spec);
   SimResult result;
   result.policy = spec.label(config.steering);
+  result.host.build_seconds = timer.seconds();
+  timer.restart();
   result.outcome = cpu->run(max_cycles);
+  result.host.run_seconds = timer.seconds();
+  timer.restart();
   result.stats = cpu->stats();
   result.loader = cpu->loader().stats();
   result.steering = cpu->policy().stats();
@@ -117,6 +122,10 @@ SimResult simulate(const Program& program, const MachineConfig& config,
   if (cpu->recovery() != nullptr) {
     result.recovery = cpu->recovery()->stats();
   }
+  if (cpu->audit_log() != nullptr) {
+    result.audit = cpu->audit_log()->summary();
+  }
+  result.host.collect_seconds = timer.seconds();
   return result;
 }
 

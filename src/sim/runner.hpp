@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/processor.hpp"
+#include "obs/profile.hpp"
 
 namespace steersim {
 
@@ -57,6 +58,10 @@ struct SimResult {
   CacheStats dcache;
   FaultStats fault;
   RecoveryStats recovery;
+  /// Steering audit aggregates (all zero unless MachineConfig::audit).
+  AuditSummary audit;
+  /// Host-side wall-clock phase timings for this simulation.
+  HostProfile host;
 };
 
 /// Builds the processor for (config, spec): chooses the policy object, the

@@ -2,6 +2,8 @@
 // statistics, string helpers, saturating counters.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/bitset.hpp"
@@ -137,6 +139,18 @@ TEST(RunningStat, EmptyIsZero) {
   EXPECT_EQ(s.stddev(), 0.0);
 }
 
+TEST(RunningStat, EmptyMinMaxAreNaN) {
+  // min()/max() of no samples used to report the +/-inf priming sentinels
+  // as if they were data; NaN is the honest answer (rendered "-").
+  const RunningStat s;
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  RunningStat one;
+  one.add(3.0);
+  EXPECT_DOUBLE_EQ(one.min(), 3.0);
+  EXPECT_DOUBLE_EQ(one.max(), 3.0);
+}
+
 TEST(Histogram, BucketsAndQuantiles) {
   Histogram h(0.0, 10.0, 10);
   for (int i = 0; i < 100; ++i) {
@@ -158,6 +172,35 @@ TEST(Histogram, OutOfRangeClampsToEndBuckets) {
   EXPECT_EQ(h.bucket_count(1), 1u);
 }
 
+TEST(Histogram, InfinitiesClampAndNaNIsDroppedCounted) {
+  // Infinities used to flow into a float->size_t cast (UB); they now clamp
+  // into the end buckets like any out-of-range sample, and NaN (which has
+  // no defensible bucket) is dropped but counted.
+  Histogram h(0.0, 10.0, 4);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+  EXPECT_EQ(h.nan_samples(), 2u);
+}
+
+TEST(Histogram, TopQuantileReturnsTopOccupiedBucket) {
+  // quantile(1.0) used to fall off the distribution and return hi_ even
+  // when the top buckets were empty.
+  Histogram h(0.0, 100.0, 10);
+  h.add(5.0);
+  h.add(15.0);
+  h.add(25.0);
+  // Top occupied bucket is [20,30): its lower edge is 20.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  const Histogram empty(0.0, 100.0, 10);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+}
+
 TEST(SatCounter, TwoBitHysteresis) {
   SatCounter c(2, 1);  // weakly not-taken
   EXPECT_FALSE(c.predict_taken());
@@ -177,6 +220,29 @@ TEST(Strings, FormatDouble) {
   EXPECT_EQ(format_double(3.14159, 2), "3.14");
   EXPECT_EQ(format_double(-0.5, 1), "-0.5");
   EXPECT_EQ(format_double(2.0, 0), "2");
+  // NaN means "no data" everywhere it can reach a report; render as "-".
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN(), 3), "-");
+}
+
+TEST(Strings, ParsePositiveU64AcceptsOnlyPureDecimal) {
+  EXPECT_EQ(parse_positive_u64("1"), 1u);
+  EXPECT_EQ(parse_positive_u64("200000"), 200000u);
+  EXPECT_EQ(parse_positive_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+
+  // Everything else is rejected — most importantly "-1", which strtoull
+  // would happily wrap to 2^64-1 and thereby disable a cycle budget.
+  EXPECT_FALSE(parse_positive_u64("").has_value());
+  EXPECT_FALSE(parse_positive_u64("0").has_value());
+  EXPECT_FALSE(parse_positive_u64("-1").has_value());
+  EXPECT_FALSE(parse_positive_u64("+1").has_value());
+  EXPECT_FALSE(parse_positive_u64("12x").has_value());
+  EXPECT_FALSE(parse_positive_u64("0x10").has_value());
+  EXPECT_FALSE(parse_positive_u64(" 1").has_value());
+  EXPECT_FALSE(parse_positive_u64("1 ").has_value());
+  EXPECT_FALSE(parse_positive_u64("1e6").has_value());
+  EXPECT_FALSE(parse_positive_u64("18446744073709551616").has_value());
+  EXPECT_FALSE(parse_positive_u64("99999999999999999999999").has_value());
 }
 
 TEST(Strings, PadBothDirections) {

@@ -1,0 +1,591 @@
+// Observability layer (docs/OBSERVABILITY.md): the cycle tracer's JSON
+// output, the steering audit log, the metric registry, and — most
+// importantly — that enabling any of it leaves simulated statistics
+// bit-identical.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/metrics.hpp"
+#include "sim/runner.hpp"
+#include "workload/synthetic.hpp"
+
+namespace steersim {
+namespace {
+
+// --- A minimal JSON reader, enough to validate tracer output. ------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* get(const std::string& key) const {
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  bool parse(JsonValue& out) {
+    skip_ws();
+    if (!value(out)) {
+      return false;
+    }
+    skip_ws();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') {
+      return object(out);
+    }
+    if (c == '[') {
+      return array(out);
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return string(out.string);
+    }
+    if (literal("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      return true;
+    }
+    if (literal("null")) {
+      return true;
+    }
+    return number(out);
+  }
+
+  bool string(std::string& out) {
+    if (!consume('"')) {
+      return false;
+    }
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        switch (text_[pos_]) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'u':
+            if (pos_ + 4 >= text_.size()) {
+              return false;
+            }
+            out += '?';  // escaped control byte; exact value irrelevant
+            pos_ += 4;
+            break;
+          default:
+            return false;
+        }
+        ++pos_;
+      } else {
+        out += text_[pos_++];
+      }
+    }
+    return consume('"');
+  }
+
+  bool number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    out.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return true;
+  }
+
+  bool array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    if (!consume('[')) {
+      return false;
+    }
+    skip_ws();
+    if (consume(']')) {
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      if (!value(element)) {
+        return false;
+      }
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (consume(']')) {
+        return true;
+      }
+      if (!consume(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    if (!consume('{')) {
+      return false;
+    }
+    skip_ws();
+    if (consume('}')) {
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) {
+        return false;
+      }
+      skip_ws();
+      if (!consume(':')) {
+        return false;
+      }
+      JsonValue val;
+      if (!value(val)) {
+        return false;
+      }
+      out.object.emplace(std::move(key), std::move(val));
+      skip_ws();
+      if (consume('}')) {
+        return true;
+      }
+      if (!consume(',')) {
+        return false;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// RAII deleter for test artifact files.
+struct FileGuard {
+  explicit FileGuard(std::string p) : path(std::move(p)) {}
+  ~FileGuard() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+Program phased_program() {
+  return generate_synthetic(alternating_phases(512, 2, 7));
+}
+
+// --- TraceArgs / Tracer unit level. --------------------------------------
+
+TEST(TraceArgs, RendersTypedMembers) {
+  TraceArgs args;
+  args.num("a", std::uint64_t{7})
+      .num("b", std::int64_t{-3})
+      .num("c", 1.5)
+      .str("d", "x\"y");
+  EXPECT_EQ(args.body(), R"("a":7,"b":-3,"c":1.5,"d":"x\"y")");
+}
+
+TEST(Tracer, EmitsParseableJson) {
+  const FileGuard file("test_tracer_basic.json");
+  {
+    TraceConfig cfg;
+    cfg.enabled = true;
+    cfg.path = file.path;
+    Tracer tracer(cfg);
+    tracer.ensure_lane(0, "lane zero");
+    TraceArgs args;
+    args.num("pc", std::uint64_t{16});
+    tracer.instant("tick", trace_cat::kFetch, 0, 5, args);
+    tracer.complete("span", trace_cat::kExecute, 1, 10, 4);
+    EXPECT_EQ(tracer.events_emitted(), 2u);
+    tracer.close();
+  }
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(slurp(file.path)).parse(doc));
+  const JsonValue* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->kind, JsonValue::Kind::kArray);
+  // 2 metadata events for the named lane + 2 real events.
+  ASSERT_EQ(events->array.size(), 4u);
+  const JsonValue& instant = events->array[2];
+  EXPECT_EQ(instant.get("name")->string, "tick");
+  EXPECT_EQ(instant.get("ph")->string, "i");
+  EXPECT_EQ(instant.get("ts")->number, 5.0);
+  EXPECT_EQ(instant.get("args")->get("pc")->number, 16.0);
+  const JsonValue& complete = events->array[3];
+  EXPECT_EQ(complete.get("ph")->string, "X");
+  EXPECT_EQ(complete.get("ts")->number, 10.0);
+  EXPECT_EQ(complete.get("dur")->number, 4.0);
+}
+
+TEST(Tracer, CategoryAndWindowFilters) {
+  const FileGuard file("test_tracer_filter.json");
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.path = file.path;
+  cfg.categories = trace_cat::kSteer;
+  cfg.start_cycle = 100;
+  cfg.end_cycle = 200;
+  Tracer tracer(cfg);
+  tracer.instant("in", trace_cat::kSteer, 0, 150);
+  tracer.instant("wrong-cat", trace_cat::kFetch, 0, 150);
+  tracer.instant("early", trace_cat::kSteer, 0, 99);
+  tracer.instant("late", trace_cat::kSteer, 0, 201);
+  // A span straddling the window start overlaps it and is kept.
+  tracer.complete("straddle", trace_cat::kSteer, 0, 90, 20);
+  tracer.complete("before", trace_cat::kSteer, 0, 10, 20);
+  EXPECT_EQ(tracer.events_emitted(), 2u);
+  EXPECT_FALSE(tracer.wants(trace_cat::kFetch, 150));
+  EXPECT_TRUE(tracer.wants(trace_cat::kSteer, 150));
+  EXPECT_FALSE(tracer.wants(trace_cat::kSteer, 99));
+}
+
+// --- Whole-machine tracing. ----------------------------------------------
+
+TEST(Tracing, ProducesValidEventStreamFromSteeredRun) {
+  const FileGuard file("test_trace_run.json");
+  MachineConfig cfg;
+  cfg.trace.enabled = true;
+  cfg.trace.path = file.path;
+  const SimResult result = simulate(phased_program(), cfg,
+                                    {.kind = PolicyKind::kSteered}, 100'000);
+  ASSERT_EQ(result.outcome, RunOutcome::kHalted);
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(slurp(file.path)).parse(doc));
+  const JsonValue* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->array.size(), 100u);
+
+  std::map<double, double> last_ts_per_lane;
+  std::map<std::string, std::uint64_t> per_category;
+  for (const JsonValue& ev : events->array) {
+    ASSERT_EQ(ev.kind, JsonValue::Kind::kObject);
+    const JsonValue* ph = ev.get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      continue;  // metadata carries no timestamp
+    }
+    ASSERT_NE(ev.get("name"), nullptr);
+    ASSERT_NE(ev.get("ts"), nullptr);
+    ASSERT_NE(ev.get("tid"), nullptr);
+    ASSERT_NE(ev.get("cat"), nullptr);
+    ++per_category[ev.get("cat")->string];
+    // Event start timestamps never go backwards within a lane.
+    const double lane = ev.get("tid")->number;
+    const double ts = ev.get("ts")->number;
+    const auto it = last_ts_per_lane.find(lane);
+    if (it != last_ts_per_lane.end()) {
+      EXPECT_LE(it->second, ts) << "lane " << lane;
+    }
+    last_ts_per_lane[lane] = ts;
+  }
+  // A steered phased run exercises the whole pipeline.
+  for (const char* cat :
+       {"fetch", "dispatch", "execute", "commit", "steer", "loader"}) {
+    EXPECT_GT(per_category[cat], 0u) << cat;
+  }
+}
+
+TEST(Tracing, DisabledRunIsBitIdentical) {
+  const FileGuard file("test_trace_identical.json");
+  MachineConfig plain_cfg;
+  MachineConfig traced_cfg;
+  traced_cfg.trace.enabled = true;
+  traced_cfg.trace.path = file.path;
+  traced_cfg.audit.enabled = true;  // in-memory audit must not perturb either
+  const Program program = phased_program();
+  const SimResult plain =
+      simulate(program, plain_cfg, {.kind = PolicyKind::kSteered}, 100'000);
+  const SimResult traced =
+      simulate(program, traced_cfg, {.kind = PolicyKind::kSteered}, 100'000);
+
+  EXPECT_EQ(plain.stats.cycles, traced.stats.cycles);
+  EXPECT_EQ(plain.stats.retired, traced.stats.retired);
+  EXPECT_EQ(plain.stats.dispatched, traced.stats.dispatched);
+  EXPECT_EQ(plain.stats.issued, traced.stats.issued);
+  EXPECT_EQ(plain.stats.squashed, traced.stats.squashed);
+  EXPECT_EQ(plain.stats.mispredicts, traced.stats.mispredicts);
+  EXPECT_EQ(plain.stats.resource_starved, traced.stats.resource_starved);
+  EXPECT_EQ(plain.steering.steer_events, traced.steering.steer_events);
+  EXPECT_EQ(plain.steering.selections, traced.steering.selections);
+  EXPECT_EQ(plain.loader.slots_rewritten, traced.loader.slots_rewritten);
+  EXPECT_EQ(plain.loader.targets_requested, traced.loader.targets_requested);
+}
+
+TEST(Tracing, WindowLimitsEventsToCycleRange) {
+  const FileGuard file("test_trace_window.json");
+  MachineConfig cfg;
+  cfg.trace.enabled = true;
+  cfg.trace.path = file.path;
+  cfg.trace.categories = trace_cat::kCommit;
+  cfg.trace.start_cycle = 200;
+  cfg.trace.end_cycle = 400;
+  simulate(phased_program(), cfg, {.kind = PolicyKind::kSteered}, 100'000);
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(slurp(file.path)).parse(doc));
+  std::uint64_t counted = 0;
+  for (const JsonValue& ev : doc.get("traceEvents")->array) {
+    if (ev.get("ph")->string == "M") {
+      continue;
+    }
+    EXPECT_EQ(ev.get("cat")->string, "commit");
+    EXPECT_GE(ev.get("ts")->number, 200.0);
+    EXPECT_LE(ev.get("ts")->number, 400.0);
+    ++counted;
+  }
+  EXPECT_GT(counted, 0u);
+}
+
+// --- Steering audit log. -------------------------------------------------
+
+TEST(Audit, SummaryMatchesPolicySelectionCounters) {
+  MachineConfig cfg;
+  cfg.audit.enabled = true;
+  const SimResult result = simulate(phased_program(), cfg,
+                                    {.kind = PolicyKind::kSteered}, 100'000);
+  ASSERT_EQ(result.outcome, RunOutcome::kHalted);
+  EXPECT_EQ(result.audit.records, result.steering.steer_events);
+  for (unsigned c = 0; c < kNumCandidates; ++c) {
+    EXPECT_EQ(result.audit.selections[c], result.steering.selections[c])
+        << "candidate " << c;
+  }
+  EXPECT_EQ(result.audit.holds + result.audit.retargets +
+                result.audit.confirm_suppressed,
+            result.audit.records);
+  // confirm=1 (the paper's behaviour) never suppresses.
+  EXPECT_EQ(result.audit.confirm_suppressed, 0u);
+}
+
+TEST(Audit, CsvRowsMatchSelectionTotals) {
+  const FileGuard file("test_audit.csv");
+  MachineConfig cfg;
+  cfg.audit.enabled = true;
+  cfg.audit.csv_path = file.path;
+  const SimResult result = simulate(phased_program(), cfg,
+                                    {.kind = PolicyKind::kSteered}, 100'000);
+
+  std::ifstream in(file.path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header.substr(0, 5), "cycle");
+  EXPECT_NE(header.find("err0"), std::string::npos);
+  EXPECT_NE(header.find("cost0"), std::string::npos);
+  EXPECT_NE(header.find("intent"), std::string::npos);
+
+  // Count per-selection rows; the selection column position comes from the
+  // header so the test does not hard-code the schema width.
+  std::vector<std::string> cols;
+  std::stringstream hs(header);
+  std::string col;
+  while (std::getline(hs, col, ',')) {
+    cols.push_back(col);
+  }
+  std::size_t sel_col = 0;
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] == "selection") {
+      sel_col = i;
+    }
+  }
+  ASSERT_GT(sel_col, 0u);
+
+  std::array<std::uint64_t, kNumCandidates> csv_selections{};
+  std::uint64_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::stringstream ls(line);
+    std::string field;
+    for (std::size_t i = 0; i <= sel_col; ++i) {
+      ASSERT_TRUE(static_cast<bool>(std::getline(ls, field, ',')));
+    }
+    const auto sel = static_cast<unsigned>(std::stoul(field));
+    ASSERT_LT(sel, kNumCandidates);
+    ++csv_selections[sel];
+    ++rows;
+  }
+  EXPECT_EQ(rows, result.steering.steer_events);
+  for (unsigned c = 0; c < kNumCandidates; ++c) {
+    EXPECT_EQ(csv_selections[c], result.steering.selections[c])
+        << "candidate " << c;
+  }
+}
+
+TEST(Audit, ConfirmHysteresisShowsUpAsSuppressedDecisions) {
+  MachineConfig cfg;
+  cfg.audit.enabled = true;
+  const SimResult result = simulate(
+      phased_program(), cfg,
+      {.kind = PolicyKind::kSteered, .confirm = 3}, 100'000);
+  // With confirm=3 every non-current winner needs a 3-long streak, so some
+  // decisions must be suppressed before any retarget happens.
+  EXPECT_GT(result.audit.confirm_suppressed, 0u);
+  EXPECT_EQ(result.audit.holds + result.audit.retargets +
+                result.audit.confirm_suppressed,
+            result.audit.records);
+}
+
+TEST(Audit, RecordsKeptInMemoryWithoutCsvPath) {
+  AuditConfig cfg;
+  cfg.enabled = true;
+  SteeringAuditLog log(cfg);
+  AuditRecord rec;
+  rec.cycle = 42;
+  rec.num_types = 5;
+  rec.num_candidates = 4;
+  rec.selection = 2;
+  rec.tie_broken = true;
+  rec.intent = AuditIntent::kRetarget;
+  log.record(rec);
+  ASSERT_EQ(log.records().size(), 1u);
+  EXPECT_EQ(log.records()[0].cycle, 42u);
+  EXPECT_EQ(log.summary().retargets, 1u);
+  EXPECT_EQ(log.summary().ties_broken, 1u);
+  const std::string row = SteeringAuditLog::csv_row(rec);
+  EXPECT_EQ(row.substr(0, 3), "42,");
+  EXPECT_NE(row.find("retarget"), std::string::npos);
+}
+
+// --- Metric registry. ----------------------------------------------------
+
+TEST(Metrics, RegistryCollectsEverySubsystemWithExactValues) {
+  MachineConfig cfg;
+  const SimResult result = simulate(phased_program(), cfg,
+                                    {.kind = PolicyKind::kSteered}, 100'000);
+  const MetricRegistry reg = collect_metrics(result);
+  EXPECT_GT(reg.size(), 40u);
+
+  const Metric* cycles = reg.find("sim.cycles");
+  ASSERT_NE(cycles, nullptr);
+  EXPECT_EQ(cycles->value, static_cast<double>(result.stats.cycles));
+  const Metric* ipc = reg.find("sim.ipc");
+  ASSERT_NE(ipc, nullptr);
+  EXPECT_DOUBLE_EQ(ipc->value, result.stats.ipc());
+  const Metric* rewrites = reg.find("loader.slots_rewritten");
+  ASSERT_NE(rewrites, nullptr);
+  EXPECT_EQ(rewrites->value,
+            static_cast<double>(result.loader.slots_rewritten));
+  const Metric* steer = reg.find("steer.steer_events");
+  ASSERT_NE(steer, nullptr);
+  EXPECT_EQ(steer->value, static_cast<double>(result.steering.steer_events));
+  EXPECT_NE(reg.find("engine.issues"), nullptr);
+  EXPECT_NE(reg.find("fetch.fetched"), nullptr);
+  EXPECT_NE(reg.find("tcache.hit_rate"), nullptr);
+  EXPECT_NE(reg.find("wakeup.grants"), nullptr);
+  EXPECT_NE(reg.find("dcache.miss_rate"), nullptr);
+  EXPECT_NE(reg.find("fault.upsets_injected"), nullptr);
+  EXPECT_NE(reg.find("recovery.rollbacks"), nullptr);
+  EXPECT_EQ(reg.find("no.such.metric"), nullptr);
+
+  // No name registered twice.
+  std::map<std::string, int> seen;
+  for (const Metric& m : reg.metrics()) {
+    EXPECT_EQ(++seen[m.name], 1) << m.name;
+  }
+}
+
+TEST(Metrics, CsvRendersCountersAsIntegers) {
+  MetricRegistry reg;
+  reg.add("a.count", 123.0);
+  reg.add("a.rate", 0.5);
+  const std::string csv = reg.to_csv();
+  EXPECT_NE(csv.find("metric,value\n"), std::string::npos);
+  EXPECT_NE(csv.find("a.count,123\n"), std::string::npos);
+  EXPECT_NE(csv.find("a.rate,0.5"), std::string::npos);
+}
+
+// --- Host profile. -------------------------------------------------------
+
+TEST(HostProfile, SimulateFillsPhaseTimings) {
+  MachineConfig cfg;
+  const SimResult result = simulate(phased_program(), cfg,
+                                    {.kind = PolicyKind::kSteered}, 100'000);
+  EXPECT_GE(result.host.build_seconds, 0.0);
+  EXPECT_GT(result.host.run_seconds, 0.0);
+  EXPECT_GE(result.host.collect_seconds, 0.0);
+  EXPECT_GT(result.host.cycles_per_sec(result.stats.cycles), 0.0);
+  EXPECT_GT(result.host.kips(result.stats.retired), 0.0);
+  HostProfile idle;
+  EXPECT_EQ(idle.cycles_per_sec(1000), 0.0);
+  EXPECT_EQ(idle.kips(1000), 0.0);
+}
+
+}  // namespace
+}  // namespace steersim
