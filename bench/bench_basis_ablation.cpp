@@ -61,6 +61,21 @@ int main() {
   table.add_row(geo_row);
   std::fputs(table.to_string().c_str(), stdout);
 
+  bench::BenchReport report("basis_ablation");
+  k = 0;
+  for (std::size_t r = 0; r < programs.size(); ++r) {
+    for (std::size_t b = 0; b < bases.size(); ++b) {
+      report.add_metric(names[r] + "/" + bases[b].name + ".ipc",
+                        bench::MetricKind::kSim, flat[k++]);
+    }
+  }
+  for (std::size_t b = 0; b < bases.size(); ++b) {
+    report.add_metric(
+        "geomean/" + bases[b].name + ".ipc", bench::MetricKind::kSim,
+        std::pow(geo[b], 1.0 / static_cast<double>(programs.size())));
+  }
+  report.write();
+
   std::printf(
       "\nBasis contents (RFU counts [ALU MDU LSU FPA FPM] per preset):\n");
   for (const auto& basis : bases) {

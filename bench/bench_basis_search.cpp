@@ -129,6 +129,17 @@ int main() {
   }
   std::fputs(table.to_string().c_str(), stdout);
 
+  bench::BenchReport report("basis_search");
+  report.note("random_bases", std::uint64_t{kRandomBases})
+      .note("budget", bench::cycle_budget());
+  report.add_metric("feasible_configs", bench::MetricKind::kSim,
+                    static_cast<double>(configs.size()));
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    report.add_metric(candidates[i].name + ".geomean_ipc",
+                      bench::MetricKind::kSim, scores[i]);
+  }
+  report.write();
+
   const auto table1_rank =
       static_cast<std::size_t>(
           std::ranges::find(order, std::size_t{0}) - order.begin()) +

@@ -72,6 +72,15 @@ int main() {
                    Table::num(100.0 * (e - a) / a, 2)});
   }
   std::fputs(table.to_string().c_str(), stdout);
+
+  bench::BenchReport report("cem_accuracy");
+  report.note("trials", std::uint64_t{trials})
+      .note("budget", bench::cycle_budget());
+  report.add_metric("selection_agreement_pct", bench::MetricKind::kSim,
+                    100.0 * agree / trials);
+  bench::report_grid(report, names, cfg, policies, grid);
+  report.write();
+
   std::printf(
       "\nExpected shape: high agreement and near-zero IPC delta — the "
       "barrel-shifter approximation is adequate, supporting the paper's "

@@ -69,6 +69,22 @@ int main() {
                 Table::num(100.0 * size_rows[i][0].dcache.miss_rate(), 1)});
   }
   std::fputs(sz.to_string().c_str(), stdout);
+
+  bench::BenchReport report("dcache");
+  report.note("workload", "mem_heavy(64,500,141)");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string label = "miss" + std::to_string(miss_latencies[i]);
+    report.add_sim_result(label + "/steered", rows[i][0]);
+    report.add_sim_result(label + "/static_ffu", rows[i][1]);
+  }
+  for (std::size_t i = 0; i < size_rows.size(); ++i) {
+    const std::string label = "sets" + std::to_string(set_counts[i]);
+    report.add_sim_result(label + "/steered", size_rows[i][0]);
+    report.add_sim_result(label + "/static_ffu", size_rows[i][1]);
+  }
+  report.embed_result("miss32/steered", rows[2][0]);
+  report.write();
+
   std::printf(
       "\nExpected shape: absolute IPC falls as misses lengthen/measure up, "
       "but the steering *gain* stays or grows — longer LSU occupancy makes "

@@ -215,6 +215,25 @@ int main() {
   }
   std::fputs(mode_table.to_string().c_str(), stdout);
 
+  bench::BenchReport report("fault_resilience");
+  report.note("budget", bench::cycle_budget()).note("fault_seed", 7);
+  for (const Point& p : points) {
+    const std::string label = "rate" + Table::num(p.upset_rate, 5) + "/scrub" +
+                              std::to_string(p.scrub_interval);
+    report.add_sim_result(label, p.result);
+    report.add_metric(label + ".upsets_injected", bench::MetricKind::kSim,
+                      static_cast<double>(p.result.fault.upsets_injected));
+    report.add_metric(label + ".slots_repaired", bench::MetricKind::kSim,
+                      static_cast<double>(p.result.loader.slots_repaired));
+  }
+  report.add_sim_result("all_slots_fenced", wiped);
+  for (const ModePoint& p : mode_points) {
+    report.add_sim_result(
+        "rate" + Table::num(p.upset_rate, 5) + "/" + p.mode->name, p.result);
+  }
+  report.embed_result("all_slots_fenced", wiped);
+  report.write();
+
   std::printf(
       "\nwrote bench_fault_modes.csv\n"
       "Expected shape: ECC detects at first read (near-zero latency, no "

@@ -72,6 +72,23 @@ int main() {
          Table::num(trace_pct, 1)});
   }
   std::fputs(table.to_string().c_str(), stdout);
+
+  bench::BenchReport report("frontend");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::string label = variants[i].label;
+    for (char& ch : label) {
+      if (ch == ' ' || ch == ',') {
+        ch = '_';
+      }
+    }
+    report.add_sim_result(label + "/branchy", rows[i][0]);
+    report.add_sim_result(label + "/phased", rows[i][1]);
+    report.add_sim_result(label + "/phased_ffu", rows[i][2]);
+    report.add_sim_result(label + "/tight", rows[i][3]);
+  }
+  report.embed_result("2-bit__TC/phased", rows[5][1]);
+  report.write();
+
   std::printf(
       "\nExpected shape: prediction quality dominates on branchy code; the "
       "trace cache matters exactly where fetch groups break — the tight "

@@ -59,6 +59,15 @@ int main() {
                    Table::num(rows[i].loader.slots_rewritten)});
   }
   std::fputs(sweep.to_string().c_str(), stdout);
+
+  bench::BenchReport report("greedy_steering");
+  report.note("budget", bench::cycle_budget());
+  bench::report_grid(report, names, cfg, policies, grid);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    report.add_sim_result("repack" + std::to_string(intervals[i]), rows[i]);
+  }
+  report.write();
+
   std::printf(
       "\nExpected shape: greedy competes with (and on some mixes beats) "
       "the preset basis because it can shape the fabric to the exact "

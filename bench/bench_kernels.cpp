@@ -42,6 +42,16 @@ int main() {
          Table::num(s.loader.slots_rewritten)});
   }
   std::fputs(detail.to_string().c_str(), stdout);
+
+  bench::BenchReport report("kernels");
+  report.note("budget", bench::cycle_budget());
+  bench::report_grid(report, names, cfg, policies, grid);
+  for (std::size_t r = 0; r < programs.size(); ++r) {
+    report.add_metric(names[r] + ".dataflow_max_ipc", bench::MetricKind::kSim,
+                      compute_ilp_bound(programs[r]).max_ipc());
+  }
+  report.write();
+
   std::printf(
       "\nExpected shape: serial-dependency kernels (fib, newton_sqrt) sit "
       "near 100%% of their dataflow ceiling for every policy — the "

@@ -57,6 +57,27 @@ int main() {
     }
   }
   std::fputs(table.to_string().c_str(), stdout);
+
+  bench::BenchReport report("lookahead");
+  k = 0;
+  for (const char* wname : workload_names) {
+    std::string w = wname;
+    for (char& ch : w) {
+      if (ch == ' ' || ch == '/') {
+        ch = '_';
+      }
+    }
+    for (const unsigned lat : latencies) {
+      const auto& [reactive, lookahead] = rows[k++];
+      const std::string label = w + "/lat" + std::to_string(lat);
+      report.add_metric(label + ".reactive.ipc", bench::MetricKind::kSim,
+                        reactive);
+      report.add_metric(label + ".lookahead.ipc", bench::MetricKind::kSim,
+                        lookahead);
+    }
+  }
+  report.write();
+
   std::printf(
       "\nMeasured shape (a deliberate negative result): one trace of lead "
       "time (~16 instructions, ~4 cycles) is too short to hide slot "

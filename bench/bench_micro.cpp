@@ -5,6 +5,7 @@
 // "fast and efficient"; this benchmark pins their software-model cost.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "config/loader.hpp"
 #include "config/selection_unit.hpp"
 #include "config/availability.hpp"
@@ -181,7 +182,39 @@ void BM_EndToEndKiloInstructions(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndKiloInstructions);
 
+/// ConsoleReporter that additionally records every run's adjusted real
+/// time into a BenchReport, so the micro-benchmarks join the BENCH_*.json
+/// regression harness (host timings: compared by tolerance, never exactly).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) {
+        continue;
+      }
+      report_.add_metric(run.benchmark_name() + ".real_time",
+                         bench::MetricKind::kHostTime,
+                         run.GetAdjustedRealTime());
+    }
+  }
+
+  bench::BenchReport& report() { return report_; }
+
+ private:
+  bench::BenchReport report_{"micro"};
+};
+
 }  // namespace
 }  // namespace steersim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  steersim::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.report().write();
+  return 0;
+}

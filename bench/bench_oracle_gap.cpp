@@ -57,6 +57,12 @@ int main() {
                  Table::num(grid[last][c].loader.blocked_cycles)});
   }
   std::fputs(act.to_string().c_str(), stdout);
+
+  bench::BenchReport report("oracle_gap");
+  report.note("budget", bench::cycle_budget());
+  bench::report_grid(report, names, cfg, policies, grid);
+  report.write();
+
   std::printf(
       "\nExpected shape: steered within ~0.9x of oracle; full-reconfig "
       "below steered on phased code (whole-fabric rewrites stall for "

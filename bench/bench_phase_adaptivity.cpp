@@ -89,6 +89,23 @@ int main() {
   std::printf("  halt at cycle %llu after %llu fabric transitions\n",
               static_cast<unsigned long long>(cpu->stats().cycles),
               static_cast<unsigned long long>(transitions));
+
+  bench::BenchReport report("phase_adaptivity");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string len = std::to_string(phase_lengths[i]);
+    report.add_metric("phase" + len + ".steered.ipc", bench::MetricKind::kSim,
+                      rows[i][0]);
+    report.add_metric("phase" + len + ".static_ffu.ipc",
+                      bench::MetricKind::kSim, rows[i][1]);
+    report.add_metric("phase" + len + ".oracle.ipc", bench::MetricKind::kSim,
+                      rows[i][2]);
+  }
+  report.add_metric("timeline.transitions", bench::MetricKind::kSim,
+                    static_cast<double>(transitions));
+  report.add_metric("timeline.halt_cycle", bench::MetricKind::kSim,
+                    static_cast<double>(cpu->stats().cycles));
+  report.write();
+
   std::printf(
       "\nExpected shape: steering's oracle-relative IPC improves with "
       "phase length (the rewrite cost amortizes); the timeline shows the "

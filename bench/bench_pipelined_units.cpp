@@ -51,6 +51,17 @@ int main() {
                    Table::num(ps.stats.ipc() / pf.stats.ipc(), 3)});
   }
   std::fputs(table.to_string().c_str(), stdout);
+
+  bench::BenchReport report("pipelined_units");
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    report.add_sim_result(names[r] + "/serial_steered", rows[r][0]);
+    report.add_sim_result(names[r] + "/serial_ffu", rows[r][1]);
+    report.add_sim_result(names[r] + "/piped_steered", rows[r][2]);
+    report.add_sim_result(names[r] + "/piped_ffu", rows[r][3]);
+  }
+  report.embed_result(names.back() + "/piped_steered", rows.back()[2]);
+  report.write();
+
   std::printf(
       "\nExpected shape: pipelining raises everyone's absolute IPC, and "
       "the steering gain compresses toward 1 — a single pipelined unit of "

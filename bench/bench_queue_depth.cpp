@@ -64,6 +64,20 @@ int main() {
                    Table::num(occ, 2)});
   }
   std::fputs(table.to_string().c_str(), stdout);
+
+  bench::BenchReport report("queue_depth");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& s = shapes[i];
+    const std::string shape_label =
+        std::to_string(s.fetch) + "x" + std::to_string(s.queue) + "x" +
+        std::to_string(s.ruu) + "x" + std::to_string(s.retire);
+    report.add_sim_result(shape_label + "/steered", rows[i][0]);
+    report.add_sim_result(shape_label + "/static_ffu", rows[i][1]);
+    report.add_sim_result(shape_label + "/oracle", rows[i][2]);
+  }
+  report.embed_result("4x7x32x4/steered", rows[1][0]);
+  report.write();
+
   std::printf(
       "\nExpected shape: absolute IPC grows with machine width; the "
       "steering gain over static-ffu grows too (a wider machine exposes "

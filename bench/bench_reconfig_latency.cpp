@@ -82,6 +82,23 @@ int main() {
   }
   std::fputs(port_table.to_string().c_str(), stdout);
 
+  bench::BenchReport report("reconfig_latency");
+  report.note("workload", "alternating_phases(4096,6,33)");
+  report.add_metric("static_ffu.ipc", bench::MetricKind::kSim, ffu_ipc);
+  report.add_metric("best_preset.ipc", bench::MetricKind::kSim, best_preset);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const std::string lat = std::to_string(latencies[i]);
+    report.add_metric("lat" + lat + ".steered.ipc", bench::MetricKind::kSim,
+                      results[i].first);
+    report.add_metric("lat" + lat + ".full_reconfig.ipc",
+                      bench::MetricKind::kSim, results[i].second);
+  }
+  for (std::size_t i = 0; i < port_rows.size(); ++i) {
+    report.add_sim_result("ports" + std::to_string(ports[i]), port_rows[i]);
+  }
+  report.embed_result("ports1", port_rows[0]);
+  report.write();
+
   std::printf(
       "\nanchors: static-ffu IPC = %.3f, best frozen preset IPC = %.3f\n"
       "Expected shape: steering's advantage decays as rewrite cost grows; "

@@ -38,26 +38,6 @@ Row measure(const Program& program, const MachineConfig& cfg,
   return row;
 }
 
-void write_json(const std::string& path, const std::vector<Row>& rows) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  STEERSIM_EXPECTS(f != nullptr);
-  std::fprintf(f, "{\n  \"bench\": \"sim_throughput\",\n  \"rows\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    std::fprintf(f,
-                 "    {\"policy\": \"%s\", \"cycles\": %llu, "
-                 "\"retired\": %llu, \"wall_seconds\": %.6f, "
-                 "\"sim_cycles_per_sec\": %.1f, \"kips\": %.2f}%s\n",
-                 r.policy.c_str(),
-                 static_cast<unsigned long long>(r.cycles),
-                 static_cast<unsigned long long>(r.retired), r.wall_seconds,
-                 r.sim_cycles_per_sec, r.kips,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-}
-
 }  // namespace
 
 int main() {
@@ -118,8 +98,26 @@ int main() {
   }
   std::fputs(table.to_string().c_str(), stdout);
 
-  write_json("BENCH_sim_throughput.json", rows);
-  std::printf("\nwrote BENCH_sim_throughput.json (%zu rows)\n", rows.size());
+  // BENCH_sim_throughput.json via the shared harness: simulated counts
+  // compare exactly across builds; wall-clock rows by tolerance.
+  bench::BenchReport report("sim_throughput");
+  report.note("budget", budget).note("workload",
+                                     "alternating_phases(2048,8,71)");
+  for (const Row& r : rows) {
+    report.add_metric(r.policy + ".cycles", bench::MetricKind::kSim,
+                      static_cast<double>(r.cycles));
+    report.add_metric(r.policy + ".retired", bench::MetricKind::kSim,
+                      static_cast<double>(r.retired));
+    report.add_metric(r.policy + ".wall_seconds",
+                      bench::MetricKind::kHostTime, r.wall_seconds);
+    report.add_metric(r.policy + ".sim_cycles_per_sec",
+                      bench::MetricKind::kHostRate, r.sim_cycles_per_sec);
+    report.add_metric(r.policy + ".kips", bench::MetricKind::kHostRate,
+                      r.kips);
+  }
+  report.add_sim_result("steered", plain);
+  report.embed_result("steered", plain);
+  report.write();
   std::printf(
       "\nExpected shape: the oracle simulates fastest per retired "
       "instruction (no rewrite stalls lengthen the run); tracing costs "

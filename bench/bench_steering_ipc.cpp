@@ -41,12 +41,13 @@ int main() {
   const auto policies = standard_policies();
 
   // Flatten all (workload, seed, policy) runs into one parallel batch.
+  const std::uint64_t budget = bench::cycle_budget();
   std::vector<std::function<SimResult()>> jobs;
   for (const auto& reps : replicated) {
     for (const auto& program : reps) {
       for (const auto& policy : policies) {
-        jobs.emplace_back([&program, &cfg, &policy] {
-          return simulate(program, cfg, policy);
+        jobs.emplace_back([&program, &cfg, &policy, budget] {
+          return simulate(program, cfg, policy, budget);
         });
       }
     }
@@ -109,6 +110,22 @@ int main() {
          Table::num(steered.stats.ipc() / ffu.stats.ipc(), 3)});
   }
   std::fputs(diag.to_string().c_str(), stdout);
+
+  bench::BenchReport report("steering_ipc");
+  report.note("seeds", std::size(seeds)).note("budget", budget);
+  k = 0;
+  for (std::size_t w = 0; w < replicated.size(); ++w) {
+    for (std::size_t s = 0; s < std::size(seeds); ++s) {
+      for (std::size_t p = 0; p < policies.size(); ++p) {
+        // Same label across seeds: repeats fold into mean/stddev.
+        report.add_sim_result(names[w] + "/" + policies[p].label(cfg.steering),
+                              flat[k++]);
+      }
+    }
+  }
+  report.embed_result("phased(int/fp)/steered", grid.back()[0]);
+  report.write();
+
   std::printf(
       "\nExpected shape (paper's motivation): steered ~ best frozen preset "
       "on each corner mix, strictly above static-ffu everywhere, and above "

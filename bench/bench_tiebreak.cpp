@@ -63,6 +63,23 @@ int main() {
                       Table::num(rows[i].loader.slots_rewritten)});
   }
   std::fputs(table_iv.to_string().c_str(), stdout);
+
+  bench::BenchReport report("tiebreak");
+  report.note("budget", bench::cycle_budget());
+  // PolicySpec::label() does not encode the tie-break rule, so name the
+  // columns explicitly rather than via report_grid().
+  const char* tb_names[] = {"paper", "least_reconfig", "lowest_index"};
+  for (std::size_t r = 0; r < tb_grid.size(); ++r) {
+    for (std::size_t c = 0; c < tb.size(); ++c) {
+      report.add_sim_result(names[r] + "/" + tb_names[c], tb_grid[r][c]);
+    }
+  }
+  report.embed_result(names[0] + "/paper", tb_grid[0][0]);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    report.add_sim_result("interval" + std::to_string(intervals[i]), rows[i]);
+  }
+  report.write();
+
   std::printf(
       "\nExpected shape: the paper's favour-current rule cuts rewrites "
       "versus the naive rule at equal-or-better IPC (it damps churn); "

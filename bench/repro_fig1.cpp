@@ -71,5 +71,26 @@ int main() {
                 cfg.steering.preset_allocation(i).to_string().c_str());
   }
   std::printf("  Config 0 = current configuration (dynamic)\n");
+
+  // Structural repro: the module inventory counts are the result.
+  std::size_t ffu_count = 0;
+  for (const auto& unit : cpu->engine().units()) {
+    if (unit.fixed) {
+      ++ffu_count;
+    }
+  }
+  bench::BenchReport report("repro_fig1");
+  report.note("basis", cfg.steering.name);
+  report.add_metric("ffu_units", bench::MetricKind::kSim,
+                    static_cast<double>(ffu_count));
+  report.add_metric("rfu_slots", bench::MetricKind::kSim,
+                    static_cast<double>(cfg.loader.num_slots));
+  report.add_metric("trace_cache_lines", bench::MetricKind::kSim,
+                    static_cast<double>(cpu->trace_cache()->lines()));
+  report.add_metric("queue_entries", bench::MetricKind::kSim,
+                    static_cast<double>(cfg.queue_entries));
+  report.add_metric("ruu_entries", bench::MetricKind::kSim,
+                    static_cast<double>(cfg.ruu_entries));
+  report.write();
   return 0;
 }

@@ -77,5 +77,41 @@ int main() {
               {Opcode::kAdd, Opcode::kSub, Opcode::kXor, Opcode::kAdd,
                Opcode::kMul, Opcode::kLw, Opcode::kAdd},
               set.preset_total(0));
+
+  // Structural repro: the four stage-4 selections are the result.
+  bench::BenchReport report("repro_fig2");
+  report.note("basis", set.name);
+  const struct {
+    const char* label;
+    std::vector<Opcode> ops;
+    FuCounts current;
+  } cases[] = {
+      {"integer_dominated",
+       {Opcode::kAdd, Opcode::kSub, Opcode::kXor, Opcode::kAdd, Opcode::kMul,
+        Opcode::kLw, Opcode::kAdd},
+       ffu_only},
+      {"memory_dominated",
+       {Opcode::kLw, Opcode::kSw, Opcode::kLw, Opcode::kLw, Opcode::kFlw,
+        Opcode::kLw, Opcode::kAdd},
+       ffu_only},
+      {"floating_point",
+       {Opcode::kFadd, Opcode::kFmul, Opcode::kFadd, Opcode::kFsqrt,
+        Opcode::kFlw, Opcode::kFsub, Opcode::kFmul},
+       ffu_only},
+      {"already_matched",
+       {Opcode::kAdd, Opcode::kSub, Opcode::kXor, Opcode::kAdd, Opcode::kMul,
+        Opcode::kLw, Opcode::kAdd},
+       set.preset_total(0)},
+  };
+  for (const auto& c : cases) {
+    std::array<unsigned, kNumCandidates> cost{};
+    for (unsigned p = 0; p < kNumPresetConfigs; ++p) {
+      cost[p + 1] = 8;
+    }
+    report.add_metric(std::string(c.label) + ".selection",
+                      bench::MetricKind::kSim,
+                      unit.select(c.ops, c.current, cost).selection);
+  }
+  report.write();
   return 0;
 }

@@ -120,5 +120,21 @@ int main() {
               "paper declines to pay (E4 shows what it would buy).\n",
               static_cast<double>(exact_cem.gates) / approx_cem.gates,
               static_cast<double>(unit_exact.depth) / unit_approx.depth);
+
+  bench::BenchReport report("repro_fig3");
+  report.add_metric("sweep.terms", bench::MetricKind::kSim, total);
+  report.add_metric("sweep.exact_matches", bench::MetricKind::kSim,
+                    exact_matches);
+  report.add_metric("sweep.worst_overestimate", bench::MetricKind::kSim,
+                    worst_abs);
+  report.add_metric("cost.cem_approx_gates", bench::MetricKind::kSim,
+                    approx_cem.gates);
+  report.add_metric("cost.cem_exact_gates", bench::MetricKind::kSim,
+                    exact_cem.gates);
+  report.add_metric("cost.unit_approx_depth", bench::MetricKind::kSim,
+                    unit_approx.depth);
+  report.add_metric("cost.unit_exact_depth", bench::MetricKind::kSim,
+                    unit_exact.depth);
+  report.write();
   return 0;
 }

@@ -85,5 +85,15 @@ int main() {
       array.entry(0).deps.none() && array.entry(1).deps.none() &&
       array.entry(4).deps.none();
   std::printf("figure content check: %s\n", ok ? "MATCH" : "MISMATCH");
+
+  bench::BenchReport report("repro_fig45");
+  report.add_metric("figure_check_match", bench::MetricKind::kSim,
+                    ok ? 1.0 : 0.0);
+  for (unsigned row = 0; row < 7; ++row) {
+    report.add_metric("entry" + std::to_string(row + 1) + ".deps_mask",
+                      bench::MetricKind::kSim,
+                      static_cast<double>(array.entry(row).deps.raw()));
+  }
+  report.write();
   return ok ? 0 : 1;
 }

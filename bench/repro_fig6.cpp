@@ -92,5 +92,11 @@ int main() {
   std::printf("after retiring Load (row 5): FPAdd deps now 0b%s (the "
               "retired entry's column cleared across the array)\n",
               format_bits(array.entry(6).deps.raw(), 7).c_str());
+
+  bench::BenchReport report("repro_fig6");
+  report.add_metric("granted_total", bench::MetricKind::kSim, granted_total);
+  report.add_metric("fpadd_deps_after_retire", bench::MetricKind::kSim,
+                    static_cast<double>(array.entry(6).deps.raw()));
+  report.write();
   return granted_total == 7 ? 0 : 1;
 }

@@ -73,5 +73,29 @@ int main() {
       "Key property verified: a unit spanning k slots contributes exactly "
       "one term to Eq. 1 (its head slot); continuation and empty codes "
       "match no type encoding.\n");
+
+  // Structural repro: Eq. 1 availability counts for the three states.
+  bench::BenchReport report("repro_fig7");
+  const FuCounts ffu = {1, 1, 1, 1, 1};
+  const struct {
+    const char* label;
+    AllocationVector alloc;
+    SlotMask slots;
+    const bool* ffus;
+  } states[] = {
+      {"idle", set.preset_allocation(2), all_idle, ffu_all},
+      {"fpa_busy", set.preset_allocation(2), fp_busy, ffu_fpa_busy},
+      {"mid_rewrite", mid, all_idle, ffu_all},
+  };
+  for (const auto& s : states) {
+    const auto rv = ResourceVector::build(s.alloc, s.slots, ffu,
+                                          std::span<const bool>(s.ffus, 5));
+    for (const FuType t : kAllFuTypes) {
+      report.add_metric(std::string(s.label) + ".avail_" +
+                            std::string(fu_type_name(t)),
+                        bench::MetricKind::kSim, rv.count_available(t));
+    }
+  }
+  report.write();
   return 0;
 }

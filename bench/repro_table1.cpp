@@ -62,5 +62,22 @@ int main() {
                 set.preset_names[p].c_str(),
                 set.preset_allocation(p).to_string().c_str());
   }
+
+  // Structural repro: the recovered counts themselves are the result.
+  bench::BenchReport report("repro_table1");
+  report.note("basis", set.name);
+  for (unsigned p = 0; p < kNumPresetConfigs; ++p) {
+    const FuCounts recovered = set.preset_allocation(p).counts();
+    for (const FuType t : kAllFuTypes) {
+      report.add_metric("config" + std::to_string(p + 1) + "." +
+                            std::string(fu_type_name(t)),
+                        bench::MetricKind::kSim,
+                        static_cast<double>(recovered[fu_index(t)]));
+    }
+    report.add_metric("config" + std::to_string(p + 1) + ".slots_used",
+                      bench::MetricKind::kSim,
+                      static_cast<double>(slots_used(recovered)));
+  }
+  report.write();
   return 0;
 }

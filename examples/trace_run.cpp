@@ -1,6 +1,7 @@
 // Observability walkthrough (docs/OBSERVABILITY.md): run a phased workload
-// with the cycle tracer and steering audit log enabled, then point at the
-// artifacts — a Perfetto-loadable trace JSON, a steering-decision CSV, and
+// with the cycle tracer, steering audit log, and interval sampler enabled,
+// then point at the artifacts — a Perfetto-loadable trace JSON with
+// counter tracks, a steering-decision CSV, a windowed-telemetry CSV, and
 // the flat metric namespace.
 //
 //   $ ./examples/trace_run
@@ -27,6 +28,11 @@ int main() {
   //   config.trace.start_cycle = 1000; config.trace.end_cycle = 2000;
   config.audit.enabled = true;
   config.audit.csv_path = "trace_run_audit.csv";
+  // Windowed telemetry: one row per 256 cycles (windowed IPC + per-counter
+  // deltas) streamed to CSV, and — because the tracer is on — "win.*"
+  // counter tracks rendered above the event lanes in Perfetto.
+  config.sample.period = 256;
+  config.sample.csv_path = "trace_run_windows.csv";
 
   const SimResult result =
       simulate(program, config, {.kind = PolicyKind::kSteered}, 200'000);
@@ -45,10 +51,14 @@ int main() {
 
   std::printf(
       "\nartifacts:\n"
-      "  trace_run.json       — load at https://ui.perfetto.dev or\n"
-      "                         chrome://tracing (1 cycle = 1 us)\n"
-      "  trace_run_audit.csv  — one row per steering decision: demand,\n"
-      "                         per-candidate CEM error + rewrite cost,\n"
-      "                         winner, tie-break, confirm streak, intent\n");
+      "  trace_run.json         — load at https://ui.perfetto.dev or\n"
+      "                           chrome://tracing (1 cycle = 1 us);\n"
+      "                           'win.*' counter tracks show IPC and\n"
+      "                           issue/steer/rewrite rates over time\n"
+      "  trace_run_audit.csv    — one row per steering decision: demand,\n"
+      "                           per-candidate CEM error + rewrite cost,\n"
+      "                           winner, tie-break, confirm streak, intent\n"
+      "  trace_run_windows.csv  — one row per 256-cycle window: windowed\n"
+      "                           IPC plus every counter's window delta\n");
   return 0;
 }

@@ -28,3 +28,13 @@ ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
   fi
   exit "$status"
 } 2>&1 | tee bench_output.txt
+
+# Collect the machine-readable reports every bench just wrote (see
+# bench/bench_util.hpp BenchReport) under a per-commit directory, so two
+# checkouts can be diffed with tools/bench_compare.
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+out="bench_out/$sha"
+mkdir -p "$out"
+mv BENCH_*.json "$out"/ 2>/dev/null || true
+echo "bench reports collected in $out ($(ls "$out" | wc -l) files)"
+echo "compare against another run with: build/tools/bench_compare <baseline> $out"

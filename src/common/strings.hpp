@@ -37,4 +37,14 @@ bool starts_with(std::string_view text, std::string_view prefix);
 /// exactly `bits` characters wide.
 std::string format_bits(std::uint64_t value, unsigned bits);
 
+/// Appends `text` to `out` escaped for use inside a JSON string literal
+/// (quotes, backslashes, control bytes). Shared by the tracer, the metric
+/// registry and the bench-report writer.
+void append_json_escaped(std::string& out, std::string_view text);
+
+/// Renders a double as a JSON value: integral values without a fraction,
+/// others via %.17g round-trip precision, non-finite as a quoted string
+/// (JSON has no NaN/Inf literals).
+std::string json_number(double value);
+
 }  // namespace steersim

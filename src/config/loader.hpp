@@ -96,10 +96,10 @@ struct LoaderStats {
     visit("ecc_uncorrectable", static_cast<double>(ecc_uncorrectable));
     visit("degraded_cycles", static_cast<double>(degraded_cycles));
     if (detection_latency.count() > 0) {
-      visit("detection_latency_mean", detection_latency.mean());
-      visit("detection_latency_max", detection_latency.max());
+      visit("detection_latency_mean", detection_latency.mean(), true);
+      visit("detection_latency_max", detection_latency.max(), true);
       visit("detection_latency_p95",
-            detection_latency_hist.quantile(0.95));
+            detection_latency_hist.quantile(0.95), true);
     }
   }
 };

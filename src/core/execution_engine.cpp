@@ -134,6 +134,7 @@ bool ExecutionEngine::assign(FuType t, unsigned latency,
     issued_this_cycle_.push_back(record);
   }
   ++stats_.issues;
+  ++stats_.issues_by_type[fu_index(t)];
   return true;
 }
 

@@ -32,6 +32,9 @@ struct UnitInstance {
 struct EngineStats {
   std::array<std::uint64_t, kNumFuTypes> busy_unit_cycles{};
   std::array<std::uint64_t, kNumFuTypes> configured_unit_cycles{};
+  /// Issues broken down by the serving unit type (sums to `issues`);
+  /// the interval sampler's per-FU-type demand tracks difference these.
+  std::array<std::uint64_t, kNumFuTypes> issues_by_type{};
   std::uint64_t issues = 0;
   std::uint64_t cancels = 0;
 
@@ -42,6 +45,7 @@ struct EngineStats {
     visit("cancels", static_cast<double>(cancels));
     for (unsigned t = 0; t < kNumFuTypes; ++t) {
       const std::string type(fu_type_name(static_cast<FuType>(t)));
+      visit("issues." + type, static_cast<double>(issues_by_type[t]));
       visit("busy_cycles." + type,
             static_cast<double>(busy_unit_cycles[t]));
       visit("configured_cycles." + type,

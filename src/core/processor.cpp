@@ -121,7 +121,11 @@ Processor::Processor(const Program& program, const MachineConfig& config,
                                    : nullptr),
       audit_(config.audit.enabled
                  ? std::make_unique<SteeringAuditLog>(config.audit)
-                 : nullptr) {
+                 : nullptr),
+      sampler_(config.sample.enabled()
+                   ? std::make_unique<IntervalSampler>(config.sample,
+                                                       tracer_.get())
+                   : nullptr) {
   STEERSIM_EXPECTS(policy_ != nullptr);
   mem_.load_image(program_.data);
   loader_.set_tracer(tracer_.get());
@@ -675,11 +679,46 @@ void Processor::stage_fetch() {
   }
 }
 
+MetricRegistry Processor::live_metrics() const {
+  // Prefixes and ordering mirror collect_metrics() (sim/metrics.cpp) so a
+  // live snapshot and a finished SimResult enumerate the same namespace.
+  // Absent optional modules contribute default (all-zero) stats, exactly
+  // as they remain default in a SimResult.
+  MetricRegistry reg;
+  stats_.visit_metrics(reg.prefixed("sim."));
+  loader_.stats().visit_metrics(reg.prefixed("loader."));
+  policy_->stats().visit_metrics(reg.prefixed("steer."));
+  engine_.stats().visit_metrics(reg.prefixed("engine."));
+  fetch_.stats().visit_metrics(reg.prefixed("fetch."));
+  (trace_cache_ != nullptr ? trace_cache_->stats() : TraceCacheStats{})
+      .visit_metrics(reg.prefixed("tcache."));
+  wakeup_.stats().visit_metrics(reg.prefixed("wakeup."));
+  (dcache_ != nullptr ? dcache_->stats() : CacheStats{})
+      .visit_metrics(reg.prefixed("dcache."));
+  fault_stats_.visit_metrics(reg.prefixed("fault."));
+  (recovery_ != nullptr ? recovery_->stats() : RecoveryStats{})
+      .visit_metrics(reg.prefixed("recovery."));
+  return reg;
+}
+
+void Processor::maybe_sample() {
+  if (sampler_ != nullptr && sampler_->due(stats_.cycles)) {
+    sampler_->sample(live_metrics(), stats_.cycles);
+  }
+}
+
+void Processor::flush_sampler() {
+  if (sampler_ != nullptr) {
+    sampler_->flush(live_metrics(), stats_.cycles);
+  }
+}
+
 void Processor::step() {
   STEERSIM_EXPECTS(!halted_ && !faulted_);
   stage_retire();
   if (halted_ || faulted_) {
     ++stats_.cycles;
+    maybe_sample();
     return;
   }
   // Checkpoint right after retire: the snapshot captures a clean boundary
@@ -715,6 +754,7 @@ void Processor::step() {
   stats_.queue_occupancy_sum +=
       wakeup_.num_entries() - wakeup_.free_entries();
   ++stats_.cycles;
+  maybe_sample();
 }
 
 RunOutcome Processor::run(std::uint64_t max_cycles) {
@@ -761,6 +801,7 @@ RunOutcome Processor::run(std::uint64_t max_cycles) {
                     std::to_string(loader_.corrupted().count());
         }
         fault_message_ = std::move(digest);
+        flush_sampler();
         return RunOutcome::kStalled;
       }
     } else {
@@ -769,8 +810,10 @@ RunOutcome Processor::run(std::uint64_t max_cycles) {
     }
   }
   if (faulted_) {
+    flush_sampler();
     return RunOutcome::kFault;
   }
+  flush_sampler();
   return halted_ ? RunOutcome::kHalted : RunOutcome::kMaxCycles;
 }
 

@@ -40,6 +40,7 @@
 #include "memory/cache.hpp"
 #include "memory/data_memory.hpp"
 #include "memory/register_file.hpp"
+#include "obs/sampler.hpp"
 #include "sched/select_logic.hpp"
 
 namespace steersim {
@@ -74,6 +75,8 @@ struct MachineConfig {
   TraceConfig trace;
   /// Steering audit log (docs/OBSERVABILITY.md); off by default.
   AuditConfig audit;
+  /// Interval telemetry sampling (docs/OBSERVABILITY.md); off by default.
+  SamplerConfig sample;
 
   MachineConfig() : steering(default_steering_set()) {
     loader.num_slots = steering.num_slots;
@@ -111,7 +114,15 @@ struct SimStats {
                                static_cast<double>(branches);
   }
 
-  /// Metric-registry enumeration (docs/OBSERVABILITY.md).
+  double avg_queue_occupancy() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(queue_occupancy_sum) /
+                             static_cast<double>(cycles);
+  }
+
+  /// Metric-registry enumeration (docs/OBSERVABILITY.md). The third
+  /// visitor argument marks derived metrics (ratios), which interval
+  /// consumers must not difference across windows.
   template <typename V>
   void visit_metrics(V&& visit) const {
     visit("cycles", static_cast<double>(cycles));
@@ -122,8 +133,10 @@ struct SimStats {
     visit("branches", static_cast<double>(branches));
     visit("mispredicts", static_cast<double>(mispredicts));
     visit("resource_starved", static_cast<double>(resource_starved));
-    visit("ipc", ipc());
-    visit("mispredict_rate", mispredict_rate());
+    visit("queue_occupancy_sum", static_cast<double>(queue_occupancy_sum));
+    visit("ipc", ipc(), true);
+    visit("mispredict_rate", mispredict_rate(), true);
+    visit("avg_queue_occupancy", avg_queue_occupancy(), true);
   }
 };
 
@@ -170,6 +183,18 @@ class Processor {
   Tracer* tracer() { return tracer_.get(); }
   /// Steering audit log; null unless MachineConfig::audit.enabled.
   const SteeringAuditLog* audit_log() const { return audit_.get(); }
+  /// Interval sampler; null unless MachineConfig::sample.period > 0.
+  const IntervalSampler* sampler() const { return sampler_.get(); }
+
+  /// Live metric snapshot of the running machine: every stats struct
+  /// enumerated under the same subsystem prefixes collect_metrics() uses
+  /// for a finished SimResult. Observation-only.
+  MetricRegistry live_metrics() const;
+
+  /// Closes the sampler's final partial window so per-counter window
+  /// deltas sum to the end-of-run totals. Called by run() (and again,
+  /// harmlessly, by simulate()); manual step() loops call it themselves.
+  void flush_sampler();
 
   /// Test/debug hook invoked for every committed instruction, in order.
   void set_retire_hook(std::function<void(const RuuEntry&)> hook) {
@@ -180,6 +205,9 @@ class Processor {
   /// Throws std::invalid_argument on an inconsistent configuration; called
   /// before any member constructs so no module ever sees bad parameters.
   static const MachineConfig& validated(const MachineConfig& config);
+
+  /// End-of-cycle sampler hook: one pointer compare when sampling is off.
+  void maybe_sample();
 
   void stage_retire();
   void stage_faults();
@@ -234,6 +262,7 @@ class Processor {
   std::unique_ptr<RecoveryManager> recovery_;
   std::unique_ptr<Tracer> tracer_;
   std::unique_ptr<SteeringAuditLog> audit_;
+  std::unique_ptr<IntervalSampler> sampler_;
 
   std::function<void(const RuuEntry&)> retire_hook_;
   SimStats stats_;

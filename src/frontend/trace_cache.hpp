@@ -49,7 +49,7 @@ struct TraceCacheStats {
     visit("lookups", static_cast<double>(lookups));
     visit("hits", static_cast<double>(hits));
     visit("installs", static_cast<double>(installs));
-    visit("hit_rate", hit_rate());
+    visit("hit_rate", hit_rate(), true);
   }
 };
 

@@ -38,7 +38,7 @@ struct CacheStats {
   void visit_metrics(V&& visit) const {
     visit("accesses", static_cast<double>(accesses));
     visit("misses", static_cast<double>(misses));
-    visit("miss_rate", miss_rate());
+    visit("miss_rate", miss_rate(), true);
   }
 };
 

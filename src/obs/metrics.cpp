@@ -8,10 +8,10 @@
 
 namespace steersim {
 
-void MetricRegistry::add(std::string name, double value) {
+void MetricRegistry::add(std::string name, double value, bool derived) {
   STEERSIM_EXPECTS(!name.empty());
   STEERSIM_EXPECTS(find(name) == nullptr);
-  metrics_.push_back(Metric{std::move(name), value});
+  metrics_.push_back(Metric{std::move(name), value, derived});
 }
 
 const Metric* MetricRegistry::find(std::string_view name) const {
@@ -40,6 +40,23 @@ std::string MetricRegistry::to_csv() const {
     }
     out += '\n';
   }
+  return out;
+}
+
+std::string MetricRegistry::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const Metric& m : metrics_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    append_json_escaped(out, m.name);
+    out += "\":";
+    out += json_number(m.value);
+  }
+  out += '}';
   return out;
 }
 

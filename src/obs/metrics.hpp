@@ -18,12 +18,16 @@ namespace steersim {
 struct Metric {
   std::string name;
   double value = 0.0;
+  /// Derived metrics (rates, means, quantiles) are computed from counters
+  /// rather than accumulated; interval consumers (obs/sampler.hpp) must not
+  /// difference them across windows — a ratio's delta is meaningless.
+  bool derived = false;
 };
 
 class MetricRegistry {
  public:
   /// Registers a metric; names must be unique (enforced).
-  void add(std::string name, double value);
+  void add(std::string name, double value, bool derived = false);
 
   std::size_t size() const { return metrics_.size(); }
   bool empty() const { return metrics_.empty(); }
@@ -36,12 +40,19 @@ class MetricRegistry {
   std::string to_csv() const;
   void dump_csv(const std::string& path) const;
 
+  /// One flat JSON object, {"name": value, ...}; names are escaped, and
+  /// non-finite values (JSON has no NaN/Inf literals) render as strings.
+  std::string to_json() const;
+
   /// Visitor adapter: prefixes every visited name ("loader." + "scrub_reads")
-  /// and registers it here. Pass to a stats struct's visit_metrics().
+  /// and registers it here. Pass to a stats struct's visit_metrics(); stats
+  /// structs mark ratios/means by passing `derived = true` as a third
+  /// argument (two-argument calls register plain counters).
   auto prefixed(std::string prefix) {
     return [this, prefix = std::move(prefix)](std::string_view name,
-                                              double value) {
-      add(prefix + std::string(name), value);
+                                              double value,
+                                              bool derived = false) {
+      add(prefix + std::string(name), value, derived);
     };
   }
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/contracts.hpp"
+#include "common/strings.hpp"
 
 namespace steersim {
 
@@ -25,47 +26,12 @@ std::string_view trace_cat::name(std::uint32_t category) {
       return "fault";
     case kRecovery:
       return "recovery";
+    case kCounter:
+      return "counter";
     default:
       return "misc";
   }
 }
-
-namespace {
-
-/// Minimal JSON string escaping: quotes, backslashes and control bytes.
-/// Everything the tracer emits is ASCII (mnemonics, unit names).
-void append_escaped(std::string& out, std::string_view text) {
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
-
-}  // namespace
 
 void TraceArgs::key(std::string_view k) {
   if (!json_.empty()) {
@@ -106,7 +72,7 @@ TraceArgs& TraceArgs::num(std::string_view k, double value) {
 TraceArgs& TraceArgs::str(std::string_view k, std::string_view value) {
   key(k);
   json_ += '"';
-  append_escaped(json_, value);
+  append_json_escaped(json_, value);
   json_ += '"';
   return *this;
 }
@@ -150,7 +116,7 @@ void Tracer::ensure_lane(unsigned lane, std::string_view name) {
   event += R"({"name":"thread_name","ph":"M","pid":0,"tid":)";
   event += std::to_string(lane);
   event += R"(,"args":{"name":")";
-  append_escaped(event, name);
+  append_json_escaped(event, name);
   event += "\"}}";
   out_ << event;
   // Sort-index metadata keeps lanes in our numeric order in the viewer.
@@ -176,7 +142,7 @@ void Tracer::instant(std::string_view name, std::uint32_t category,
   }
   first_event_ = false;
   event += R"({"name":")";
-  append_escaped(event, name);
+  append_json_escaped(event, name);
   event += R"(","cat":")";
   event += trace_cat::name(category);
   event += R"(","ph":"i","s":"t","ts":)";
@@ -205,7 +171,7 @@ void Tracer::complete(std::string_view name, std::uint32_t category,
   }
   first_event_ = false;
   event += R"({"name":")";
-  append_escaped(event, name);
+  append_json_escaped(event, name);
   event += R"(","cat":")";
   event += trace_cat::name(category);
   event += R"(","ph":"X","ts":)";
@@ -220,6 +186,27 @@ void Tracer::complete(std::string_view name, std::uint32_t category,
     event += '}';
   }
   event += '}';
+  out_ << event;
+  ++events_emitted_;
+}
+
+void Tracer::counter(std::string_view name, std::uint64_t cycle,
+                     double value) {
+  if (!open_ || !wants(trace_cat::kCounter, cycle)) {
+    return;
+  }
+  std::string event;
+  if (!first_event_) {
+    event += ",\n";
+  }
+  first_event_ = false;
+  event += R"({"name":")";
+  append_json_escaped(event, name);
+  event += R"(","cat":"counter","ph":"C","ts":)";
+  event += std::to_string(cycle);
+  event += R"(,"pid":0,"args":{"value":)";
+  event += json_number(value);
+  event += "}}";
   out_ << event;
   ++events_emitted_;
 }

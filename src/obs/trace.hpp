@@ -32,7 +32,9 @@ inline constexpr std::uint32_t kSteer = 1u << 4;
 inline constexpr std::uint32_t kLoader = 1u << 5;
 inline constexpr std::uint32_t kFault = 1u << 6;
 inline constexpr std::uint32_t kRecovery = 1u << 7;
-inline constexpr std::uint32_t kAll = (1u << 8) - 1;
+/// Numeric counter tracks (interval-sampler windows; "ph":"C" events).
+inline constexpr std::uint32_t kCounter = 1u << 8;
+inline constexpr std::uint32_t kAll = (1u << 9) - 1;
 
 std::string_view name(std::uint32_t category);
 }  // namespace trace_cat
@@ -111,6 +113,11 @@ class Tracer {
   void complete(std::string_view name, std::uint32_t category, unsigned lane,
                 std::uint64_t start, std::uint64_t duration,
                 const TraceArgs& args = {});
+
+  /// Counter sample ("ph":"C", category kCounter): one point on the named
+  /// counter track at `cycle`. Perfetto renders each distinct `name` as its
+  /// own numeric track under the process, alongside the event lanes.
+  void counter(std::string_view name, std::uint64_t cycle, double value);
 
   /// Names a lane in the viewer (thread_name metadata); idempotent.
   void ensure_lane(unsigned lane, std::string_view name);

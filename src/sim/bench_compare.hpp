@@ -1,0 +1,69 @@
+// Bench-regression comparator (docs/OBSERVABILITY.md).
+//
+// Diffs two directories of BENCH_*.json reports (written by the BenchReport
+// harness in bench/bench_util.hpp): directory A is the baseline, directory B
+// the candidate. Simulated metrics ("kind":"sim") come from a deterministic
+// machine and must match *exactly* — json_number round-trips doubles at 17
+// significant digits, so equal simulations produce byte-equal means. Host
+// metrics (wall-clock) are noisy and compare by relative tolerance,
+// direction-aware: host_time regresses when the candidate is slower,
+// host_rate when it is lower. Reports whose config digests differ are
+// flagged and their metrics skipped — comparing a 200k-cycle smoke run
+// against a full run is a setup error, not a regression.
+//
+// The core is a library (unit-tested in tests/test_bench_compare.cpp); the
+// tools/bench_compare binary is a thin CLI over compare_bench_dirs().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace steersim {
+
+struct BenchCompareOptions {
+  /// Relative tolerance for host_time / host_rate metrics (0.20 = 20%).
+  double host_tolerance = 0.20;
+};
+
+enum class IssueSeverity : std::uint8_t {
+  kNote,        ///< informational (new bench, new metric)
+  kWarning,     ///< comparison skipped or suspicious (digest mismatch)
+  kRegression,  ///< candidate is worse; drives the nonzero exit code
+};
+
+struct CompareIssue {
+  IssueSeverity severity = IssueSeverity::kNote;
+  std::string bench;    ///< bench id, or file name for parse errors
+  std::string metric;   ///< empty for bench-level issues
+  std::string message;  ///< human-readable detail with both values
+};
+
+struct CompareReport {
+  std::vector<CompareIssue> issues;
+  std::size_t benches_compared = 0;
+  std::size_t metrics_compared = 0;
+
+  bool has_regression() const;
+  std::size_t count(IssueSeverity severity) const;
+  /// One line per issue plus a summary line, ready for stdout.
+  std::string to_string() const;
+};
+
+/// Compares one baseline report body against one candidate body (both raw
+/// JSON text). `name` labels issues when the documents lack a bench id.
+void compare_bench_reports(const std::string& name,
+                           const std::string& baseline_json,
+                           const std::string& candidate_json,
+                           const BenchCompareOptions& options,
+                           CompareReport& report);
+
+/// Scans both directories for BENCH_*.json and compares the intersection.
+/// Baseline benches missing from the candidate are regressions (a bench
+/// that stopped emitting its report is exactly what the harness exists to
+/// catch); candidate-only benches are notes.
+CompareReport compare_bench_dirs(const std::string& baseline_dir,
+                                 const std::string& candidate_dir,
+                                 const BenchCompareOptions& options = {});
+
+}  // namespace steersim

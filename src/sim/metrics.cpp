@@ -21,4 +21,8 @@ std::string metrics_csv(const SimResult& result) {
   return collect_metrics(result).to_csv();
 }
 
+std::string metrics_json(const SimResult& result) {
+  return collect_metrics(result).to_json();
+}
+
 }  // namespace steersim

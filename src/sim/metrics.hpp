@@ -16,4 +16,9 @@ MetricRegistry collect_metrics(const SimResult& result);
 /// collect_metrics() rendered as CSV ("metric,value" rows).
 std::string metrics_csv(const SimResult& result);
 
+/// collect_metrics() rendered as one flat JSON object ({"sim.ipc": ...});
+/// keys are escaped, non-finite values render as strings. The BenchReport
+/// writer (bench/bench_util.hpp) embeds this per-policy.
+std::string metrics_json(const SimResult& result);
+
 }  // namespace steersim

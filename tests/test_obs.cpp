@@ -1,8 +1,8 @@
 // Observability layer (docs/OBSERVABILITY.md): the cycle tracer's JSON
-// output, the steering audit log, the metric registry, and — most
-// importantly — that enabling any of it leaves simulated statistics
-// bit-identical.
-#include <cctype>
+// output, the steering audit log, the metric registry, the interval
+// sampler, and — most importantly — that enabling any of it leaves
+// simulated statistics bit-identical.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -14,222 +14,15 @@
 
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
+#include "sim/json.hpp"
 #include "sim/metrics.hpp"
 #include "sim/runner.hpp"
 #include "workload/synthetic.hpp"
 
 namespace steersim {
 namespace {
-
-// --- A minimal JSON reader, enough to validate tracer output. ------------
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* get(const std::string& key) const {
-    const auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  bool parse(JsonValue& out) {
-    skip_ws();
-    if (!value(out)) {
-      return false;
-    }
-    skip_ws();
-    return pos_ == text_.size();  // no trailing garbage
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-  bool consume(char c) {
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-  bool literal(std::string_view word) {
-    if (text_.substr(pos_, word.size()) == word) {
-      pos_ += word.size();
-      return true;
-    }
-    return false;
-  }
-
-  bool value(JsonValue& out) {
-    skip_ws();
-    if (pos_ >= text_.size()) {
-      return false;
-    }
-    const char c = text_[pos_];
-    if (c == '{') {
-      return object(out);
-    }
-    if (c == '[') {
-      return array(out);
-    }
-    if (c == '"') {
-      out.kind = JsonValue::Kind::kString;
-      return string(out.string);
-    }
-    if (literal("true")) {
-      out.kind = JsonValue::Kind::kBool;
-      out.boolean = true;
-      return true;
-    }
-    if (literal("false")) {
-      out.kind = JsonValue::Kind::kBool;
-      return true;
-    }
-    if (literal("null")) {
-      return true;
-    }
-    return number(out);
-  }
-
-  bool string(std::string& out) {
-    if (!consume('"')) {
-      return false;
-    }
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') {
-        ++pos_;
-        if (pos_ >= text_.size()) {
-          return false;
-        }
-        switch (text_[pos_]) {
-          case '"':
-            out += '"';
-            break;
-          case '\\':
-            out += '\\';
-            break;
-          case 'n':
-            out += '\n';
-            break;
-          case 't':
-            out += '\t';
-            break;
-          case 'r':
-            out += '\r';
-            break;
-          case 'u':
-            if (pos_ + 4 >= text_.size()) {
-              return false;
-            }
-            out += '?';  // escaped control byte; exact value irrelevant
-            pos_ += 4;
-            break;
-          default:
-            return false;
-        }
-        ++pos_;
-      } else {
-        out += text_[pos_++];
-      }
-    }
-    return consume('"');
-  }
-
-  bool number(JsonValue& out) {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      return false;
-    }
-    out.kind = JsonValue::Kind::kNumber;
-    out.number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    return true;
-  }
-
-  bool array(JsonValue& out) {
-    out.kind = JsonValue::Kind::kArray;
-    if (!consume('[')) {
-      return false;
-    }
-    skip_ws();
-    if (consume(']')) {
-      return true;
-    }
-    while (true) {
-      JsonValue element;
-      if (!value(element)) {
-        return false;
-      }
-      out.array.push_back(std::move(element));
-      skip_ws();
-      if (consume(']')) {
-        return true;
-      }
-      if (!consume(',')) {
-        return false;
-      }
-    }
-  }
-
-  bool object(JsonValue& out) {
-    out.kind = JsonValue::Kind::kObject;
-    if (!consume('{')) {
-      return false;
-    }
-    skip_ws();
-    if (consume('}')) {
-      return true;
-    }
-    while (true) {
-      skip_ws();
-      std::string key;
-      if (!string(key)) {
-        return false;
-      }
-      skip_ws();
-      if (!consume(':')) {
-        return false;
-      }
-      JsonValue val;
-      if (!value(val)) {
-        return false;
-      }
-      out.object.emplace(std::move(key), std::move(val));
-      skip_ws();
-      if (consume('}')) {
-        return true;
-      }
-      if (!consume(',')) {
-        return false;
-      }
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
 
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
@@ -569,6 +362,164 @@ TEST(Metrics, CsvRendersCountersAsIntegers) {
   EXPECT_NE(csv.find("metric,value\n"), std::string::npos);
   EXPECT_NE(csv.find("a.count,123\n"), std::string::npos);
   EXPECT_NE(csv.find("a.rate,0.5"), std::string::npos);
+}
+
+// --- Interval sampler. ---------------------------------------------------
+
+TEST(Sampler, WindowDeltasSumToEndOfRunTotalsForEveryCounter) {
+  MachineConfig cfg;
+  cfg.sample.period = 64;
+  cfg.sample.counter_tracks = false;
+  auto cpu = make_processor(phased_program(), cfg,
+                            {.kind = PolicyKind::kSteered});
+  cpu->run(100'000);
+  ASSERT_TRUE(cpu->halted());
+
+  const IntervalSampler* sampler = cpu->sampler();
+  ASSERT_NE(sampler, nullptr);
+  const auto& names = sampler->counter_names();
+  ASSERT_FALSE(names.empty());
+  ASSERT_FALSE(sampler->windows().empty());
+
+  // Telescoping: per-window deltas sum to final-minus-initial, and initial
+  // is zero, so the sum must equal the end-of-run registry value — for
+  // EVERY counter metric, including the flushed final partial window.
+  std::vector<double> sums(names.size(), 0.0);
+  std::uint64_t cycles_covered = 0;
+  std::uint64_t last_cycle = 0;
+  for (const SampleWindow& w : sampler->windows()) {
+    ASSERT_EQ(w.deltas.size(), names.size());
+    EXPECT_GT(w.cycle, last_cycle);  // strictly increasing sample points
+    last_cycle = w.cycle;
+    cycles_covered += w.window_cycles;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      sums[i] += w.deltas[i];
+    }
+  }
+  EXPECT_EQ(cycles_covered, cpu->stats().cycles);
+
+  const MetricRegistry live = cpu->live_metrics();
+  std::size_t counters_in_registry = 0;
+  for (const Metric& m : live.metrics()) {
+    if (m.derived) {
+      continue;
+    }
+    ++counters_in_registry;
+    const auto it = std::find(names.begin(), names.end(), m.name);
+    ASSERT_NE(it, names.end()) << m.name << " missing from sampler schema";
+    const auto idx = static_cast<std::size_t>(it - names.begin());
+    EXPECT_DOUBLE_EQ(sums[idx], m.value) << m.name;
+  }
+  // The schema is exactly the non-derived registry, nothing more.
+  EXPECT_EQ(counters_in_registry, names.size());
+}
+
+TEST(Sampler, EnabledRunIsBitIdentical) {
+  const FileGuard file("test_sampler_identical.csv");
+  MachineConfig plain_cfg;
+  MachineConfig sampled_cfg;
+  sampled_cfg.sample.period = 128;
+  sampled_cfg.sample.csv_path = file.path;
+  const Program program = phased_program();
+  const SimResult plain =
+      simulate(program, plain_cfg, {.kind = PolicyKind::kSteered}, 100'000);
+  const SimResult sampled =
+      simulate(program, sampled_cfg, {.kind = PolicyKind::kSteered}, 100'000);
+
+  EXPECT_EQ(plain.stats.cycles, sampled.stats.cycles);
+  EXPECT_EQ(plain.stats.retired, sampled.stats.retired);
+  EXPECT_EQ(plain.stats.dispatched, sampled.stats.dispatched);
+  EXPECT_EQ(plain.stats.issued, sampled.stats.issued);
+  EXPECT_EQ(plain.stats.squashed, sampled.stats.squashed);
+  EXPECT_EQ(plain.stats.mispredicts, sampled.stats.mispredicts);
+  EXPECT_EQ(plain.stats.resource_starved, sampled.stats.resource_starved);
+  EXPECT_EQ(plain.steering.steer_events, sampled.steering.steer_events);
+  EXPECT_EQ(plain.steering.selections, sampled.steering.selections);
+  EXPECT_EQ(plain.loader.slots_rewritten, sampled.loader.slots_rewritten);
+}
+
+TEST(Sampler, StreamsCsvWithOneRowPerSample) {
+  const FileGuard file("test_sampler_stream.csv");
+  MachineConfig cfg;
+  cfg.sample.period = 100;
+  cfg.sample.csv_path = file.path;
+  auto cpu = make_processor(phased_program(), cfg,
+                            {.kind = PolicyKind::kSteered});
+  cpu->run(100'000);
+  const IntervalSampler* sampler = cpu->sampler();
+  ASSERT_NE(sampler, nullptr);
+  EXPECT_TRUE(sampler->windows().empty());  // streamed, not retained
+
+  std::ifstream in(file.path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header, sampler->csv_header());
+  EXPECT_EQ(header.substr(0, 26), "cycle,window_cycles,window");
+  std::uint64_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, sampler->samples_taken());
+  // Final partial window flushed: periods covered + 1 unless the halt
+  // cycle landed exactly on a period boundary.
+  const std::uint64_t cycles = cpu->stats().cycles;
+  const std::uint64_t expected =
+      cycles / cfg.sample.period + (cycles % cfg.sample.period != 0 ? 1 : 0);
+  EXPECT_EQ(rows, expected);
+}
+
+TEST(Sampler, CounterTrackEventsParseAndAreMonotone) {
+  const FileGuard file("test_sampler_counters.json");
+  MachineConfig cfg;
+  cfg.trace.enabled = true;
+  cfg.trace.path = file.path;
+  cfg.sample.period = 64;
+  const SimResult result = simulate(phased_program(), cfg,
+                                    {.kind = PolicyKind::kSteered}, 100'000);
+  ASSERT_EQ(result.outcome, RunOutcome::kHalted);
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(slurp(file.path)).parse(doc));
+  const JsonValue* events = doc.get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::map<std::string, double> last_ts;
+  std::map<std::string, std::uint64_t> count;
+  for (const JsonValue& ev : events->array) {
+    if (ev.get("ph") == nullptr || ev.get("ph")->string != "C") {
+      continue;
+    }
+    const JsonValue* name = ev.get("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(name->string.substr(0, 4), "win.");
+    EXPECT_EQ(ev.get("cat")->string, "counter");
+    const JsonValue* args = ev.get("args");
+    ASSERT_NE(args, nullptr);
+    ASSERT_NE(args->get("value"), nullptr);
+    const double ts = ev.get("ts")->number;
+    const auto it = last_ts.find(name->string);
+    if (it != last_ts.end()) {
+      EXPECT_LT(it->second, ts) << name->string;
+    }
+    last_ts[name->string] = ts;
+    ++count[name->string];
+  }
+  EXPECT_GT(count["win.ipc"], 1u);
+  EXPECT_GT(count["win.sim.retired"], 1u);
+  // Every tracked series sampled the same number of times.
+  for (const auto& [name, n] : count) {
+    EXPECT_EQ(n, count["win.ipc"]) << name;
+  }
+}
+
+TEST(Sampler, DisabledConfigMeansNoSamplerObject) {
+  MachineConfig cfg;
+  ASSERT_FALSE(cfg.sample.enabled());
+  auto cpu = make_processor(phased_program(), cfg,
+                            {.kind = PolicyKind::kSteered});
+  cpu->run(10'000);
+  EXPECT_EQ(cpu->sampler(), nullptr);
 }
 
 // --- Host profile. -------------------------------------------------------

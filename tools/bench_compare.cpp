@@ -1,0 +1,79 @@
+// CLI over compare_bench_dirs() (docs/OBSERVABILITY.md).
+//
+//   bench_compare [--warn-only] [--host-tol FRAC] <baseline-dir> <candidate-dir>
+//
+// Exit codes: 0 = no regression (or --warn-only), 1 = regression detected,
+// 2 = usage or I/O error. CI runs this warn-only against the committed
+// bench/baseline/ snapshot; release branches drop --warn-only to gate.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/bench_compare.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--warn-only] [--host-tol FRAC] "
+               "<baseline-dir> <candidate-dir>\n"
+               "  --warn-only     report regressions but exit 0\n"
+               "  --host-tol FRAC relative tolerance for host metrics "
+               "(default 0.20)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  steersim::BenchCompareOptions options;
+  bool warn_only = false;
+  std::string dirs[2];
+  int ndirs = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg == "--host-tol") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      char* end = nullptr;
+      options.host_tolerance = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || options.host_tolerance < 0.0) {
+        std::fprintf(stderr, "bench_compare: bad --host-tol '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bench_compare: unknown option '%s'\n",
+                   arg.c_str());
+      usage();
+      return 2;
+    } else if (ndirs < 2) {
+      dirs[ndirs++] = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (ndirs != 2) {
+    usage();
+    return 2;
+  }
+
+  const steersim::CompareReport report =
+      steersim::compare_bench_dirs(dirs[0], dirs[1], options);
+  std::fputs(report.to_string().c_str(), stdout);
+  if (report.has_regression()) {
+    if (warn_only) {
+      std::puts("bench_compare: regressions found (warn-only mode)");
+      return 0;
+    }
+    return 1;
+  }
+  return 0;
+}
