@@ -17,38 +17,6 @@
 
 using namespace steersim;
 
-namespace {
-
-bool parse_policy(const std::string& name, PolicySpec& spec) {
-  if (name == "steered") {
-    spec.kind = PolicyKind::kSteered;
-  } else if (name == "static-ffu") {
-    spec.kind = PolicyKind::kStaticFfu;
-  } else if (name == "static-integer") {
-    spec.kind = PolicyKind::kStaticPreset;
-    spec.preset_index = 0;
-  } else if (name == "static-memory") {
-    spec.kind = PolicyKind::kStaticPreset;
-    spec.preset_index = 1;
-  } else if (name == "static-float") {
-    spec.kind = PolicyKind::kStaticPreset;
-    spec.preset_index = 2;
-  } else if (name == "oracle") {
-    spec.kind = PolicyKind::kOracle;
-  } else if (name == "full-reconfig") {
-    spec.kind = PolicyKind::kFullReconfig;
-  } else if (name == "random") {
-    spec.kind = PolicyKind::kRandom;
-  } else if (name == "greedy") {
-    spec.kind = PolicyKind::kGreedy;
-  } else {
-    return false;
-  }
-  return true;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
@@ -89,18 +57,7 @@ int main(int argc, char** argv) {
   auto cpu = make_processor(program, config, spec);
   const RunOutcome outcome = cpu->run();
 
-  SimResult result;
-  result.policy = spec.label(config.steering);
-  result.outcome = outcome;
-  result.stats = cpu->stats();
-  result.loader = cpu->loader().stats();
-  result.steering = cpu->policy().stats();
-  result.engine = cpu->engine().stats();
-  result.fetch = cpu->fetch_unit().stats();
-  if (cpu->trace_cache() != nullptr) {
-    result.trace_cache = cpu->trace_cache()->stats();
-  }
-  result.wakeup = cpu->wakeup().stats();
+  const SimResult result = collect_result(*cpu, spec, outcome);
   std::fputs(format_report(result).c_str(), stdout);
 
   if (outcome == RunOutcome::kFault) {

@@ -29,6 +29,25 @@ ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
   exit "$status"
 } 2>&1 | tee bench_output.txt
 
+# Service smoke (docs/SERVICE.md): the benches above exercised SimService
+# in-process (bench_service, whose BENCH_service.json is collected below);
+# this drives the real socket path — duplicate submit must hit the cache,
+# an over-budget submit must be rejected with `deadline`.
+sock="$(mktemp -u /tmp/steersim-runall-XXXXXX.sock)"
+./build/tools/steersimd "$sock" --workers 2 --queue 4 &
+daemon=$!
+for _ in $(seq 50); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+./build/tools/steersim_client "$sock" submit --kernel fib --expect-cache miss
+./build/tools/steersim_client "$sock" submit --kernel fib --expect-cache hit
+./build/tools/steersim_client "$sock" submit --kernel matmul_int \
+  --max-cycles 50 --expect-error deadline
+./build/tools/steersim_client "$sock" shutdown
+wait "$daemon"
+echo "service smoke passed"
+
 # Collect the machine-readable reports every bench just wrote (see
 # bench/bench_util.hpp BenchReport) under a per-commit directory, so two
 # checkouts can be diffed with tools/bench_compare.

@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/strings.hpp"
+
 namespace steersim {
 
 struct JsonValue {
@@ -41,6 +43,20 @@ class JsonParser {
     }
     skip_ws();
     return pos_ == text_.size();  // no trailing garbage
+  }
+
+  /// Lenient streaming variant: parses the first top-level value and
+  /// reports how many bytes it consumed (trailing whitespace included),
+  /// leaving anything after it — e.g. the next message of a JSON-lines
+  /// stream — for the caller.
+  bool parse_prefix(JsonValue& out, std::size_t& consumed) {
+    skip_ws();
+    if (!value(out)) {
+      return false;
+    }
+    skip_ws();
+    consumed = pos_;
+    return true;
   }
 
  private:
@@ -221,5 +237,74 @@ class JsonParser {
   std::string_view text_;
   std::size_t pos_ = 0;
 };
+
+/// Strict entry point for wire protocols (src/svc): `text` must be exactly
+/// one JSON value — trailing garbage is rejected, so a frame holding
+/// `{"a":1}{"b":2}` can never be mistaken for one message.
+inline bool parse_json_strict(std::string_view text, JsonValue& out) {
+  return JsonParser(text).parse(out);
+}
+
+/// Lenient entry point for streams: parses the first top-level value,
+/// returns the byte count consumed so the caller can resume after it.
+inline bool parse_json_prefix(std::string_view text, JsonValue& out,
+                              std::size_t& consumed) {
+  return JsonParser(text).parse_prefix(out, consumed);
+}
+
+/// Canonical re-serialization: object keys in sorted (std::map) order,
+/// numbers via json_number's round-trip rendering, strings escaped. Two
+/// JsonValues parsed from equivalent documents render identically, which
+/// is what the service protocol's bit-identical cache-hit replies and the
+/// round-trip tests compare.
+inline std::string render_json(const JsonValue& value) {
+  std::string out;
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      out = "null";
+      break;
+    case JsonValue::Kind::kBool:
+      out = value.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber:
+      out = json_number(value.number);
+      break;
+    case JsonValue::Kind::kString:
+      out += '"';
+      append_json_escaped(out, value.string);
+      out += '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const JsonValue& element : value.array) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        out += render_json(element);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.object) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        out += '"';
+        append_json_escaped(out, key);
+        out += "\":";
+        out += render_json(member);
+      }
+      out += '}';
+      break;
+    }
+  }
+  return out;
+}
 
 }  // namespace steersim

@@ -9,6 +9,8 @@ std::string line(const std::string& key, const std::string& value) {
   return "  " + pad(key, -28) + value + "\n";
 }
 
+}  // namespace
+
 std::string_view outcome_name(RunOutcome outcome) {
   switch (outcome) {
     case RunOutcome::kHalted:
@@ -22,8 +24,6 @@ std::string_view outcome_name(RunOutcome outcome) {
   }
   return "?";
 }
-
-}  // namespace
 
 std::string format_report(const SimResult& r) {
   std::string out;

@@ -2,10 +2,16 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "sim/runner.hpp"
 
 namespace steersim {
+
+/// Stable lowercase name of a run outcome ("halted", "max-cycles",
+/// "stalled", "fault"); shared by the report header and the service
+/// protocol's result replies.
+std::string_view outcome_name(RunOutcome outcome);
 
 /// Multi-line summary of a SimResult: outcome, throughput, front-end,
 /// scheduler, and configuration-manager sections.

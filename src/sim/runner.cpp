@@ -95,36 +95,73 @@ std::unique_ptr<Processor> make_processor(const Program& program,
                                      std::move(initial));
 }
 
+bool parse_policy(const std::string& name, PolicySpec& spec) {
+  if (name == "steered") {
+    spec.kind = PolicyKind::kSteered;
+  } else if (name == "static-ffu") {
+    spec.kind = PolicyKind::kStaticFfu;
+  } else if (name == "static-integer") {
+    spec.kind = PolicyKind::kStaticPreset;
+    spec.preset_index = 0;
+  } else if (name == "static-memory") {
+    spec.kind = PolicyKind::kStaticPreset;
+    spec.preset_index = 1;
+  } else if (name == "static-float") {
+    spec.kind = PolicyKind::kStaticPreset;
+    spec.preset_index = 2;
+  } else if (name == "oracle") {
+    spec.kind = PolicyKind::kOracle;
+  } else if (name == "full-reconfig") {
+    spec.kind = PolicyKind::kFullReconfig;
+  } else if (name == "random") {
+    spec.kind = PolicyKind::kRandom;
+  } else if (name == "greedy") {
+    spec.kind = PolicyKind::kGreedy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimResult collect_result(const Processor& cpu, const PolicySpec& spec,
+                         RunOutcome outcome) {
+  SimResult result;
+  result.policy = spec.label(cpu.config().steering);
+  result.outcome = outcome;
+  result.stats = cpu.stats();
+  result.loader = cpu.loader().stats();
+  result.steering = cpu.policy().stats();
+  result.engine = cpu.engine().stats();
+  result.fetch = cpu.fetch_unit().stats();
+  if (cpu.trace_cache() != nullptr) {
+    result.trace_cache = cpu.trace_cache()->stats();
+  }
+  result.wakeup = cpu.wakeup().stats();
+  if (cpu.dcache() != nullptr) {
+    result.dcache = cpu.dcache()->stats();
+  }
+  result.fault = cpu.fault_stats();
+  if (cpu.recovery() != nullptr) {
+    result.recovery = cpu.recovery()->stats();
+  }
+  if (cpu.audit_log() != nullptr) {
+    result.audit = cpu.audit_log()->summary();
+  }
+  return result;
+}
+
 SimResult simulate(const Program& program, const MachineConfig& config,
                    const PolicySpec& spec, std::uint64_t max_cycles) {
   WallTimer timer;
   auto cpu = make_processor(program, config, spec);
-  SimResult result;
-  result.policy = spec.label(config.steering);
-  result.host.build_seconds = timer.seconds();
+  const double build_seconds = timer.seconds();
   timer.restart();
-  result.outcome = cpu->run(max_cycles);
-  result.host.run_seconds = timer.seconds();
+  const RunOutcome outcome = cpu->run(max_cycles);
+  const double run_seconds = timer.seconds();
   timer.restart();
-  result.stats = cpu->stats();
-  result.loader = cpu->loader().stats();
-  result.steering = cpu->policy().stats();
-  result.engine = cpu->engine().stats();
-  result.fetch = cpu->fetch_unit().stats();
-  if (cpu->trace_cache() != nullptr) {
-    result.trace_cache = cpu->trace_cache()->stats();
-  }
-  result.wakeup = cpu->wakeup().stats();
-  if (cpu->dcache() != nullptr) {
-    result.dcache = cpu->dcache()->stats();
-  }
-  result.fault = cpu->fault_stats();
-  if (cpu->recovery() != nullptr) {
-    result.recovery = cpu->recovery()->stats();
-  }
-  if (cpu->audit_log() != nullptr) {
-    result.audit = cpu->audit_log()->summary();
-  }
+  SimResult result = collect_result(*cpu, spec, outcome);
+  result.host.build_seconds = build_seconds;
+  result.host.run_seconds = run_seconds;
   result.host.collect_seconds = timer.seconds();
   return result;
 }

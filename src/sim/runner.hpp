@@ -71,6 +71,21 @@ std::unique_ptr<Processor> make_processor(const Program& program,
                                           const MachineConfig& config,
                                           const PolicySpec& spec);
 
+/// Parses a policy label (the names PolicySpec::label emits for default
+/// specs: steered|static-ffu|static-integer|static-memory|static-float|
+/// oracle|full-reconfig|random|greedy) into `spec`'s kind/preset fields,
+/// leaving interval/confirm/lookahead/seed untouched. Returns false on an
+/// unknown label. Shared by examples/run_asm and the svc job server.
+bool parse_policy(const std::string& name, PolicySpec& spec);
+
+/// Gathers every subsystem's statistics from a finished (or paused)
+/// processor into a SimResult — the collection half of simulate(), exposed
+/// so callers that drive run()/step() themselves (the service worker pool,
+/// examples) assemble the same bundle without duplicating the field list.
+/// Host-profile timings are left zero; simulate() fills them.
+SimResult collect_result(const Processor& cpu, const PolicySpec& spec,
+                         RunOutcome outcome);
+
 SimResult simulate(const Program& program, const MachineConfig& config,
                    const PolicySpec& spec,
                    std::uint64_t max_cycles = 50'000'000);

@@ -6,17 +6,41 @@
 // by index, so a sweep's output is identical at any thread count.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "common/strings.hpp"
+
 namespace steersim {
 
+/// Worker count for parallel_map and the service worker pool: the
+/// STEERSIM_WORKERS environment variable when it holds a positive decimal
+/// integer (strict parse_positive_u64 — "-1" must not wrap into billions
+/// of threads), otherwise the hardware thread count. Malformed values are
+/// ignored with a once-per-process warning, mirroring STEERSIM_MAX_CYCLES
+/// handling in bench/bench_util.hpp.
 inline unsigned default_worker_count() {
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 4 : hw;
+  const unsigned fallback = hw == 0 ? 4 : hw;
+  if (const char* env = std::getenv("STEERSIM_WORKERS")) {
+    if (const auto v = parse_positive_u64(env)) {
+      return static_cast<unsigned>(std::min<std::uint64_t>(*v, 1024));
+    }
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "steersim: ignoring STEERSIM_WORKERS='%s' (expected a "
+                   "positive decimal worker count); using %u\n",
+                   env, fallback);
+    }
+  }
+  return fallback;
 }
 
 template <typename Result>

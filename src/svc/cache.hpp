@@ -1,0 +1,100 @@
+// Content-addressed LRU result cache (docs/SERVICE.md).
+//
+// Keyed by the FNV-1a/64 job digest over (program bytes, effective
+// config); see SimService::job_digest for the exact key recipe. Values
+// are complete result Replies — the stored metric registry bytes are
+// returned verbatim, so a cache hit is byte-identical to the cold run
+// that populated it except for the "cache":"hit" flag the service sets.
+// Thread-safe: workers insert while connection threads look up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "svc/protocol.hpp"
+
+namespace steersim::svc {
+
+class ResultCache {
+ public:
+  /// `capacity` = max resident entries; 0 disables caching (every lookup
+  /// misses, inserts are dropped).
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Returns the stored reply and refreshes its recency, or nullopt.
+  std::optional<Reply> lookup(std::uint64_t key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    entries_.splice(entries_.begin(), entries_, it->second);  // most recent
+    return it->second->reply;
+  }
+
+  /// Inserts (or refreshes) `key`; evicts the least-recently-used entry
+  /// past capacity.
+  void insert(std::uint64_t key, Reply reply) {
+    if (capacity_ == 0) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->reply = std::move(reply);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.push_front(Entry{key, std::move(reply)});
+    index_[key] = entries_.begin();
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().key);
+      entries_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+  }
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    Reply reply;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace steersim::svc

@@ -1,0 +1,159 @@
+// Wire protocol for the steersimd job server (docs/SERVICE.md).
+//
+// JSON-lines over a Unix domain socket: each frame is exactly one JSON
+// object terminated by '\n', parsed with the strict json.hpp entry point
+// so `{"a":1}{"b":2}` can never be read as one message. Requests carry an
+// assembly program or named workload kernel plus MachineConfig/PolicySpec
+// overrides; replies are either a full result (the metric registry of the
+// finished simulation, rendered canonically so a cache-hit reply is
+// byte-identical to the cold run that populated it) or a typed error with
+// a retriable bit (`queue_full` is the backpressure signal).
+//
+// Every message kind round-trips: to_json() then parse() compares equal
+// (operator==), which tests/test_service.cpp enforces per kind.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace steersim::svc {
+
+/// Protocol revision, echoed nowhere but bumped on breaking change.
+inline constexpr std::string_view kProtocolVersion = "steersim-svc/1";
+
+enum class RequestType : std::uint8_t {
+  kSubmit,    ///< run (or cache-serve) one simulation
+  kPing,      ///< liveness probe
+  kStats,     ///< service metric registry snapshot
+  kShutdown,  ///< drain in-flight jobs, then exit
+};
+
+std::string_view request_type_name(RequestType type);
+
+/// One client request. Submit fields are meaningful only for kSubmit;
+/// defaults here are the protocol defaults (absent keys parse to these,
+/// and default-valued fields are omitted on the wire, so a round trip is
+/// exact).
+struct Request {
+  RequestType type = RequestType::kPing;
+  /// Client correlation id, echoed verbatim in the reply.
+  std::string id;
+
+  // --- submit payload ---------------------------------------------------
+  /// Named workload kernel (src/workload/kernels.hpp); exclusive with
+  /// `asm_source`.
+  std::string kernel;
+  /// Inline assembly program (docs/ISA.md grammar).
+  std::string asm_source;
+  /// Policy label: steered|static-ffu|static-integer|static-memory|
+  /// static-float|oracle|full-reconfig|random|greedy.
+  std::string policy = "steered";
+  /// Per-job deadline in simulated cycles; 0 = server default budget.
+  std::uint64_t max_cycles = 0;
+  /// Steering decision interval / hysteresis / lookahead (PolicySpec).
+  std::uint64_t interval = 1;
+  std::uint64_t confirm = 1;
+  bool lookahead = false;
+  std::uint64_t seed = 42;
+  /// MachineConfig overrides as (knob, value) pairs, kept sorted by knob
+  /// name (canonical order for digesting and round-trip equality). Knob
+  /// names are validated server-side; unknown knobs are a bad_request.
+  std::vector<std::pair<std::string, double>> config;
+
+  std::string to_json() const;
+  /// Strict parse of one frame; on failure returns false and sets `error`.
+  static bool parse(std::string_view text, Request& out, std::string& error);
+
+  bool operator==(const Request&) const = default;
+};
+
+enum class ReplyType : std::uint8_t {
+  kResult,   ///< completed simulation (cold or cache-served)
+  kError,    ///< typed failure, possibly retriable
+  kPong,     ///< answer to ping
+  kStats,    ///< service metric snapshot
+  kGoodbye,  ///< shutdown acknowledged; server drains and exits
+};
+
+std::string_view reply_type_name(ReplyType type);
+
+/// Error codes a client can dispatch on. `queue_full` is the only
+/// retriable-by-design code: the job was never admitted, back off and
+/// resubmit. `deadline` means the cycle budget elapsed before HALT.
+namespace error_code {
+inline constexpr std::string_view kQueueFull = "queue_full";
+inline constexpr std::string_view kDeadline = "deadline";
+inline constexpr std::string_view kBadRequest = "bad_request";
+inline constexpr std::string_view kShuttingDown = "shutting_down";
+inline constexpr std::string_view kSimFault = "sim_fault";
+inline constexpr std::string_view kCancelled = "cancelled";
+}  // namespace error_code
+
+/// One server reply. Result fields are meaningful only for kResult, error
+/// fields only for kError, `stats_json` only for kStats.
+struct Reply {
+  ReplyType type = ReplyType::kPong;
+  std::string id;
+
+  // --- result payload ---------------------------------------------------
+  /// "hit" when served from the digest-keyed cache, else "miss".
+  std::string cache;
+  /// FNV-1a job digest (cache key) as 16 hex digits; lets a client prove
+  /// two submits were considered identical work.
+  std::string digest;
+  std::string policy;
+  /// RunOutcome name: halted|max_cycles|stalled|fault.
+  std::string outcome;
+  std::uint64_t cycles = 0;
+  std::uint64_t retired = 0;
+  /// Full end-of-run metric registry as one canonical JSON object (sorted
+  /// keys); identical bytes on a cache hit.
+  std::string metrics_json;
+
+  // --- error payload ----------------------------------------------------
+  std::string code;
+  bool retriable = false;
+  std::string message;
+
+  // --- stats payload ----------------------------------------------------
+  /// Service metric registry (svc.*) as one canonical JSON object.
+  std::string stats_json;
+
+  std::string to_json() const;
+  static bool parse(std::string_view text, Reply& out, std::string& error);
+
+  bool operator==(const Reply&) const = default;
+
+  /// Convenience constructors.
+  static Reply error(std::string id, std::string_view code,
+                     std::string message, bool retriable = false);
+};
+
+/// FNV-1a/64 over length-delimited chunks, the digest the result cache
+/// keys on: feed the program bytes and the canonical effective-config
+/// rendering. Matches the mixing of bench_util's config_digest (each
+/// chunk terminated by a 0xff sentinel so concatenation ambiguity cannot
+/// alias two different jobs).
+class Fnv1a {
+ public:
+  Fnv1a& mix(std::string_view chunk) {
+    for (const char c : chunk) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 1099511628211ull;
+    }
+    hash_ ^= 0xff;
+    hash_ *= 1099511628211ull;
+    return *this;
+  }
+  std::uint64_t value() const { return hash_; }
+  /// 16 lowercase hex digits.
+  std::string hex() const;
+
+ private:
+  std::uint64_t hash_ = 14695981039346656037ull;
+};
+
+}  // namespace steersim::svc

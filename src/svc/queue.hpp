@@ -1,0 +1,91 @@
+// Bounded MPMC FIFO with explicit backpressure (docs/SERVICE.md).
+//
+// The admission edge of the job server: try_push never blocks — a full
+// queue is reported to the caller (who turns it into a retriable
+// `queue_full` error) instead of stalling the connection or silently
+// dropping the job. pop() blocks until an item or close(); after close()
+// the queue drains (poppers still receive queued items) and then returns
+// nullopt, which is how the worker pool shuts down gracefully.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace steersim::svc {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// `capacity` is the high-water mark; 0 is pinned to 1 (a zero-capacity
+  /// queue would reject everything).
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admit: false when at capacity or closed. Never waits —
+  /// backpressure is the caller's problem to report, not ours to hide.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;  // closed and drained
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Stops admission and wakes every blocked popper; queued items still
+  /// drain. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Reopens a drained queue so a restartable pool can reuse it.
+  void reopen() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = false;
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace steersim::svc

@@ -1,0 +1,242 @@
+#include "svc/server.hpp"
+
+#include <cstdio>
+
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+#endif
+
+namespace steersim::svc {
+
+#if defined(_WIN32)
+
+struct SocketServer::State {};
+
+SocketServer::SocketServer(SimService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+SocketServer::~SocketServer() = default;
+bool SocketServer::listen() {
+  std::fprintf(stderr, "steersimd: Unix domain sockets unavailable on this "
+                       "platform\n");
+  return false;
+}
+bool SocketServer::serve() { return listen(); }
+void SocketServer::stop() {}
+void SocketServer::handle_connection(int) {}
+
+#else
+
+struct SocketServer::State {
+  std::mutex mutex;
+  std::vector<int> connection_fds;
+  std::vector<std::jthread> connection_threads;
+  bool stopping = false;
+};
+
+namespace {
+
+/// write() the whole buffer, tolerating short writes; false on error
+/// (EPIPE when the client went away — the connection just closes).
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(SimService& service, ServerOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      state_(std::make_unique<State>()) {}
+
+SocketServer::~SocketServer() {
+  stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.socket_path.empty()) {
+    ::unlink(options_.socket_path.c_str());
+  }
+}
+
+bool SocketServer::listen() {
+  if (listen_fd_ >= 0) {
+    return true;
+  }
+  if (options_.socket_path.empty()) {
+    std::fprintf(stderr, "steersimd: empty socket path\n");
+    return false;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "steersimd: socket path too long: %s\n",
+                 options_.socket_path.c_str());
+    return false;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("steersimd: socket");
+    return false;
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a past run
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    std::perror("steersimd: bind");
+    ::close(fd);
+    return false;
+  }
+  if (::listen(fd, 64) < 0) {
+    std::perror("steersimd: listen");
+    ::close(fd);
+    ::unlink(options_.socket_path.c_str());
+    return false;
+  }
+  listen_fd_ = fd;
+  return true;
+}
+
+void SocketServer::stop() {
+  if (state_ == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->stopping = true;
+  if (listen_fd_ >= 0) {
+    // Unblocks accept(); the fd itself is closed by the destructor so a
+    // concurrent accept never races a recycled descriptor number.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  for (const int fd : state_->connection_fds) {
+    ::shutdown(fd, SHUT_RDWR);  // unblocks read(); thread exits
+  }
+}
+
+void SocketServer::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool goodbye = false;
+  while (!goodbye) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;  // client closed (or stop() shut the fd down)
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > options_.max_frame_bytes &&
+        buffer.find('\n') == std::string::npos) {
+      write_all(fd, Reply::error("", error_code::kBadRequest,
+                                 "frame exceeds " +
+                                     std::to_string(options_.max_frame_bytes) +
+                                     " bytes")
+                            .to_json() +
+                        "\n");
+      break;
+    }
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) {
+        break;
+      }
+      const std::string_view line(buffer.data() + start, newline - start);
+      start = newline + 1;
+      if (line.empty()) {
+        continue;
+      }
+      Request request;
+      std::string parse_error;
+      Reply reply;
+      if (Request::parse(line, request, parse_error)) {
+        reply = service_.handle(request);
+      } else {
+        reply = Reply::error("", error_code::kBadRequest, parse_error);
+      }
+      if (!write_all(fd, reply.to_json() + "\n")) {
+        goodbye = true;  // client went away mid-reply
+        break;
+      }
+      if (reply.type == ReplyType::kGoodbye) {
+        stop();
+        goodbye = true;
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  std::erase(state_->connection_fds, fd);
+}
+
+bool SocketServer::serve() {
+  if (!listen()) {
+    return false;
+  }
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lock(state_->mutex);
+      if (state_->stopping) {
+        if (fd >= 0) {
+          ::close(fd);
+        }
+        break;
+      }
+      if (fd < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        std::perror("steersimd: accept");
+        break;
+      }
+      state_->connection_fds.push_back(fd);
+      state_->connection_threads.emplace_back(
+          [this, fd] { handle_connection(fd); });
+    }
+  }
+  {
+    // Unblock any connection still reading, then join them all.
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stopping = true;
+    for (const int fd : state_->connection_fds) {
+      ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  std::vector<std::jthread> threads;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    threads.swap(state_->connection_threads);
+  }
+  threads.clear();  // join
+  service_.begin_shutdown();
+  service_.drain();
+  return true;
+}
+
+#endif  // !defined(_WIN32)
+
+}  // namespace steersim::svc

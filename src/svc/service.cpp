@@ -1,0 +1,435 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "common/strings.hpp"
+#include "isa/assembler.hpp"
+#include "obs/profile.hpp"
+#include "sim/metrics.hpp"
+#include "sim/report.hpp"
+#include "sim/sweep.hpp"
+#include "workload/kernels.hpp"
+
+namespace steersim::svc {
+
+namespace {
+
+/// Range- and integrality-checked knob conversion: MachineConfig widths
+/// are small unsigneds, so 1e9 is already far past any meaningful value.
+bool knob_to_unsigned(double value, unsigned& out) {
+  if (value < 0.0 || value > 1e9 || value != std::floor(value)) {
+    return false;
+  }
+  out = static_cast<unsigned>(value);
+  return true;
+}
+
+bool knob_to_bool(double value, bool& out) {
+  if (value != 0.0 && value != 1.0) {
+    return false;
+  }
+  out = value == 1.0;
+  return true;
+}
+
+/// The MachineConfig surface the protocol exposes. Anything else (fault
+/// injection, tracing, recovery...) stays a server-side decision.
+bool apply_knob(MachineConfig& machine, const std::string& name,
+                double value, std::string& error) {
+  bool ok = false;
+  if (name == "fetch_width") {
+    ok = knob_to_unsigned(value, machine.fetch_width);
+  } else if (name == "queue_entries") {
+    ok = knob_to_unsigned(value, machine.queue_entries);
+  } else if (name == "ruu_entries") {
+    ok = knob_to_unsigned(value, machine.ruu_entries);
+  } else if (name == "retire_width") {
+    ok = knob_to_unsigned(value, machine.retire_width);
+  } else if (name == "issue_width") {
+    ok = knob_to_unsigned(value, machine.issue_width);
+  } else if (name == "trace_cache_lines") {
+    ok = knob_to_unsigned(value, machine.trace_cache_lines);
+  } else if (name == "trace_length") {
+    ok = knob_to_unsigned(value, machine.trace_length);
+  } else if (name == "pipelined_units") {
+    ok = knob_to_bool(value, machine.pipelined_units);
+  } else if (name == "use_trace_cache") {
+    ok = knob_to_bool(value, machine.use_trace_cache);
+  } else if (name == "use_dcache") {
+    ok = knob_to_bool(value, machine.use_dcache);
+  } else {
+    error = "unknown config knob '" + name + "'";
+    return false;
+  }
+  if (!ok) {
+    error = "config knob '" + name + "' has an out-of-range value";
+  }
+  return ok;
+}
+
+/// Canonical rendering of everything that influences a job's simulated
+/// outcome besides the program bytes: the digestable half of the cache
+/// key. Field order is fixed; extending the knob surface extends this
+/// list (and thereby invalidates old cache entries, which is correct).
+std::string effective_config_key(const MachineConfig& machine,
+                                 const PolicySpec& spec,
+                                 std::uint64_t budget) {
+  std::string key;
+  const auto field = [&key](std::string_view name, std::uint64_t value) {
+    key += name;
+    key += '=';
+    key += std::to_string(value);
+    key += ';';
+  };
+  field("fetch_width", machine.fetch_width);
+  field("queue_entries", machine.queue_entries);
+  field("ruu_entries", machine.ruu_entries);
+  field("retire_width", machine.retire_width);
+  field("issue_width", machine.issue_width);
+  field("pipelined_units", machine.pipelined_units ? 1 : 0);
+  field("use_trace_cache", machine.use_trace_cache ? 1 : 0);
+  field("trace_cache_lines", machine.trace_cache_lines);
+  field("trace_length", machine.trace_length);
+  field("use_dcache", machine.use_dcache ? 1 : 0);
+  field("policy_kind", static_cast<std::uint64_t>(spec.kind));
+  field("preset_index", spec.preset_index);
+  field("cem", static_cast<std::uint64_t>(spec.cem));
+  field("tie_break", static_cast<std::uint64_t>(spec.tie_break));
+  field("interval", spec.interval);
+  field("confirm", spec.confirm);
+  field("lookahead", spec.lookahead ? 1 : 0);
+  field("seed", spec.seed);
+  field("max_cycles", budget);
+  return key;
+}
+
+const Kernel* find_kernel(const std::string& name) {
+  for (const Kernel& kernel : kernel_library()) {
+    if (kernel.name == name) {
+      return &kernel;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string canonical_metrics_json(const MetricRegistry& registry) {
+  std::map<std::string, double> sorted;
+  for (const Metric& metric : registry.metrics()) {
+    sorted.emplace(metric.name, metric.value);
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : sorted) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"';
+    append_json_escaped(out, name);
+    out += "\":";
+    out += json_number(value);
+  }
+  out += '}';
+  return out;
+}
+
+struct SimService::Job {
+  Request request;
+  Program program;
+  MachineConfig machine;
+  PolicySpec spec;
+  std::uint64_t budget = 0;
+  std::uint64_t key = 0;
+  std::string digest_hex;
+  std::promise<Reply> promise;
+};
+
+std::uint64_t SimService::job_digest(std::string_view program_source,
+                                     const std::string& config_key) {
+  return Fnv1a().mix(program_source).mix(config_key).value();
+}
+
+SimService::SimService(ServiceConfig config)
+    : config_(config),
+      queue_(config.queue_capacity),
+      cache_(config.cache_entries),
+      pool_(queue_, [this](JobPtr& job) { run_job(*job); }) {
+  if (config_.workers == 0) {
+    config_.workers = default_worker_count();
+  }
+  if (config_.default_max_cycles == 0) {
+    config_.default_max_cycles = 200'000;
+  }
+  if (config_.cancel_check_cycles == 0) {
+    config_.cancel_check_cycles = 4096;
+  }
+  pool_.start(config_.workers);
+}
+
+SimService::~SimService() {
+  begin_shutdown();
+  drain();
+}
+
+void SimService::begin_shutdown() {
+  draining_.store(true, std::memory_order_relaxed);
+  queue_.close();
+}
+
+void SimService::drain() { pool_.stop(); }
+
+Reply SimService::handle(const Request& request) {
+  switch (request.type) {
+    case RequestType::kPing: {
+      Reply reply;
+      reply.type = ReplyType::kPong;
+      reply.id = request.id;
+      return reply;
+    }
+    case RequestType::kStats: {
+      Reply reply;
+      reply.type = ReplyType::kStats;
+      reply.id = request.id;
+      reply.stats_json = canonical_metrics_json(metrics());
+      return reply;
+    }
+    case RequestType::kShutdown: {
+      begin_shutdown();
+      Reply reply;
+      reply.type = ReplyType::kGoodbye;
+      reply.id = request.id;
+      return reply;
+    }
+    case RequestType::kSubmit:
+      return handle_submit(request);
+  }
+  return Reply::error(request.id, error_code::kBadRequest,
+                      "unhandled request type");
+}
+
+Reply SimService::handle_submit(const Request& request) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (draining()) {
+    return Reply::error(request.id, error_code::kShuttingDown,
+                        "service is draining");
+  }
+
+  const bool has_kernel = !request.kernel.empty();
+  const bool has_asm = !request.asm_source.empty();
+  if (has_kernel == has_asm) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return Reply::error(request.id, error_code::kBadRequest,
+                        "exactly one of 'kernel' and 'asm' is required");
+  }
+  std::string_view source;
+  std::string program_name;
+  if (has_kernel) {
+    const Kernel* kernel = find_kernel(request.kernel);
+    if (kernel == nullptr) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      return Reply::error(request.id, error_code::kBadRequest,
+                          "unknown kernel '" + request.kernel + "'");
+    }
+    source = kernel->source;
+    program_name = kernel->name;
+  } else {
+    source = request.asm_source;
+    program_name = "asm";
+  }
+
+  auto job = std::make_unique<Job>();
+  job->request = request;
+  try {
+    job->program = assemble(source, program_name);
+  } catch (const AssemblyError& e) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return Reply::error(request.id, error_code::kBadRequest,
+                        "assembly failed: " + std::string(e.what()));
+  }
+
+  if (!parse_policy(request.policy, job->spec)) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return Reply::error(request.id, error_code::kBadRequest,
+                        "unknown policy '" + request.policy + "'");
+  }
+  if (request.interval < 1 || request.interval > 1'000'000 ||
+      request.confirm < 1 || request.confirm > 1'000'000) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return Reply::error(request.id, error_code::kBadRequest,
+                        "'interval' and 'confirm' must be in [1, 1e6]");
+  }
+  job->spec.interval = static_cast<unsigned>(request.interval);
+  job->spec.confirm = static_cast<unsigned>(request.confirm);
+  job->spec.lookahead = request.lookahead;
+  job->spec.seed = request.seed;
+
+  for (const auto& [name, value] : request.config) {
+    std::string error;
+    if (!apply_knob(job->machine, name, value, error)) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      return Reply::error(request.id, error_code::kBadRequest, error);
+    }
+  }
+
+  job->budget = request.max_cycles == 0
+                    ? config_.default_max_cycles
+                    : std::min(request.max_cycles,
+                               config_.max_cycles_ceiling);
+  const std::string config_key =
+      effective_config_key(job->machine, job->spec, job->budget);
+  job->key = job_digest(source, config_key);
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(job->key));
+  job->digest_hex = hex;
+
+  if (auto hit = cache_.lookup(job->key)) {
+    hit->id = request.id;
+    hit->cache = "hit";
+    return *hit;
+  }
+
+  std::future<Reply> result = job->promise.get_future();
+  if (!queue_.try_push(std::move(job))) {
+    if (draining()) {
+      return Reply::error(request.id, error_code::kShuttingDown,
+                          "service is draining");
+    }
+    rejected_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    return Reply::error(
+        request.id, error_code::kQueueFull,
+        "job queue at capacity (" + std::to_string(queue_.capacity()) +
+            "); retry with backoff",
+        /*retriable=*/true);
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return result.get();
+}
+
+void SimService::run_job(Job& job) {
+  WallTimer timer;
+  Reply reply;
+  reply.id = job.request.id;
+  if (stop_now_.load(std::memory_order_relaxed)) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_value(Reply::error(job.request.id, error_code::kCancelled,
+                                       "cancelled before start"));
+    return;
+  }
+  try {
+    auto cpu = make_processor(job.program, job.machine, job.spec);
+    // Deadline via the cycle budget, cancellation at sampler-window
+    // granularity: run() is resumable (max_cycles is an absolute target),
+    // so the worker advances one window at a time and polls the stop flag
+    // between windows. Jobs with sampling configured use their own period
+    // so cancellation never lands mid-window.
+    const std::uint64_t window = job.machine.sample.enabled()
+                                     ? job.machine.sample.period
+                                     : config_.cancel_check_cycles;
+    RunOutcome outcome = RunOutcome::kMaxCycles;
+    bool cancelled = false;
+    while (true) {
+      const std::uint64_t target =
+          std::min(job.budget, cpu->stats().cycles + window);
+      outcome = cpu->run(target);
+      if (outcome != RunOutcome::kMaxCycles ||
+          cpu->stats().cycles >= job.budget) {
+        break;
+      }
+      if (stop_now_.load(std::memory_order_relaxed)) {
+        cancelled = true;
+        break;
+      }
+    }
+    if (cancelled) {
+      cancelled_.fetch_add(1, std::memory_order_relaxed);
+      reply = Reply::error(job.request.id, error_code::kCancelled,
+                           "cancelled at cycle " +
+                               std::to_string(cpu->stats().cycles));
+    } else if (outcome == RunOutcome::kMaxCycles) {
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      reply = Reply::error(job.request.id, error_code::kDeadline,
+                           "cycle budget " + std::to_string(job.budget) +
+                               " exhausted before HALT");
+    } else if (outcome == RunOutcome::kStalled ||
+               outcome == RunOutcome::kFault) {
+      sim_faults_.fetch_add(1, std::memory_order_relaxed);
+      reply = Reply::error(job.request.id, error_code::kSimFault,
+                           cpu->fault_message());
+    } else {
+      const SimResult result = collect_result(*cpu, job.spec, outcome);
+      reply.type = ReplyType::kResult;
+      reply.cache = "miss";
+      reply.digest = job.digest_hex;
+      reply.policy = result.policy;
+      reply.outcome = std::string(outcome_name(outcome));
+      reply.cycles = result.stats.cycles;
+      reply.retired = result.stats.retired;
+      reply.metrics_json = canonical_metrics_json(collect_metrics(result));
+      cache_.insert(job.key, reply);
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } catch (const std::invalid_argument& e) {
+    // Processor::validated rejected the override combination.
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    reply = Reply::error(job.request.id, error_code::kBadRequest, e.what());
+  } catch (const std::exception& e) {
+    sim_faults_.fetch_add(1, std::memory_order_relaxed);
+    reply = Reply::error(job.request.id, error_code::kSimFault, e.what());
+  }
+  record_latency(timer.seconds());
+  job.promise.set_value(std::move(reply));
+}
+
+void SimService::record_latency(double seconds) {
+  const double ms = seconds * 1e3;
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  latency_ms_.add(ms);
+  latency_hist_ms_.add(ms);
+}
+
+ServiceStats SimService::stats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  s.bad_requests = bad_requests_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.sim_faults = sim_faults_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_evictions = cache_.evictions();
+  s.cache_size = cache_.size();
+  s.queue_depth = queue_.depth();
+  s.workers = config_.workers;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    s.latency_count = latency_ms_.count();
+    if (s.latency_count > 0) {
+      s.latency_mean_ms = latency_ms_.mean();
+      s.latency_p50_ms = latency_hist_ms_.quantile(0.5);
+      s.latency_p90_ms = latency_hist_ms_.quantile(0.9);
+      s.latency_p99_ms = latency_hist_ms_.quantile(0.99);
+      s.latency_max_ms = latency_ms_.max();
+    }
+  }
+  return s;
+}
+
+MetricRegistry SimService::metrics() const {
+  MetricRegistry registry;
+  stats().visit_metrics(registry.prefixed("svc."));
+  return registry;
+}
+
+}  // namespace steersim::svc

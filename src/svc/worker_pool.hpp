@@ -1,0 +1,81 @@
+// Persistent, restartable worker pool (docs/SERVICE.md).
+//
+// Generalizes sim/sweep.hpp's one-shot parallel_map: where parallel_map
+// spawns jthreads for a fixed job vector and joins, WorkerPool keeps N
+// threads looping over a BoundedQueue for the lifetime of the service.
+// stop() closes the queue, lets the workers drain every queued job
+// (graceful shutdown), and joins; start() after stop() reopens the queue
+// and spins up a fresh generation of threads.
+//
+// Job exceptions are the worker's own bug to surface, not the pool's to
+// re-throw after the fact (there is no caller left to receive them, unlike
+// parallel_map): run() callbacks must catch at the job boundary — the
+// service turns them into error replies. An escaping exception would
+// std::terminate via jthread, which is the correct loud failure for a
+// server with a broken job wrapper.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "svc/queue.hpp"
+
+namespace steersim::svc {
+
+template <typename Job>
+class WorkerPool {
+ public:
+  /// `run` executes one dequeued job; invoked concurrently from every
+  /// worker thread, so it must only touch synchronized state.
+  template <typename Run>
+  WorkerPool(BoundedQueue<Job>& queue, Run run)
+      : queue_(queue), run_(std::move(run)) {}
+
+  ~WorkerPool() { stop(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Spins up `workers` threads (>= 1 enforced). No-op when running.
+  void start(unsigned workers) {
+    STEERSIM_EXPECTS(workers >= 1);
+    if (running()) {
+      return;
+    }
+    queue_.reopen();
+    threads_.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+      threads_.emplace_back([this] {
+        while (auto job = queue_.pop()) {
+          run_(*job);
+        }
+      });
+    }
+  }
+
+  /// Graceful shutdown: close the queue, drain every queued job, join.
+  /// Safe to call repeatedly; start() afterwards restarts the pool.
+  void stop() {
+    if (!running()) {
+      return;
+    }
+    queue_.close();
+    threads_.clear();  // jthread joins
+  }
+
+  bool running() const { return !threads_.empty(); }
+  unsigned workers() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+ private:
+  BoundedQueue<Job>& queue_;
+  std::function<void(Job&)> run_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace steersim::svc

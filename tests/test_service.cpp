@@ -1,0 +1,454 @@
+// steersimd service tests (docs/SERVICE.md): protocol round-trips for
+// every request/reply kind, strict JSON framing, the bounded queue's
+// backpressure contract, worker-pool restartability, LRU cache behavior,
+// and the SimService end-to-end guarantees the issue pins down — a replayed
+// submit returns identical metrics with the second reply flagged
+// "cache":"hit", and a flooded queue answers `queue_full` instead of
+// hanging or dropping.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/json.hpp"
+#include "svc/cache.hpp"
+#include "svc/protocol.hpp"
+#include "svc/queue.hpp"
+#include "svc/service.hpp"
+#include "svc/worker_pool.hpp"
+
+namespace steersim::svc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Protocol round-trips: parse(to_json()) must compare equal for every kind.
+
+Request parsed_request(const Request& in) {
+  Request out;
+  std::string error;
+  EXPECT_TRUE(Request::parse(in.to_json(), out, error)) << error;
+  return out;
+}
+
+Reply parsed_reply(const Reply& in) {
+  Reply out;
+  std::string error;
+  EXPECT_TRUE(Reply::parse(in.to_json(), out, error)) << error;
+  return out;
+}
+
+TEST(Protocol, RequestRoundTripsEveryKind) {
+  for (const RequestType type :
+       {RequestType::kPing, RequestType::kStats, RequestType::kShutdown}) {
+    Request request;
+    request.type = type;
+    request.id = "req-7";
+    EXPECT_EQ(parsed_request(request), request)
+        << request_type_name(type);
+  }
+}
+
+TEST(Protocol, SubmitRoundTripsWithDefaultsAndWithEveryFieldSet) {
+  Request minimal;
+  minimal.type = RequestType::kSubmit;
+  minimal.kernel = "fib";
+  EXPECT_EQ(parsed_request(minimal), minimal);
+
+  Request full;
+  full.type = RequestType::kSubmit;
+  full.id = "job-42";
+  full.asm_source = "loop:\n  addi r1, r1, 1\n  beq r0, r0, loop\n";
+  full.policy = "oracle";
+  full.max_cycles = 123456;
+  full.interval = 64;
+  full.confirm = 3;
+  full.lookahead = true;
+  full.seed = 7;
+  full.config = {{"fetch_width", 8.0}, {"use_dcache", 1.0}};
+  EXPECT_EQ(parsed_request(full), full);
+  // Byte-stable: rendering the parsed message reproduces the same bytes.
+  EXPECT_EQ(parsed_request(full).to_json(), full.to_json());
+}
+
+TEST(Protocol, ReplyRoundTripsEveryKind) {
+  Reply pong;
+  pong.type = ReplyType::kPong;
+  pong.id = "p";
+  EXPECT_EQ(parsed_reply(pong), pong);
+
+  Reply goodbye;
+  goodbye.type = ReplyType::kGoodbye;
+  EXPECT_EQ(parsed_reply(goodbye), goodbye);
+
+  Reply stats;
+  stats.type = ReplyType::kStats;
+  stats.stats_json = R"({"svc.admitted":2,"svc.submitted":4})";
+  EXPECT_EQ(parsed_reply(stats), stats);
+
+  Reply result;
+  result.type = ReplyType::kResult;
+  result.id = "job-42";
+  result.cache = "miss";
+  result.digest = "6de84f50c6a075fd";
+  result.policy = "steered";
+  result.outcome = "halted";
+  result.cycles = 89;
+  result.retired = 156;
+  result.metrics_json = R"({"core.cycles":89,"core.retired":156})";
+  EXPECT_EQ(parsed_reply(result), result);
+  EXPECT_EQ(parsed_reply(result).to_json(), result.to_json());
+}
+
+TEST(Protocol, ErrorReplyRoundTripsWithRetriableBit) {
+  const Reply retriable =
+      Reply::error("j1", error_code::kQueueFull, "queue at capacity",
+                   /*retriable=*/true);
+  EXPECT_EQ(retriable.type, ReplyType::kError);
+  EXPECT_TRUE(retriable.retriable);
+  EXPECT_EQ(parsed_reply(retriable), retriable);
+
+  const Reply fatal =
+      Reply::error("j2", error_code::kBadRequest, "unknown kernel");
+  EXPECT_FALSE(fatal.retriable);
+  EXPECT_EQ(parsed_reply(fatal), fatal);
+}
+
+TEST(Protocol, ConcatenatedFramesAreRejected) {
+  // The strict framing the protocol relies on: two objects on one line can
+  // never be read as one message.
+  Request request;
+  std::string error;
+  const std::string frame = Request{}.to_json();
+  EXPECT_TRUE(Request::parse(frame, request, error));
+  EXPECT_FALSE(Request::parse(frame + frame, request, error));
+  EXPECT_FALSE(Request::parse(frame + " x", request, error));
+
+  Reply reply;
+  const std::string reply_frame = Reply{}.to_json();
+  EXPECT_TRUE(Reply::parse(reply_frame, reply, error));
+  EXPECT_FALSE(Reply::parse(reply_frame + reply_frame, reply, error));
+}
+
+TEST(Protocol, StrictJsonRejectsTrailingGarbageLenientPrefixDoesNot) {
+  JsonValue value;
+  EXPECT_TRUE(parse_json_strict(R"({"a":1})", value));
+  EXPECT_FALSE(parse_json_strict(R"({"a":1}{"b":2})", value));
+  EXPECT_FALSE(parse_json_strict(R"({"a":1} trailing)", value));
+  EXPECT_TRUE(parse_json_strict("  {\"a\":1}\n", value))
+      << "surrounding whitespace is not garbage";
+
+  std::size_t consumed = 0;
+  EXPECT_TRUE(parse_json_prefix(R"({"a":1}{"b":2})", value, consumed));
+  EXPECT_EQ(consumed, 7u);
+  EXPECT_EQ(render_json(value), R"({"a":1})");
+}
+
+TEST(Protocol, RenderJsonIsCanonical) {
+  JsonValue value;
+  ASSERT_TRUE(parse_json_strict(R"({ "b" : 2 , "a" : [ 1 , true , "x" ] })",
+                                value));
+  EXPECT_EQ(render_json(value), R"({"a":[1,true,"x"],"b":2})")
+      << "keys sorted, whitespace normalized";
+}
+
+TEST(Protocol, Fnv1aChunkSentinelPreventsAliasing) {
+  const std::uint64_t ab_c = Fnv1a().mix("ab").mix("c").value();
+  const std::uint64_t a_bc = Fnv1a().mix("a").mix("bc").value();
+  EXPECT_NE(ab_c, a_bc);
+  EXPECT_EQ(Fnv1a().mix("ab").mix("c").hex().size(), 16u);
+  EXPECT_EQ(Fnv1a().mix("x").value(), Fnv1a().mix("x").value());
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue: explicit backpressure, close-then-drain semantics.
+
+TEST(BoundedQueue, TryPushReportsFullInsteadOfBlocking) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3)) << "at capacity: reject, never wait";
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_TRUE(queue.try_push(3)) << "pop freed a slot";
+}
+
+TEST(BoundedQueue, CloseDrainsQueuedItemsThenReturnsNullopt) {
+  BoundedQueue<int> queue(4);
+  queue.try_push(1);
+  queue.try_push(2);
+  queue.close();
+  EXPECT_FALSE(queue.try_push(3)) << "closed queues admit nothing";
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), std::nullopt) << "closed and drained";
+  queue.reopen();
+  EXPECT_TRUE(queue.try_push(4));
+  EXPECT_EQ(queue.pop(), 4);
+}
+
+TEST(BoundedQueue, ZeroCapacityIsPinnedToOne) {
+  BoundedQueue<int> queue(0);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_FALSE(queue.try_push(2));
+}
+
+// ---------------------------------------------------------------------------
+// WorkerPool: drains on stop, restartable.
+
+TEST(WorkerPool, StopDrainsEveryQueuedJobAndStartRestarts) {
+  BoundedQueue<int> queue(64);
+  std::atomic<int> sum{0};
+  WorkerPool<int> pool(queue, [&sum](int& job) { sum += job; });
+
+  pool.start(3);
+  EXPECT_EQ(pool.workers(), 3u);
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(queue.try_push(i));
+  }
+  pool.stop();  // close + drain + join: all ten jobs must have run
+  EXPECT_EQ(sum.load(), 55);
+  EXPECT_FALSE(pool.running());
+
+  pool.start(1);  // second generation reuses the reopened queue
+  ASSERT_TRUE(queue.try_push(45));
+  pool.stop();
+  EXPECT_EQ(sum.load(), 100);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache: LRU order, refresh on lookup, disabled at capacity 0.
+
+Reply result_reply(std::string id) {
+  Reply reply;
+  reply.type = ReplyType::kResult;
+  reply.id = std::move(id);
+  return reply;
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAndRefreshesOnLookup) {
+  ResultCache cache(2);
+  cache.insert(1, result_reply("one"));
+  cache.insert(2, result_reply("two"));
+  EXPECT_TRUE(cache.lookup(1).has_value());  // 1 becomes most recent
+  cache.insert(3, result_reply("three"));    // evicts 2, not 1
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.lookup(2).has_value());
+  ASSERT_TRUE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.lookup(1)->id, "one");
+  EXPECT_TRUE(cache.lookup(3).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.insert(1, result_reply("one"));
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SimService end-to-end (in-process; the socket layer is exercised by the
+// CI service-smoke job).
+
+Request submit_kernel(std::string kernel, std::string id = "") {
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.kernel = std::move(kernel);
+  request.id = std::move(id);
+  return request;
+}
+
+TEST(SimService, ReplayedSubmitHitsCacheWithByteIdenticalMetrics) {
+  SimService service({.workers = 2, .queue_capacity = 8});
+  const Request request = submit_kernel("fib", "job-1");
+
+  const Reply cold = service.handle(request);
+  ASSERT_EQ(cold.type, ReplyType::kResult) << cold.message;
+  EXPECT_EQ(cold.cache, "miss");
+  EXPECT_EQ(cold.outcome, "halted");
+  EXPECT_GT(cold.cycles, 0u);
+  EXPECT_FALSE(cold.metrics_json.empty());
+  EXPECT_EQ(cold.digest.size(), 16u);
+
+  const Reply hit = service.handle(request);
+  ASSERT_EQ(hit.type, ReplyType::kResult) << hit.message;
+  EXPECT_EQ(hit.cache, "hit");
+
+  // Identical simulated metrics: the hit differs from the cold run only in
+  // the cache flag — restoring it makes the replies bit-identical.
+  Reply normalized = hit;
+  normalized.cache = "miss";
+  EXPECT_EQ(normalized, cold);
+  EXPECT_EQ(normalized.to_json(), cold.to_json());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.completed, 1u) << "a hit reruns nothing";
+}
+
+TEST(SimService, DistinctConfigsGetDistinctDigests) {
+  SimService service({.workers = 1, .queue_capacity = 4});
+  const Reply base = service.handle(submit_kernel("fib"));
+  Request tweaked = submit_kernel("fib");
+  tweaked.config = {{"fetch_width", 8.0}};
+  const Reply other = service.handle(tweaked);
+  ASSERT_EQ(base.type, ReplyType::kResult) << base.message;
+  ASSERT_EQ(other.type, ReplyType::kResult) << other.message;
+  EXPECT_NE(base.digest, other.digest);
+  EXPECT_EQ(other.cache, "miss") << "a different config is different work";
+}
+
+TEST(SimService, BadRequestsAreTypedAndNotRetriable) {
+  SimService service({.workers = 1, .queue_capacity = 4});
+
+  const Reply unknown = service.handle(submit_kernel("no_such_kernel"));
+  ASSERT_EQ(unknown.type, ReplyType::kError);
+  EXPECT_EQ(unknown.code, error_code::kBadRequest);
+  EXPECT_FALSE(unknown.retriable);
+
+  Request both = submit_kernel("fib");
+  both.asm_source = "halt\n";
+  EXPECT_EQ(service.handle(both).code, error_code::kBadRequest);
+
+  Request bad_policy = submit_kernel("fib");
+  bad_policy.policy = "clairvoyant";
+  EXPECT_EQ(service.handle(bad_policy).code, error_code::kBadRequest);
+
+  Request bad_knob = submit_kernel("fib");
+  bad_knob.config = {{"warp_drive", 1.0}};
+  EXPECT_EQ(service.handle(bad_knob).code, error_code::kBadRequest);
+
+  Request bad_asm;
+  bad_asm.type = RequestType::kSubmit;
+  bad_asm.asm_source = "frobnicate r1, r2\n";
+  EXPECT_EQ(service.handle(bad_asm).code, error_code::kBadRequest);
+
+  EXPECT_EQ(service.stats().bad_requests, 5u);
+}
+
+TEST(SimService, OverBudgetJobIsRejectedWithDeadline) {
+  SimService service({.workers = 1, .queue_capacity = 4});
+  Request request;
+  request.type = RequestType::kSubmit;
+  // Never halts: the budget must end the run.
+  request.asm_source = "loop:\n  addi r1, r1, 1\n  beq r0, r0, loop\n";
+  request.max_cycles = 200;
+  const Reply reply = service.handle(request);
+  ASSERT_EQ(reply.type, ReplyType::kError);
+  EXPECT_EQ(reply.code, error_code::kDeadline);
+  EXPECT_EQ(service.stats().deadline_exceeded, 1u);
+}
+
+TEST(SimService, FloodedQueueAnswersQueueFullNotAHangOrDrop) {
+  // One worker, a one-slot queue, caching off: a burst of concurrent
+  // submits must split into completed jobs and immediate retriable
+  // queue_full rejections — every caller gets exactly one reply.
+  SimService service({.workers = 1, .queue_capacity = 1, .cache_entries = 0});
+  constexpr int kClients = 8;
+  std::vector<Reply> replies(kClients);
+  {
+    std::vector<std::jthread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&service, &replies, c] {
+        Request request = submit_kernel("matmul_int");
+        request.seed = static_cast<std::uint64_t>(c);  // distinct jobs
+        replies[static_cast<std::size_t>(c)] = service.handle(request);
+      });
+    }
+  }
+  int completed = 0;
+  int rejected = 0;
+  for (const Reply& reply : replies) {
+    if (reply.type == ReplyType::kResult) {
+      ++completed;
+    } else {
+      ASSERT_EQ(reply.type, ReplyType::kError);
+      EXPECT_EQ(reply.code, error_code::kQueueFull);
+      EXPECT_TRUE(reply.retriable) << "backpressure must invite a retry";
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(completed + rejected, kClients) << "no reply lost";
+  EXPECT_GE(completed, 1);
+  EXPECT_GE(rejected, 1) << "a one-slot queue cannot absorb the burst";
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.rejected_queue_full,
+            static_cast<std::uint64_t>(rejected));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(completed));
+}
+
+TEST(SimService, ShutdownStopsAdmissionAndDrains) {
+  SimService service({.workers = 2, .queue_capacity = 8});
+  Request shutdown;
+  shutdown.type = RequestType::kShutdown;
+  EXPECT_EQ(service.handle(shutdown).type, ReplyType::kGoodbye);
+  EXPECT_TRUE(service.draining());
+  const Reply late = service.handle(submit_kernel("fib"));
+  ASSERT_EQ(late.type, ReplyType::kError);
+  EXPECT_EQ(late.code, error_code::kShuttingDown);
+  service.drain();
+}
+
+TEST(SimService, CancelAllStopsInFlightJobsAtTheCheckWindow) {
+  SimService service(
+      {.workers = 1, .queue_capacity = 4, .cancel_check_cycles = 1024});
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.asm_source = "loop:\n  addi r1, r1, 1\n  beq r0, r0, loop\n";
+  request.max_cycles = 40'000'000;  // far beyond any test's patience
+
+  Reply reply;
+  std::jthread submitter(
+      [&service, &request, &reply] { reply = service.handle(request); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.cancel_all();
+  submitter.join();
+
+  ASSERT_EQ(reply.type, ReplyType::kError);
+  EXPECT_EQ(reply.code, error_code::kCancelled);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+}
+
+TEST(SimService, PingAndStatsRequestsAnswerInline) {
+  SimService service({.workers = 1, .queue_capacity = 4});
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.id = "are-you-there";
+  const Reply pong = service.handle(ping);
+  EXPECT_EQ(pong.type, ReplyType::kPong);
+  EXPECT_EQ(pong.id, "are-you-there");
+
+  (void)service.handle(submit_kernel("fib"));
+  Request stats;
+  stats.type = RequestType::kStats;
+  const Reply reply = service.handle(stats);
+  ASSERT_EQ(reply.type, ReplyType::kStats);
+  JsonValue value;
+  ASSERT_TRUE(parse_json_strict(reply.stats_json, value))
+      << "stats payload must be one strict JSON object";
+  EXPECT_NE(reply.stats_json.find("\"svc.submitted\":1"), std::string::npos);
+  EXPECT_NE(reply.stats_json.find("\"svc.workers\":1"), std::string::npos);
+
+  const MetricRegistry registry = service.metrics();
+  ASSERT_NE(registry.find("svc.completed"), nullptr);
+  EXPECT_EQ(registry.find("svc.completed")->value, 1.0);
+  ASSERT_NE(registry.find("svc.latency_ms_p50"), nullptr)
+      << "latency quantiles ride the same registry";
+}
+
+TEST(SimService, JobDigestIsStableAndInputSensitive) {
+  const std::uint64_t a = SimService::job_digest("halt\n", "fetch_width=4;");
+  EXPECT_EQ(a, SimService::job_digest("halt\n", "fetch_width=4;"));
+  EXPECT_NE(a, SimService::job_digest("halt\n", "fetch_width=8;"));
+  EXPECT_NE(a, SimService::job_digest("nop\nhalt\n", "fetch_width=4;"));
+}
+
+}  // namespace
+}  // namespace steersim::svc

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -37,6 +38,28 @@ TEST(ParallelMap, ResultsAreIndexedDeterministicallyAtAnyWorkerCount) {
 TEST(ParallelMap, EmptyJobListReturnsEmpty) {
   EXPECT_TRUE(parallel_map(std::vector<std::function<int()>>{}).empty());
 }
+
+#if !defined(_WIN32)
+TEST(DefaultWorkerCount, HonorsStrictEnvOverride) {
+  ::unsetenv("STEERSIM_WORKERS");
+  const unsigned fallback = default_worker_count();
+  EXPECT_GE(fallback, 1u);
+
+  ::setenv("STEERSIM_WORKERS", "3", 1);
+  EXPECT_EQ(default_worker_count(), 3u);
+  ::setenv("STEERSIM_WORKERS", "999999", 1);
+  EXPECT_EQ(default_worker_count(), 1024u) << "absurd counts are clamped";
+
+  // Strict parse: anything but a positive decimal integer is ignored with
+  // a warning, never wrapped or prefix-parsed into a thread count.
+  for (const char* bad : {"-1", "0", "4x", "0x10", " 8", ""}) {
+    ::setenv("STEERSIM_WORKERS", bad, 1);
+    EXPECT_EQ(default_worker_count(), fallback) << "value '" << bad << "'";
+  }
+  ::unsetenv("STEERSIM_WORKERS");
+  EXPECT_EQ(default_worker_count(), fallback);
+}
+#endif
 
 TEST(ParallelMap, ThrowingJobPropagatesToCaller) {
   std::vector<std::function<int()>> jobs = square_jobs(8);

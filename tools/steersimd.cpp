@@ -1,0 +1,110 @@
+// steersimd — long-running simulation job server (docs/SERVICE.md).
+//
+//   $ steersimd /tmp/steersim.sock [--workers N] [--queue N] [--cache N]
+//               [--default-max-cycles N] [--max-cycles-ceiling N]
+//
+// Speaks the JSON-lines protocol of src/svc/protocol.hpp over a Unix
+// domain socket; serves until a `shutdown` request, then drains in-flight
+// jobs and prints the final service metric registry (svc.*) so a session's
+// admit/reject/hit/miss story is visible in the log.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/strings.hpp"
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+
+using namespace steersim;
+using namespace steersim::svc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <socket-path> [--workers N] [--queue N] "
+               "[--cache N] [--default-max-cycles N] "
+               "[--max-cycles-ceiling N]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_u64_flag(int argc, char** argv, int& a, std::uint64_t& out) {
+  if (a + 1 >= argc) {
+    return false;
+  }
+  const auto value = parse_positive_u64(argv[++a]);
+  if (!value) {
+    return false;
+  }
+  out = *value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argv[1][0] == '-') {
+    return usage(argv[0]);
+  }
+  ServiceConfig config;
+  std::uint64_t workers = 0;
+  std::uint64_t queue_capacity = config.queue_capacity;
+  std::uint64_t cache_entries = 0;
+  bool cache_set = false;
+  for (int a = 2; a < argc; ++a) {
+    std::uint64_t value = 0;
+    if (std::strcmp(argv[a], "--workers") == 0) {
+      if (!parse_u64_flag(argc, argv, a, workers)) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[a], "--queue") == 0) {
+      if (!parse_u64_flag(argc, argv, a, queue_capacity)) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[a], "--cache") == 0) {
+      if (!parse_u64_flag(argc, argv, a, cache_entries)) {
+        return usage(argv[0]);
+      }
+      cache_set = true;
+    } else if (std::strcmp(argv[a], "--default-max-cycles") == 0) {
+      if (!parse_u64_flag(argc, argv, a, value)) {
+        return usage(argv[0]);
+      }
+      config.default_max_cycles = value;
+    } else if (std::strcmp(argv[a], "--max-cycles-ceiling") == 0) {
+      if (!parse_u64_flag(argc, argv, a, value)) {
+        return usage(argv[0]);
+      }
+      config.max_cycles_ceiling = value;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[a]);
+      return usage(argv[0]);
+    }
+  }
+  config.workers = static_cast<unsigned>(workers);
+  config.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  if (cache_set) {
+    config.cache_entries = static_cast<std::size_t>(cache_entries);
+  }
+
+  SimService service(config);
+  SocketServer server(service, ServerOptions{.socket_path = argv[1]});
+  if (!server.listen()) {
+    return 1;
+  }
+  std::printf("steersimd: listening on %s (%u workers, queue %zu, cache "
+              "%zu, default budget %llu cycles)\n",
+              argv[1], service.config().workers,
+              service.config().queue_capacity,
+              service.config().cache_entries,
+              static_cast<unsigned long long>(
+                  service.config().default_max_cycles));
+  std::fflush(stdout);
+  if (!server.serve()) {
+    return 1;
+  }
+  std::printf("steersimd: drained; final metrics:\n%s\n",
+              canonical_metrics_json(service.metrics()).c_str());
+  return 0;
+}
