@@ -48,6 +48,29 @@ done
 wait "$daemon"
 echo "service smoke passed"
 
+# Chaos smoke (docs/SERVICE.md §Failure modes): the same daemon under a
+# seeded fault storm — reply frames dropped/corrupted/truncated, workers
+# stalled and crashed — while the client retries with backoff. Every
+# submit must still complete, and shutdown must stay graceful; the daemon
+# prints the injector's per-site counts at exit.
+./build/tools/proto_fuzz --frames 2000 --seed 1
+chaos_sock="$(mktemp -u /tmp/steersim-chaos-XXXXXX.sock)"
+STEERSIM_CHAOS="corrupt=0.15,drop=0.1,truncate=0.05,stall=0.05,stall_ms=20,crash=0.08:4242" \
+  ./build/tools/steersimd "$chaos_sock" --workers 2 --queue 8 &
+chaos_daemon=$!
+for _ in $(seq 50); do
+  [ -S "$chaos_sock" ] && break
+  sleep 0.1
+done
+for i in $(seq 15); do
+  ./build/tools/steersim_client "$chaos_sock" submit --kernel fib \
+    --seed "$i" --retries 32 --timeout-ms 2000 --backoff-ms 2
+done
+./build/tools/steersim_client "$chaos_sock" shutdown --retries 8 \
+  --timeout-ms 2000
+wait "$chaos_daemon"
+echo "chaos smoke passed (15/15 submits through the storm)"
+
 # Collect the machine-readable reports every bench just wrote (see
 # bench/bench_util.hpp BenchReport) under a per-commit directory, so two
 # checkouts can be diffed with tools/bench_compare.

@@ -1,0 +1,268 @@
+#include "svc/chaos.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "common/strings.hpp"
+
+namespace steersim::svc {
+
+namespace {
+
+struct SiteKey {
+  std::string_view key;
+  ChaosSite site;
+};
+
+constexpr SiteKey kSiteKeys[] = {
+    {"delay", ChaosSite::kFrameDelay},
+    {"drop", ChaosSite::kFrameDrop},
+    {"truncate", ChaosSite::kFrameTruncate},
+    {"corrupt", ChaosSite::kFrameCorrupt},
+    {"stall", ChaosSite::kWorkerStall},
+    {"crash", ChaosSite::kWorkerCrash},
+    {"cache_slow", ChaosSite::kCacheSlow},
+};
+
+void sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Strict [0,1] probability parse: plain decimal/fractional notation only.
+bool parse_probability(std::string_view text, double& out) {
+  if (text.empty()) {
+    return false;
+  }
+  const std::string owned(text);
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+  if (end != owned.c_str() + owned.size()) {
+    return false;
+  }
+  if (!(value >= 0.0 && value <= 1.0)) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+std::string_view chaos_site_name(ChaosSite site) {
+  for (const SiteKey& entry : kSiteKeys) {
+    if (entry.site == site) {
+      return entry.key;
+    }
+  }
+  return "?";
+}
+
+bool ChaosSpec::any() const {
+  for (const double p : probability) {
+    if (p > 0.0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ChaosSpec::parse(std::string_view text, ChaosSpec& out,
+                      std::string& error) {
+  ChaosSpec parsed;
+  std::string_view body = trim(text);
+  // Optional ":<seed>" suffix. Keys and values never contain ':', so the
+  // last colon unambiguously starts the seed.
+  if (const std::size_t colon = body.rfind(':');
+      colon != std::string_view::npos) {
+    const auto seed = parse_positive_u64(trim(body.substr(colon + 1)));
+    if (!seed) {
+      error = "seed after ':' must be a positive decimal integer";
+      return false;
+    }
+    parsed.seed = *seed;
+    body = body.substr(0, colon);
+  }
+  if (trim(body).empty()) {
+    error = "empty chaos spec";
+    return false;
+  }
+  for (const std::string& pair : split(std::string(body), ',')) {
+    const std::string_view entry = trim(pair);
+    if (entry.empty()) {
+      continue;
+    }
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      error = "expected key=value, got '" + std::string(entry) + "'";
+      return false;
+    }
+    const std::string_view key = trim(entry.substr(0, eq));
+    const std::string_view value = trim(entry.substr(eq + 1));
+    bool matched = false;
+    for (const SiteKey& site_key : kSiteKeys) {
+      if (key == site_key.key) {
+        if (!parse_probability(value, parsed.site(site_key.site))) {
+          error = "probability for '" + std::string(key) +
+                  "' must be a number in [0,1]";
+          return false;
+        }
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      continue;
+    }
+    std::uint64_t* duration = nullptr;
+    if (key == "delay_ms") {
+      duration = &parsed.delay_ms;
+    } else if (key == "stall_ms") {
+      duration = &parsed.stall_ms;
+    } else if (key == "cache_slow_ms") {
+      duration = &parsed.cache_slow_ms;
+    } else {
+      error = "unknown chaos key '" + std::string(key) + "'";
+      return false;
+    }
+    const auto ms = parse_positive_u64(value);
+    if (!ms) {
+      error = "'" + std::string(key) +
+              "' must be a positive decimal millisecond count";
+      return false;
+    }
+    *duration = *ms;
+  }
+  if (!parsed.any()) {
+    error = "chaos spec enables no site (all probabilities zero)";
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+bool ChaosInjector::roll(ChaosSite site) {
+  const double p = spec_.site(site);
+  if (p <= 0.0) {
+    return false;
+  }
+  bool hit;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hit = rng_.next_bool(p);
+  }
+  if (hit) {
+    counts_[static_cast<std::size_t>(site)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return hit;
+}
+
+void ChaosInjector::maybe_cache_slow() {
+  if (roll(ChaosSite::kCacheSlow)) {
+    sleep_ms(spec_.cache_slow_ms);
+  }
+}
+
+void ChaosInjector::maybe_worker_stall() {
+  if (roll(ChaosSite::kWorkerStall)) {
+    sleep_ms(spec_.stall_ms);
+  }
+}
+
+void ChaosInjector::maybe_worker_crash() {
+  if (roll(ChaosSite::kWorkerCrash)) {
+    throw ChaosCrash{};
+  }
+}
+
+bool ChaosInjector::corrupt(std::string& frame) {
+  const double p = spec_.site(ChaosSite::kFrameCorrupt);
+  if (p <= 0.0 || frame.empty()) {
+    return false;
+  }
+  std::size_t pos;
+  unsigned bit;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!rng_.next_bool(p)) {
+      return false;
+    }
+    pos = static_cast<std::size_t>(rng_.next_below(frame.size()));
+    bit = static_cast<unsigned>(rng_.next_below(8));
+  }
+  frame[pos] = static_cast<char>(static_cast<unsigned char>(frame[pos]) ^
+                                 (1u << bit));
+  counts_[static_cast<std::size_t>(ChaosSite::kFrameCorrupt)].fetch_add(
+      1, std::memory_order_relaxed);
+  return true;
+}
+
+std::string ChaosInjector::summary() const {
+  std::string out;
+  for (const SiteKey& entry : kSiteKeys) {
+    const std::uint64_t n = count(entry.site);
+    if (n == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += entry.key;
+    out += '=';
+    out += std::to_string(n);
+  }
+  return out.empty() ? "none" : out;
+}
+
+namespace {
+std::mutex g_install_mutex;
+std::shared_ptr<ChaosInjector> g_owned;             // NOLINT
+/// Lock-free "is an injector installed?" flag so the STEERSIM_CHAOS-unset
+/// fast path stays one atomic load; the shared_ptr itself is only touched
+/// under g_install_mutex.
+std::atomic<bool> g_active{false};                  // NOLINT
+std::once_flag g_env_once;                          // NOLINT
+}  // namespace
+
+std::shared_ptr<ChaosInjector> ChaosInjector::global() {
+  std::call_once(g_env_once, [] {
+    const char* env = std::getenv("STEERSIM_CHAOS");
+    if (env == nullptr) {
+      return;
+    }
+    ChaosSpec spec;
+    std::string error;
+    if (!ChaosSpec::parse(env, spec, error)) {
+      std::fprintf(stderr,
+                   "steersim: ignoring STEERSIM_CHAOS='%s' (%s)\n", env,
+                   error.c_str());
+      return;
+    }
+    std::fprintf(stderr,
+                 "steersim: CHAOS INJECTION ENABLED (STEERSIM_CHAOS='%s', "
+                 "seed %llu) — this build is hurting itself on purpose\n",
+                 env, static_cast<unsigned long long>(spec.seed));
+    install(std::make_unique<ChaosInjector>(spec));
+  });
+  if (!g_active.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(g_install_mutex);
+  return g_owned;
+}
+
+void ChaosInjector::install(std::unique_ptr<ChaosInjector> injector) {
+  std::shared_ptr<ChaosInjector> retired;
+  {
+    std::lock_guard<std::mutex> lock(g_install_mutex);
+    g_active.store(injector != nullptr, std::memory_order_release);
+    retired = std::move(g_owned);
+    g_owned = std::shared_ptr<ChaosInjector>(std::move(injector));
+  }
+  // `retired` drops here, outside the lock; if a site thread still holds
+  // a global() snapshot, the *last* owner frees the old injector.
+}
+
+}  // namespace steersim::svc

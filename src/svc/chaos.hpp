@@ -1,0 +1,152 @@
+// Service-layer chaos injection (docs/SERVICE.md §Failure modes).
+//
+// The simulated machine already has a fault story (src/fault/: seeded,
+// deterministic, zero-overhead when off); this header gives the *service*
+// the same discipline. A ChaosInjector, configured by the STEERSIM_CHAOS
+// environment variable (grammar below) or installed programmatically by a
+// test/bench, perturbs the seams a misbehaving peer or an unlucky host
+// would hit:
+//
+//   frame faults  — delay, drop, truncate or bit-corrupt one reply frame
+//                   at the SocketServer write boundary;
+//   worker faults — stall a worker at job start (the watchdog's prey) or
+//                   crash it (an exception that escapes the job wrapper,
+//                   exercising WorkerPool crash isolation);
+//   cache faults  — slow the result-cache lookup path.
+//
+// Every site is guarded by `if (auto chaos = global())`: with
+// STEERSIM_CHAOS unset, global() returns an empty pointer and production
+// binaries pay one atomic pointer load per site. When an injector *is*
+// installed, global() hands out a shared_ptr snapshot, so install()
+// swapping (or retiring) the injector can never free it under a thread
+// that is mid-roll — the last in-flight user releases it. Draws flow through one seeded Xoshiro256
+// (mutex-guarded), so a single-connection fuzz or smoke run replays the
+// same fault sequence for the same spec string; multi-threaded runs are
+// deterministic per-draw but interleaving-dependent, like src/fault under
+// parallel sweeps.
+//
+// Spec grammar (parsed by ChaosSpec::parse):
+//
+//   STEERSIM_CHAOS="<key>=<value>[,<key>=<value>...][:<seed>]"
+//
+// where probability keys (doubles in [0,1]) are `delay`, `drop`,
+// `truncate`, `corrupt`, `stall`, `crash`, `cache_slow`, and duration
+// keys (positive integers, milliseconds) are `delay_ms`, `stall_ms`,
+// `cache_slow_ms`. The optional `:<seed>` suffix seeds the RNG
+// (default 1). Example:
+//
+//   STEERSIM_CHAOS="corrupt=0.15,drop=0.1,stall=0.05,stall_ms=40:4242"
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+
+namespace steersim::svc {
+
+enum class ChaosSite : std::uint8_t {
+  kFrameDelay = 0,  ///< sleep delay_ms before writing a reply frame
+  kFrameDrop,       ///< close the connection instead of replying
+  kFrameTruncate,   ///< write half the reply frame, then close
+  kFrameCorrupt,    ///< flip one bit of the reply frame
+  kWorkerStall,     ///< sleep stall_ms at job start (ignores cancellation)
+  kWorkerCrash,     ///< throw ChaosCrash out of the job wrapper
+  kCacheSlow,       ///< sleep cache_slow_ms before the cache lookup
+};
+inline constexpr std::size_t kChaosSiteCount = 7;
+
+std::string_view chaos_site_name(ChaosSite site);
+
+struct ChaosSpec {
+  double probability[kChaosSiteCount] = {};
+  std::uint64_t delay_ms = 2;
+  std::uint64_t stall_ms = 50;
+  std::uint64_t cache_slow_ms = 1;
+  std::uint64_t seed = 1;
+
+  double site(ChaosSite s) const {
+    return probability[static_cast<std::size_t>(s)];
+  }
+  double& site(ChaosSite s) {
+    return probability[static_cast<std::size_t>(s)];
+  }
+  /// True if any site has a nonzero probability.
+  bool any() const;
+
+  /// Parses the STEERSIM_CHAOS grammar documented above. On failure
+  /// returns false with a human-readable `error` and leaves `out`
+  /// untouched.
+  static bool parse(std::string_view text, ChaosSpec& out,
+                    std::string& error);
+};
+
+/// Deliberately NOT derived from std::exception: a chaos crash models a
+/// *broken job wrapper* — the failure the service's own try/catch around
+/// the simulation cannot absorb — so it must sail past
+/// `catch (const std::exception&)` and land in the WorkerPool's
+/// catch-all crash isolation.
+struct ChaosCrash {};
+
+class ChaosInjector {
+ public:
+  explicit ChaosInjector(const ChaosSpec& spec)
+      : spec_(spec), rng_(spec.seed) {}
+
+  ChaosInjector(const ChaosInjector&) = delete;
+  ChaosInjector& operator=(const ChaosInjector&) = delete;
+
+  /// Seeded Bernoulli draw for one site; thread-safe. Sites with zero
+  /// probability consume no randomness (so single-site specs replay the
+  /// same sequence regardless of which other sites are compiled in).
+  bool roll(ChaosSite site);
+
+  /// Injections fired per site so far.
+  std::uint64_t count(ChaosSite site) const {
+    return counts_[static_cast<std::size_t>(site)].load(
+        std::memory_order_relaxed);
+  }
+
+  const ChaosSpec& spec() const { return spec_; }
+
+  /// Sleeps cache_slow_ms on a kCacheSlow roll.
+  void maybe_cache_slow();
+  /// Sleeps stall_ms on a kWorkerStall roll — a worker that ignores
+  /// cooperative cancellation for that long, which is exactly what the
+  /// watchdog's poison path exists for.
+  void maybe_worker_stall();
+  /// Throws ChaosCrash on a kWorkerCrash roll.
+  void maybe_worker_crash();
+  /// On a kFrameCorrupt roll flips one random bit of `frame`; returns
+  /// true when the frame was mutated.
+  bool corrupt(std::string& frame);
+
+  /// "site=count" summary of every fired site, for logs and benches.
+  std::string summary() const;
+
+  /// The process-wide injector: parsed once from STEERSIM_CHAOS (invalid
+  /// specs are ignored with a stderr warning), empty when unset — the
+  /// unset fast path is one atomic pointer load, no refcount traffic.
+  /// The returned snapshot keeps the injector alive across the caller's
+  /// use even if install() swaps it out concurrently.
+  static std::shared_ptr<ChaosInjector> global();
+  /// Replaces the process-wide injector (tests and benches; pass nullptr
+  /// to disable). Safe while traffic is in flight: threads holding a
+  /// global() snapshot keep the old injector alive until they drop it —
+  /// but they may still *fire* it during the swap, so callers who need
+  /// the old sequence to stop (not just stay valid) still quiesce first.
+  static void install(std::unique_ptr<ChaosInjector> injector);
+
+ private:
+  ChaosSpec spec_;
+  mutable std::mutex mutex_;
+  Xoshiro256 rng_;
+  std::atomic<std::uint64_t> counts_[kChaosSiteCount] = {};
+};
+
+}  // namespace steersim::svc

@@ -1,0 +1,283 @@
+#include "svc/client.hpp"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace steersim::svc {
+
+SteersimClient::SteersimClient(ClientOptions options)
+    : options_(std::move(options)), rng_(options_.jitter_seed) {}
+
+SteersimClient::~SteersimClient() { close(); }
+
+std::uint64_t SteersimClient::backoff_delay_ms(unsigned attempt,
+                                               std::uint64_t base_ms,
+                                               std::uint64_t cap_ms,
+                                               Xoshiro256& rng) {
+  if (base_ms == 0 || cap_ms == 0) {
+    return 0;
+  }
+  std::uint64_t ceiling = cap_ms;
+  if (attempt < 63) {
+    const std::uint64_t shifted = base_ms << attempt;
+    // A shift that wrapped shows up as a round trip mismatch.
+    if ((shifted >> attempt) == base_ms && shifted < cap_ms) {
+      ceiling = shifted;
+    }
+  }
+  return rng.next_below(ceiling + 1);  // full jitter: U[0, ceiling]
+}
+
+Reply SteersimClient::call(const Request& request) {
+  const unsigned attempts = options_.max_attempts == 0
+                                ? 1u
+                                : options_.max_attempts;
+  std::string last_error = "no attempt made";
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const std::uint64_t delay = backoff_delay_ms(
+          attempt - 1, options_.backoff_base_ms, options_.backoff_cap_ms,
+          rng_);
+      if (delay > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+      }
+    }
+    Reply reply;
+    std::string error;
+    if (!call_once(request, reply, error)) {
+      last_error = error;
+      if (!options_.retry_transport) {
+        break;
+      }
+      if (attempt + 1 < attempts) {
+        ++stats_.retries_transport;
+      }
+      continue;
+    }
+    if (reply.type == ReplyType::kError && reply.retriable &&
+        attempt + 1 < attempts) {
+      ++stats_.retries_retriable;
+      last_error = std::string(reply.code) + ": " + reply.message;
+      continue;
+    }
+    return reply;
+  }
+  return Reply::error(request.id, error_code::kTransport,
+                      last_error + " (after " + std::to_string(attempts) +
+                          " attempts)",
+                      /*retriable=*/true);
+}
+
+#if !defined(_WIN32)
+
+namespace {
+
+/// Milliseconds left until `deadline`, clamped into poll()'s int domain;
+/// 0 once the deadline has passed.
+int remaining_ms(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) {
+    return 0;
+  }
+  if (left.count() > 3'600'000) {
+    return 3'600'000;
+  }
+  return static_cast<int>(left.count());
+}
+
+}  // namespace
+
+void SteersimClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+bool SteersimClient::ensure_connected(std::string& error) {
+  if (fd_ >= 0) {
+    return true;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long: " + options_.socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  // Nonblocking connect so a hung daemon costs connect_timeout_ms, not
+  // forever; the fd reverts to blocking afterwards (reads are paced by
+  // poll(), AF_UNIX writes virtually never block).
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      error = "connect " + options_.socket_path + ": " +
+              std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    const int ready = ::poll(
+        &pfd, 1, static_cast<int>(options_.connect_timeout_ms));
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (ready <= 0 ||
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+        so_error != 0) {
+      error = "connect " + options_.socket_path +
+              (ready == 0 ? ": timed out"
+                          : std::string(": ") +
+                                std::strerror(so_error != 0 ? so_error
+                                                            : errno));
+      ::close(fd);
+      return false;
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  fd_ = fd;
+  inbuf_.clear();
+  ++stats_.connects;
+  if (stats_.connects > 1) {
+    ++stats_.reconnects;
+  }
+  return true;
+}
+
+bool SteersimClient::send_line(const std::string& line, std::string& error) {
+  std::string_view data = line;
+  while (!data.empty()) {
+#if defined(MSG_NOSIGNAL)
+    const ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd_, data.data(), data.size());
+#endif
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      error = std::string("write: ") +
+              (n < 0 ? std::strerror(errno) : "connection closed");
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+bool SteersimClient::read_line(std::string& line, std::string& error) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.read_timeout_ms);
+  char chunk[4096];
+  while (true) {
+    const std::size_t newline = inbuf_.find('\n');
+    if (newline != std::string::npos) {
+      line = inbuf_.substr(0, newline);
+      inbuf_.erase(0, newline + 1);
+      return true;
+    }
+    pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, remaining_ms(deadline));
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      error = std::string("poll: ") + std::strerror(errno);
+      return false;
+    }
+    if (ready == 0) {
+      ++stats_.timeouts;
+      error = "no reply within " +
+              std::to_string(options_.read_timeout_ms) + " ms";
+      return false;
+    }
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      error = n < 0 ? std::string("read: ") + std::strerror(errno)
+                    : "connection closed before a reply arrived";
+      return false;
+    }
+    inbuf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+bool SteersimClient::call_once(const Request& request, Reply& reply,
+                               std::string& error) {
+  if (!ensure_connected(error)) {
+    return false;
+  }
+  ++stats_.attempts;
+  std::string line;
+  if (!send_line(request.to_json() + "\n", error) ||
+      !read_line(line, error)) {
+    close();
+    return false;
+  }
+  std::string parse_error;
+  if (!Reply::parse(line, reply, parse_error)) {
+    // A frame that does not parse is indistinguishable from corruption
+    // in transit: treat it as a transport failure so the caller's retry
+    // goes to a fresh connection.
+    error = "malformed reply: " + parse_error;
+    close();
+    return false;
+  }
+  return true;
+}
+
+#else  // _WIN32
+
+void SteersimClient::close() {}
+
+bool SteersimClient::ensure_connected(std::string& error) {
+  error = "Unix domain sockets unavailable on this platform";
+  return false;
+}
+
+bool SteersimClient::send_line(const std::string&, std::string& error) {
+  error = "Unix domain sockets unavailable on this platform";
+  return false;
+}
+
+bool SteersimClient::read_line(std::string&, std::string& error) {
+  error = "Unix domain sockets unavailable on this platform";
+  return false;
+}
+
+bool SteersimClient::call_once(const Request&, Reply&, std::string& error) {
+  error = "Unix domain sockets unavailable on this platform";
+  return false;
+}
+
+#endif
+
+}  // namespace steersim::svc

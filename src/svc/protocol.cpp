@@ -156,6 +156,10 @@ std::string Request::to_json() const {
       append_number_field(out, "max_cycles",
                           static_cast<double>(max_cycles), first);
     }
+    if (wall_ms != 0) {
+      append_number_field(out, "wall_ms", static_cast<double>(wall_ms),
+                          first);
+    }
     if (interval != 1) {
       append_number_field(out, "interval", static_cast<double>(interval),
                           first);
@@ -217,6 +221,7 @@ bool Request::parse(std::string_view text, Request& out, std::string& error) {
   parsed.asm_source = read_string(doc, "asm", "", ok, error);
   parsed.policy = read_string(doc, "policy", "steered", ok, error);
   parsed.max_cycles = read_u64(doc, "max_cycles", 0, ok, error);
+  parsed.wall_ms = read_u64(doc, "wall_ms", 0, ok, error);
   parsed.interval = read_u64(doc, "interval", 1, ok, error);
   parsed.confirm = read_u64(doc, "confirm", 1, ok, error);
   parsed.lookahead = read_bool(doc, "lookahead", false, ok, error);

@@ -53,6 +53,13 @@ struct Request {
   std::string policy = "steered";
   /// Per-job deadline in simulated cycles; 0 = server default budget.
   std::uint64_t max_cycles = 0;
+  /// Per-job wall-clock deadline in host milliseconds; 0 = none. Measured
+  /// from admission (queue wait counts). Enforced by the SimService
+  /// watchdog: an overdue job answers a retriable `wall_deadline` error
+  /// and, if its worker ignores cancellation past the grace period, the
+  /// worker is poisoned and replaced. Not part of the cache digest — a
+  /// wall deadline is an SLA, not simulated semantics.
+  std::uint64_t wall_ms = 0;
   /// Steering decision interval / hysteresis / lookahead (PolicySpec).
   std::uint64_t interval = 1;
   std::uint64_t confirm = 1;
@@ -80,16 +87,25 @@ enum class ReplyType : std::uint8_t {
 
 std::string_view reply_type_name(ReplyType type);
 
-/// Error codes a client can dispatch on. `queue_full` is the only
-/// retriable-by-design code: the job was never admitted, back off and
-/// resubmit. `deadline` means the cycle budget elapsed before HALT.
+/// Error codes a client can dispatch on (docs/SERVICE.md §Failure modes
+/// has the full code × retriability × client-behavior table). Retriable
+/// codes mean the submit is safe to resend verbatim — resubmission is
+/// idempotent because identical jobs share one FNV-1a digest and cache
+/// entry. `deadline` means the *cycle* budget elapsed before HALT;
+/// `wall_deadline` means the *host* wall-clock budget did.
 namespace error_code {
 inline constexpr std::string_view kQueueFull = "queue_full";
 inline constexpr std::string_view kDeadline = "deadline";
+inline constexpr std::string_view kWallDeadline = "wall_deadline";
+inline constexpr std::string_view kWorkerCrashed = "worker_crashed";
+inline constexpr std::string_view kTimeout = "timeout";
 inline constexpr std::string_view kBadRequest = "bad_request";
 inline constexpr std::string_view kShuttingDown = "shutting_down";
 inline constexpr std::string_view kSimFault = "sim_fault";
 inline constexpr std::string_view kCancelled = "cancelled";
+/// Never sent by the server: synthesized by SteersimClient when the
+/// transport itself failed (connect/read/write error or reply timeout).
+inline constexpr std::string_view kTransport = "transport";
 }  // namespace error_code
 
 /// One server reply. Result fields are meaningful only for kResult, error

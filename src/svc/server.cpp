@@ -3,21 +3,28 @@
 #include <cstdio>
 
 #if !defined(_WIN32)
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "svc/chaos.hpp"
 #endif
 
 namespace steersim::svc {
 
 #if defined(_WIN32)
 
+struct SocketServer::Connection {};
 struct SocketServer::State {};
 
 SocketServer::SocketServer(SimService& service, ServerOptions options)
@@ -30,24 +37,40 @@ bool SocketServer::listen() {
 }
 bool SocketServer::serve() { return listen(); }
 void SocketServer::stop() {}
-void SocketServer::handle_connection(int) {}
+void SocketServer::handle_connection(Connection&) {}
+void SocketServer::reap_finished() {}
 
 #else
 
+/// One accepted client. `fd` lives under State::mutex (set to -1 when the
+/// handler closes it, so stop() can never shutdown() a recycled
+/// descriptor number); `done` tells the reaper the thread is joinable
+/// without blocking.
+struct SocketServer::Connection {
+  int fd = -1;
+  std::atomic<bool> done{false};
+  std::jthread thread;
+};
+
 struct SocketServer::State {
   std::mutex mutex;
-  std::vector<int> connection_fds;
-  std::vector<std::jthread> connection_threads;
+  std::vector<std::unique_ptr<Connection>> connections;
   bool stopping = false;
 };
 
 namespace {
 
 /// write() the whole buffer, tolerating short writes; false on error
-/// (EPIPE when the client went away — the connection just closes).
+/// (EPIPE when the client went away — the connection just closes; the
+/// daemon also ignores SIGPIPE and sends with MSG_NOSIGNAL, so a dying
+/// client can never signal-kill the process).
 bool write_all(int fd, std::string_view data) {
   while (!data.empty()) {
+#if defined(MSG_NOSIGNAL)
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+#else
     const ssize_t n = ::write(fd, data.data(), data.size());
+#endif
     if (n <= 0) {
       if (n < 0 && errno == EINTR) {
         continue;
@@ -59,6 +82,32 @@ bool write_all(int fd, std::string_view data) {
   return true;
 }
 
+/// Renders and writes one reply frame, applying chaos frame faults when
+/// an injector is installed. Returns false when the connection should
+/// close (write error, or an injected drop/truncate). Goodbye frames are
+/// exempt from chaos so a chaos-storm run can always shut the daemon
+/// down cleanly.
+bool send_frame(int fd, const Reply& reply) {
+  std::string frame = reply.to_json() + "\n";
+  if (reply.type != ReplyType::kGoodbye) {
+    if (auto chaos = ChaosInjector::global()) {
+      if (chaos->roll(ChaosSite::kFrameDrop)) {
+        return false;  // swallow the reply; client sees EOF
+      }
+      if (chaos->roll(ChaosSite::kFrameDelay)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(chaos->spec().delay_ms));
+      }
+      if (chaos->roll(ChaosSite::kFrameTruncate)) {
+        write_all(fd, std::string_view(frame).substr(0, frame.size() / 2));
+        return false;
+      }
+      chaos->corrupt(frame);
+    }
+  }
+  return write_all(fd, frame);
+}
+
 }  // namespace
 
 SocketServer::SocketServer(SimService& service, ServerOptions options)
@@ -68,6 +117,7 @@ SocketServer::SocketServer(SimService& service, ServerOptions options)
 
 SocketServer::~SocketServer() {
   stop();
+  reap_finished();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -81,6 +131,10 @@ bool SocketServer::listen() {
   if (listen_fd_ >= 0) {
     return true;
   }
+  // A client that disconnects while a reply is in flight must cost at
+  // most one failed write, never a process-killing SIGPIPE (belt:
+  // MSG_NOSIGNAL in write_all is the suspenders).
+  std::signal(SIGPIPE, SIG_IGN);
   if (options_.socket_path.empty()) {
     std::fprintf(stderr, "steersimd: empty socket path\n");
     return false;
@@ -128,16 +182,63 @@ void SocketServer::stop() {
     // concurrent accept never races a recycled descriptor number.
     ::shutdown(listen_fd_, SHUT_RDWR);
   }
-  for (const int fd : state_->connection_fds) {
-    ::shutdown(fd, SHUT_RDWR);  // unblocks read(); thread exits
+  for (const auto& conn : state_->connections) {
+    if (conn->fd >= 0) {
+      ::shutdown(conn->fd, SHUT_RDWR);  // unblocks poll/read; thread exits
+    }
   }
 }
 
-void SocketServer::handle_connection(int fd) {
+void SocketServer::reap_finished() {
+  if (state_ == nullptr) {
+    return;
+  }
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    for (auto it = state_->connections.begin();
+         it != state_->connections.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = state_->connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  finished.clear();  // jthread joins (threads already past their last line)
+}
+
+void SocketServer::handle_connection(Connection& conn) {
+  const int fd = conn.fd;
   std::string buffer;
   char chunk[4096];
   bool goodbye = false;
   while (!goodbye) {
+    if (options_.idle_timeout_ms > 0) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      const int ready =
+          ::poll(&pfd, 1, static_cast<int>(options_.idle_timeout_ms));
+      if (ready < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+      if (ready == 0) {
+        // Slowloris guard: the peer owes us (the rest of) a frame and
+        // has gone quiet; tell it why it is being cut off, then close.
+        send_frame(fd, Reply::error(
+                           "", error_code::kTimeout,
+                           "no frame for " +
+                               std::to_string(options_.idle_timeout_ms) +
+                               " ms; closing idle connection",
+                           /*retriable=*/true));
+        break;
+      }
+    }
     const ssize_t n = ::read(fd, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) {
       continue;
@@ -148,12 +249,11 @@ void SocketServer::handle_connection(int fd) {
     buffer.append(chunk, static_cast<std::size_t>(n));
     if (buffer.size() > options_.max_frame_bytes &&
         buffer.find('\n') == std::string::npos) {
-      write_all(fd, Reply::error("", error_code::kBadRequest,
-                                 "frame exceeds " +
-                                     std::to_string(options_.max_frame_bytes) +
-                                     " bytes")
-                            .to_json() +
-                        "\n");
+      send_frame(fd, Reply::error("", error_code::kBadRequest,
+                                  "frame exceeds " +
+                                      std::to_string(
+                                          options_.max_frame_bytes) +
+                                      " bytes"));
       break;
     }
     std::size_t start = 0;
@@ -175,8 +275,8 @@ void SocketServer::handle_connection(int fd) {
       } else {
         reply = Reply::error("", error_code::kBadRequest, parse_error);
       }
-      if (!write_all(fd, reply.to_json() + "\n")) {
-        goodbye = true;  // client went away mid-reply
+      if (!send_frame(fd, reply)) {
+        goodbye = true;  // client went away mid-reply (or chaos cut it)
         break;
       }
       if (reply.type == ReplyType::kGoodbye) {
@@ -187,9 +287,10 @@ void SocketServer::handle_connection(int fd) {
     }
     buffer.erase(0, start);
   }
-  ::close(fd);
   std::lock_guard<std::mutex> lock(state_->mutex);
-  std::erase(state_->connection_fds, fd);
+  ::close(fd);
+  conn.fd = -1;
+  conn.done.store(true, std::memory_order_release);
 }
 
 bool SocketServer::serve() {
@@ -197,6 +298,7 @@ bool SocketServer::serve() {
     return false;
   }
   while (true) {
+    reap_finished();
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     {
       std::lock_guard<std::mutex> lock(state_->mutex);
@@ -213,25 +315,30 @@ bool SocketServer::serve() {
         std::perror("steersimd: accept");
         break;
       }
-      state_->connection_fds.push_back(fd);
-      state_->connection_threads.emplace_back(
-          [this, fd] { handle_connection(fd); });
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      Connection* raw = conn.get();
+      state_->connections.push_back(std::move(conn));
+      raw->thread =
+          std::jthread([this, raw] { handle_connection(*raw); });
     }
   }
   {
     // Unblock any connection still reading, then join them all.
     std::lock_guard<std::mutex> lock(state_->mutex);
     state_->stopping = true;
-    for (const int fd : state_->connection_fds) {
-      ::shutdown(fd, SHUT_RDWR);
+    for (const auto& conn : state_->connections) {
+      if (conn->fd >= 0) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
     }
   }
-  std::vector<std::jthread> threads;
+  std::vector<std::unique_ptr<Connection>> connections;
   {
     std::lock_guard<std::mutex> lock(state_->mutex);
-    threads.swap(state_->connection_threads);
+    connections.swap(state_->connections);
   }
-  threads.clear();  // join
+  connections.clear();  // join
   service_.begin_shutdown();
   service_.drain();
   return true;

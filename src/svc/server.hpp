@@ -20,10 +20,14 @@
 namespace steersim::svc {
 
 struct ServerOptions {
-  std::string socket_path;
+  std::string socket_path = {};
   /// Frames longer than this without a newline poison the connection
   /// (error reply, then close) instead of growing without bound.
   std::size_t max_frame_bytes = 1 << 20;
+  /// Slowloris guard: a connection that stays silent this long (e.g. a
+  /// partial frame, then nothing) is answered with a retriable `timeout`
+  /// error and closed, so it cannot pin its thread forever. 0 disables.
+  std::uint64_t idle_timeout_ms = 30'000;
 };
 
 class SocketServer {
@@ -49,12 +53,16 @@ class SocketServer {
   const std::string& socket_path() const { return options_.socket_path; }
 
  private:
-  void handle_connection(int fd);
+  struct Connection;
+  void handle_connection(Connection& conn);
+  /// Joins and discards connection threads that have finished, so a
+  /// long-lived daemon does not accumulate one dead jthread per client.
+  void reap_finished();
 
   SimService& service_;
   ServerOptions options_;
   int listen_fd_ = -1;
-  /// Open connection fds, guarded by impl-side mutex (see server.cpp).
+  /// Open connections, guarded by impl-side mutex (see server.cpp).
   struct State;
   std::unique_ptr<State> state_;
 };

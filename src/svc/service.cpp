@@ -10,6 +10,7 @@
 
 #include "common/strings.hpp"
 #include "isa/assembler.hpp"
+#include "svc/chaos.hpp"
 #include "obs/profile.hpp"
 #include "sim/metrics.hpp"
 #include "sim/report.hpp"
@@ -150,6 +151,25 @@ struct SimService::Job {
   std::uint64_t key = 0;
   std::string digest_hex;
   std::promise<Reply> promise;
+
+  // --- wall-deadline / watchdog state ----------------------------------
+  /// Copied from the request; 0 means the watchdog never sees this job.
+  std::uint64_t wall_ms = 0;
+  /// Watch-map key, assigned at admission.
+  std::uint64_t serial = 0;
+  std::chrono::steady_clock::time_point admitted_at;
+  /// When the watchdog set `cancel` (grace period runs from here); only
+  /// the watchdog thread touches it.
+  std::chrono::steady_clock::time_point cancel_at;
+  /// Cooperative wall-deadline cancellation, polled by the worker at its
+  /// cycle-window boundary.
+  std::atomic<bool> cancel{false};
+  /// Deliver-once latch for the promise (worker vs watchdog vs crash
+  /// handler).
+  std::atomic<bool> replied{false};
+  /// Slot of the worker running this job, for WorkerPool::replace when
+  /// the worker ignores cancellation past the grace period.
+  std::atomic<unsigned> worker_slot{WorkerPool<JobPtr>::kNoSlot};
 };
 
 std::uint64_t SimService::job_digest(std::string_view program_source,
@@ -171,7 +191,19 @@ SimService::SimService(ServiceConfig config)
   if (config_.cancel_check_cycles == 0) {
     config_.cancel_check_cycles = 4096;
   }
+  if (config_.watchdog_poll_ms == 0) {
+    config_.watchdog_poll_ms = 20;
+  }
+  // A crash (exception escaping run_job, e.g. a chaos-injected one) must
+  // still answer the blocked submitter: retriable, since the job itself
+  // is not known to be at fault.
+  pool_.set_crash_handler([this](JobPtr& job, std::exception_ptr) {
+    on_worker_crash(*job);
+  });
   pool_.start(config_.workers);
+  watchdog_ = std::jthread([this](std::stop_token token) {
+    watchdog_loop(std::move(token));
+  });
 }
 
 SimService::~SimService() {
@@ -245,8 +277,9 @@ Reply SimService::handle_submit(const Request& request) {
     program_name = "asm";
   }
 
-  auto job = std::make_unique<Job>();
+  auto job = std::make_shared<Job>();
   job->request = request;
+  job->wall_ms = request.wall_ms;
   try {
     job->program = assemble(source, program_name);
   } catch (const AssemblyError& e) {
@@ -291,6 +324,9 @@ Reply SimService::handle_submit(const Request& request) {
                 static_cast<unsigned long long>(job->key));
   job->digest_hex = hex;
 
+  if (auto chaos = ChaosInjector::global()) {
+    chaos->maybe_cache_slow();
+  }
   if (auto hit = cache_.lookup(job->key)) {
     hit->id = request.id;
     hit->cache = "hit";
@@ -298,6 +334,8 @@ Reply SimService::handle_submit(const Request& request) {
   }
 
   std::future<Reply> result = job->promise.get_future();
+  job->admitted_at = std::chrono::steady_clock::now();
+  const JobPtr watched = job->wall_ms > 0 ? job : nullptr;
   if (!queue_.try_push(std::move(job))) {
     if (draining()) {
       return Reply::error(request.id, error_code::kShuttingDown,
@@ -311,17 +349,52 @@ Reply SimService::handle_submit(const Request& request) {
         /*retriable=*/true);
   }
   admitted_.fetch_add(1, std::memory_order_relaxed);
+  if (watched) {
+    register_watch(watched);
+  }
   return result.get();
 }
 
 void SimService::run_job(Job& job) {
+  job.worker_slot.store(pool_.current_slot(), std::memory_order_release);
+  if (job.replied.load(std::memory_order_acquire)) {
+    // The watchdog already answered this job (its deadline blew while it
+    // sat in the queue and the grace period elapsed); only bookkeeping
+    // remains.
+    job.worker_slot.store(WorkerPool<JobPtr>::kNoSlot,
+                          std::memory_order_release);
+    unregister_watch(job);
+    return;
+  }
+  if (auto chaos = ChaosInjector::global()) {
+    // Deliberately outside the try below: a chaos crash models an
+    // exception the job wrapper itself fails to absorb, so it must reach
+    // the WorkerPool's crash isolation (and the crash handler's
+    // `worker_crashed` reply), not the catch clauses here.
+    chaos->maybe_worker_stall();
+    chaos->maybe_worker_crash();
+  }
   WallTimer timer;
   Reply reply;
   reply.id = job.request.id;
   if (stop_now_.load(std::memory_order_relaxed)) {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
-    job.promise.set_value(Reply::error(job.request.id, error_code::kCancelled,
-                                       "cancelled before start"));
+    deliver(job, Reply::error(job.request.id, error_code::kCancelled,
+                              "cancelled before start"));
+    job.worker_slot.store(WorkerPool<JobPtr>::kNoSlot,
+                          std::memory_order_release);
+    unregister_watch(job);
+    return;
+  }
+  if (job.cancel.load(std::memory_order_acquire)) {
+    deliver(job,
+            Reply::error(job.request.id, error_code::kWallDeadline,
+                         "wall deadline " + std::to_string(job.wall_ms) +
+                             " ms exceeded before the job started; resubmit",
+                         /*retriable=*/true));
+    job.worker_slot.store(WorkerPool<JobPtr>::kNoSlot,
+                          std::memory_order_release);
+    unregister_watch(job);
     return;
   }
   try {
@@ -336,6 +409,7 @@ void SimService::run_job(Job& job) {
                                      : config_.cancel_check_cycles;
     RunOutcome outcome = RunOutcome::kMaxCycles;
     bool cancelled = false;
+    bool wall_expired = false;
     while (true) {
       const std::uint64_t target =
           std::min(job.budget, cpu->stats().cycles + window);
@@ -348,12 +422,24 @@ void SimService::run_job(Job& job) {
         cancelled = true;
         break;
       }
+      if (job.cancel.load(std::memory_order_relaxed)) {
+        wall_expired = true;
+        break;
+      }
     }
     if (cancelled) {
       cancelled_.fetch_add(1, std::memory_order_relaxed);
       reply = Reply::error(job.request.id, error_code::kCancelled,
                            "cancelled at cycle " +
                                std::to_string(cpu->stats().cycles));
+    } else if (wall_expired) {
+      // Counted by the watchdog when it set job.cancel.
+      reply = Reply::error(job.request.id, error_code::kWallDeadline,
+                           "wall deadline " + std::to_string(job.wall_ms) +
+                               " ms exceeded at cycle " +
+                               std::to_string(cpu->stats().cycles) +
+                               "; resubmit",
+                           /*retriable=*/true);
     } else if (outcome == RunOutcome::kMaxCycles) {
       deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       reply = Reply::error(job.request.id, error_code::kDeadline,
@@ -385,8 +471,110 @@ void SimService::run_job(Job& job) {
     sim_faults_.fetch_add(1, std::memory_order_relaxed);
     reply = Reply::error(job.request.id, error_code::kSimFault, e.what());
   }
-  record_latency(timer.seconds());
+  if (deliver(job, std::move(reply))) {
+    record_latency(timer.seconds());
+  }
+  job.worker_slot.store(WorkerPool<JobPtr>::kNoSlot,
+                        std::memory_order_release);
+  unregister_watch(job);
+}
+
+bool SimService::deliver(Job& job, Reply reply) {
+  if (job.replied.exchange(true, std::memory_order_acq_rel)) {
+    return false;
+  }
   job.promise.set_value(std::move(reply));
+  return true;
+}
+
+void SimService::on_worker_crash(Job& job) {
+  deliver(job,
+          Reply::error(job.request.id, error_code::kWorkerCrashed,
+                       "worker crashed while running this job; resubmit",
+                       /*retriable=*/true));
+  unregister_watch(job);
+}
+
+void SimService::register_watch(const JobPtr& job) {
+  job->serial = watch_serial_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watch_.emplace(job->serial, job);
+  }
+  watchdog_cv_.notify_all();
+}
+
+void SimService::unregister_watch(const Job& job) {
+  if (job.wall_ms == 0) {
+    return;  // never registered: plain jobs skip the watchdog lock
+  }
+  std::lock_guard<std::mutex> lock(watchdog_mutex_);
+  watch_.erase(job.serial);
+}
+
+void SimService::watchdog_loop(std::stop_token token) {
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!token.stop_requested()) {
+    if (watch_.empty()) {
+      // Zero-overhead idle: no polling until a wall-deadline job shows
+      // up (or shutdown stops us).
+      watchdog_cv_.wait(lock, token, [this] { return !watch_.empty(); });
+      continue;
+    }
+    watchdog_cv_.wait_for(lock, token,
+                          std::chrono::milliseconds(config_.watchdog_poll_ms),
+                          [] { return false; });
+    if (token.stop_requested()) {
+      return;
+    }
+    watchdog_scans_.fetch_add(1, std::memory_order_relaxed);
+    watchdog_scan(std::chrono::steady_clock::now());
+  }
+}
+
+void SimService::watchdog_scan(std::chrono::steady_clock::time_point now) {
+  // Requires watchdog_mutex_ (held by watchdog_loop across the scan).
+  for (auto it = watch_.begin(); it != watch_.end();) {
+    Job& job = *it->second;
+    if (job.replied.load(std::memory_order_acquire)) {
+      it = watch_.erase(it);  // answered elsewhere; drop the stale entry
+      continue;
+    }
+    if (!job.cancel.load(std::memory_order_relaxed)) {
+      if (now - job.admitted_at >= std::chrono::milliseconds(job.wall_ms)) {
+        // Phase 1: cooperative. The worker notices at its next cycle
+        // window and answers wall_deadline itself.
+        job.cancel_at = now;
+        job.cancel.store(true, std::memory_order_release);
+        wall_deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++it;
+      continue;
+    }
+    if (now - job.cancel_at >=
+        std::chrono::milliseconds(config_.watchdog_grace_ms)) {
+      // Phase 2: the worker ignored cancellation past the grace period —
+      // answer the client from here and evict the wedged worker so the
+      // slot is reclaimed. The straggler's eventual reply loses the
+      // deliver-once race and is dropped.
+      const bool won = deliver(
+          job, Reply::error(job.request.id, error_code::kWallDeadline,
+                            "wall deadline " + std::to_string(job.wall_ms) +
+                                " ms exceeded (worker unresponsive); "
+                                "resubmit",
+                            /*retriable=*/true));
+      if (won) {
+        const unsigned slot =
+            job.worker_slot.load(std::memory_order_acquire);
+        if (slot != WorkerPool<JobPtr>::kNoSlot && pool_.replace(slot)) {
+          workers_poisoned_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      it = watch_.erase(it);
+      continue;
+    }
+    ++it;
+  }
 }
 
 void SimService::record_latency(double seconds) {
@@ -406,6 +594,11 @@ ServiceStats SimService::stats() const {
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.sim_faults = sim_faults_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.wall_deadline_exceeded =
+      wall_deadline_exceeded_.load(std::memory_order_relaxed);
+  s.workers_poisoned = workers_poisoned_.load(std::memory_order_relaxed);
+  s.watchdog_scans = watchdog_scans_.load(std::memory_order_relaxed);
+  s.worker_crashes = pool_.crashes();
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();
   s.cache_evictions = cache_.evictions();

@@ -16,10 +16,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 
 #include "common/stats.hpp"
 #include "obs/metrics.hpp"
@@ -47,6 +51,15 @@ struct ServiceConfig {
   /// configured; jobs with MachineConfig::sample enabled are checked at
   /// their sampler period instead.
   std::uint64_t cancel_check_cycles = 4096;
+  /// Watchdog sampling period while wall-deadline (`wall_ms`) jobs are in
+  /// flight; with none in flight the watchdog sleeps on a condition
+  /// variable, so plain jobs pay nothing.
+  std::uint64_t watchdog_poll_ms = 20;
+  /// After cooperatively cancelling an overdue job, how long the watchdog
+  /// waits for the worker to notice before declaring it wedged: the reply
+  /// is delivered from the watchdog and the worker is poisoned, detached,
+  /// and replaced (WorkerPool::replace).
+  std::uint64_t watchdog_grace_ms = 250;
 };
 
 /// One coherent snapshot of the service counters, shaped like every other
@@ -61,6 +74,10 @@ struct ServiceStats {
   std::uint64_t deadline_exceeded = 0;   ///< budget elapsed before HALT
   std::uint64_t sim_faults = 0;          ///< stalled/faulted simulations
   std::uint64_t cancelled = 0;           ///< stopped by cancel_all()
+  std::uint64_t wall_deadline_exceeded = 0;  ///< wall_ms elapsed in flight
+  std::uint64_t workers_poisoned = 0;    ///< wedged workers replaced
+  std::uint64_t watchdog_scans = 0;      ///< watchdog sampling passes
+  std::uint64_t worker_crashes = 0;      ///< exceptions escaping run_job
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_evictions = 0;
@@ -85,6 +102,12 @@ struct ServiceStats {
     visit("deadline_exceeded", static_cast<double>(deadline_exceeded));
     visit("sim_faults", static_cast<double>(sim_faults));
     visit("cancelled", static_cast<double>(cancelled));
+    visit("watchdog.wall_deadline_exceeded",
+          static_cast<double>(wall_deadline_exceeded));
+    visit("watchdog.workers_poisoned",
+          static_cast<double>(workers_poisoned));
+    visit("watchdog.scans", static_cast<double>(watchdog_scans));
+    visit("worker_crashes", static_cast<double>(worker_crashes));
     visit("cache_hits", static_cast<double>(cache_hits));
     visit("cache_misses", static_cast<double>(cache_misses));
     visit("cache_evictions", static_cast<double>(cache_evictions));
@@ -141,10 +164,22 @@ class SimService {
 
  private:
   struct Job;
-  using JobPtr = std::unique_ptr<Job>;
+  /// Shared between the queue/worker and the watchdog's watch map: a
+  /// wall-deadline job must stay alive for whichever of the two answers
+  /// it last.
+  using JobPtr = std::shared_ptr<Job>;
 
   Reply handle_submit(const Request& request);
   void run_job(Job& job);
+  /// Deliver-once latch: sets the job's promise if nobody has yet.
+  /// Returns true when this call won the race (worker vs watchdog vs
+  /// crash handler).
+  bool deliver(Job& job, Reply reply);
+  void on_worker_crash(Job& job);
+  void register_watch(const JobPtr& job);
+  void unregister_watch(const Job& job);
+  void watchdog_loop(std::stop_token token);
+  void watchdog_scan(std::chrono::steady_clock::time_point now);
   void record_latency(double seconds);
 
   ServiceConfig config_;
@@ -162,6 +197,9 @@ class SimService {
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> sim_faults_{0};
   std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> wall_deadline_exceeded_{0};
+  std::atomic<std::uint64_t> workers_poisoned_{0};
+  std::atomic<std::uint64_t> watchdog_scans_{0};
 
   mutable std::mutex latency_mutex_;
   RunningStat latency_ms_;
@@ -169,6 +207,17 @@ class SimService {
   /// resolution must sit below typical per-job latency (tiny kernels run
   /// in well under a millisecond) or p50 would quantize to zero.
   Histogram latency_hist_ms_{0.0, 1000.0, 2000};
+
+  /// In-flight wall-deadline jobs keyed by admission serial; only jobs
+  /// with wall_ms > 0 ever enter, so the watchdog idles (cv wait, zero
+  /// scans) when the feature is unused.
+  mutable std::mutex watchdog_mutex_;
+  std::condition_variable_any watchdog_cv_;
+  std::map<std::uint64_t, JobPtr> watch_;
+  std::atomic<std::uint64_t> watch_serial_{0};
+  /// Declared last: destroyed (stop-requested and joined) first, while
+  /// the pool, queue and watch map it samples are still alive.
+  std::jthread watchdog_;
 };
 
 }  // namespace steersim::svc

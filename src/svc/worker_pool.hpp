@@ -1,4 +1,4 @@
-// Persistent, restartable worker pool (docs/SERVICE.md).
+// Persistent, restartable, crash-isolating worker pool (docs/SERVICE.md).
 //
 // Generalizes sim/sweep.hpp's one-shot parallel_map: where parallel_map
 // spawns jthreads for a fixed job vector and joins, WorkerPool keeps N
@@ -7,16 +7,34 @@
 // (graceful shutdown), and joins; start() after stop() reopens the queue
 // and spins up a fresh generation of threads.
 //
-// Job exceptions are the worker's own bug to surface, not the pool's to
-// re-throw after the fact (there is no caller left to receive them, unlike
-// parallel_map): run() callbacks must catch at the job boundary — the
-// service turns them into error replies. An escaping exception would
-// std::terminate via jthread, which is the correct loud failure for a
-// server with a broken job wrapper.
+// Two failure modes are survivable by design (docs/SERVICE.md §Failure
+// modes):
+//
+//   crash — an exception escaping run_() no longer std::terminates the
+//   process. The worker counts it, hands (job, exception) to the optional
+//   crash handler — the service answers a retriable `worker_crashed`
+//   error — and keeps looping. One poisoned job must not cost a worker,
+//   let alone the daemon.
+//
+//   hang — a worker stuck inside run_() (ignoring cooperative
+//   cancellation) can be evicted with replace(slot): its poison flag is
+//   set, the thread is detached, and a fresh thread takes over the same
+//   slot so capacity never shrinks. The detached thread re-checks its
+//   flag at the next job boundary and exits quietly. stop() stays safe in
+//   the presence of detached stragglers: every worker — joined or
+//   detached — counts in `live_`, and stop() blocks until all of them
+//   have signalled exit, so no worker can outlive the pool (and the
+//   queue/service state it references).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -29,6 +47,9 @@ namespace steersim::svc {
 template <typename Job>
 class WorkerPool {
  public:
+  /// Sentinel returned by current_slot() off worker threads.
+  static constexpr unsigned kNoSlot = ~0u;
+
   /// `run` executes one dequeued job; invoked concurrently from every
   /// worker thread, so it must only touch synchronized state.
   template <typename Run>
@@ -40,42 +61,150 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
+  /// Called with (job, exception) when run_() throws; runs on the worker
+  /// thread, must not throw. Set before start().
+  void set_crash_handler(
+      std::function<void(Job&, std::exception_ptr)> handler) {
+    crash_ = std::move(handler);
+  }
+
   /// Spins up `workers` threads (>= 1 enforced). No-op when running.
   void start(unsigned workers) {
     STEERSIM_EXPECTS(workers >= 1);
-    if (running()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!slots_.empty()) {
       return;
     }
     queue_.reopen();
-    threads_.reserve(workers);
+    slots_.resize(workers);
     for (unsigned w = 0; w < workers; ++w) {
-      threads_.emplace_back([this] {
-        while (auto job = queue_.pop()) {
-          run_(*job);
-        }
-      });
+      spawn_locked(w);
     }
   }
 
-  /// Graceful shutdown: close the queue, drain every queued job, join.
+  /// Graceful shutdown: close the queue, drain every queued job, join —
+  /// then wait for any detached (poisoned) stragglers to exit too.
   /// Safe to call repeatedly; start() afterwards restarts the pool.
   void stop() {
-    if (!running()) {
-      return;
+    std::vector<Slot> generation;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (slots_.empty() && live_ == 0) {
+        return;
+      }
+      generation = std::move(slots_);
+      slots_.clear();
     }
     queue_.close();
-    threads_.clear();  // jthread joins
+    for (Slot& slot : generation) {
+      if (slot.thread.joinable()) {
+        slot.thread.join();
+      }
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    exited_.wait(lock, [this] { return live_ == 0; });
   }
 
-  bool running() const { return !threads_.empty(); }
-  unsigned workers() const {
-    return static_cast<unsigned>(threads_.size());
+  /// Evicts the worker in `slot`: poisons it, detaches its thread, and
+  /// spawns a replacement into the same slot. Returns false when the slot
+  /// is unknown or the pool is stopped. The evictee keeps running its
+  /// current job until it reaches a cancellation window — callers answer
+  /// the job's reply themselves (SimService delivers `wall_deadline`
+  /// first, so whatever the straggler eventually produces is dropped by
+  /// the deliver-once latch).
+  bool replace(unsigned slot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (slot >= slots_.size() || !slots_[slot].thread.joinable()) {
+      return false;
+    }
+    slots_[slot].poisoned->store(true, std::memory_order_release);
+    slots_[slot].thread.detach();
+    spawn_locked(slot);
+    replaced_.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
+
+  bool running() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !slots_.empty();
+  }
+  unsigned workers() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<unsigned>(slots_.size());
+  }
+  /// Exceptions that escaped run_() (absorbed, not rethrown).
+  std::uint64_t crashes() const {
+    return crashes_.load(std::memory_order_relaxed);
+  }
+  /// Workers evicted via replace().
+  std::uint64_t replaced() const {
+    return replaced_.load(std::memory_order_relaxed);
+  }
+
+  /// The calling worker thread's slot index, kNoSlot elsewhere. Lets the
+  /// job processor record which slot to replace() if this job wedges.
+  static unsigned current_slot() { return tls_slot_; }
 
  private:
+  struct Slot {
+    std::jthread thread;
+    std::shared_ptr<std::atomic<bool>> poisoned;
+  };
+
+  /// Requires mutex_. `slots_[slot]` may hold a detached predecessor's
+  /// remains; overwriting them is the point.
+  void spawn_locked(unsigned slot) {
+    auto poisoned = std::make_shared<std::atomic<bool>>(false);
+    ++live_;
+    slots_[slot].poisoned = poisoned;
+    slots_[slot].thread = std::jthread(
+        [this, slot, poisoned] { worker_loop(slot, std::move(poisoned)); });
+  }
+
+  void worker_loop(unsigned slot,
+                   std::shared_ptr<std::atomic<bool>> poisoned) {
+    tls_slot_ = slot;
+    while (!poisoned->load(std::memory_order_acquire)) {
+      auto job = queue_.pop();
+      if (!job) {
+        break;
+      }
+      try {
+        run_(*job);
+      } catch (...) {
+        crashes_.fetch_add(1, std::memory_order_relaxed);
+        if (crash_) {
+          crash_(*job, std::current_exception());
+        }
+      }
+    }
+    tls_slot_ = kNoSlot;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --live_;
+      // Notify while still holding the lock: stop()'s waiter can then
+      // only observe live_ == 0 after this broadcast has completed, so
+      // the pool (and this condition variable) is safe to destroy the
+      // moment stop() returns — even with detached stragglers exiting.
+      exited_.notify_all();
+    }
+  }
+
   BoundedQueue<Job>& queue_;
   std::function<void(Job&)> run_;
-  std::vector<std::jthread> threads_;
+  std::function<void(Job&, std::exception_ptr)> crash_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable exited_;
+  std::vector<Slot> slots_;
+  /// Workers spawned but not yet exited, joined *or* detached; stop()
+  /// waits for zero so detached stragglers cannot outlive the pool.
+  std::size_t live_ = 0;
+
+  std::atomic<std::uint64_t> crashes_{0};
+  std::atomic<std::uint64_t> replaced_{0};
+
+  inline static thread_local unsigned tls_slot_ = kNoSlot;
 };
 
 }  // namespace steersim::svc

@@ -8,13 +8,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "sim/json.hpp"
 #include "svc/cache.hpp"
+#include "svc/chaos.hpp"
 #include "svc/protocol.hpp"
 #include "svc/queue.hpp"
 #include "svc/service.hpp"
@@ -67,6 +72,7 @@ TEST(Protocol, SubmitRoundTripsWithDefaultsAndWithEveryFieldSet) {
   full.confirm = 3;
   full.lookahead = true;
   full.seed = 7;
+  full.wall_ms = 1500;
   full.config = {{"fetch_width", 8.0}, {"use_dcache", 1.0}};
   EXPECT_EQ(parsed_request(full), full);
   // Byte-stable: rendering the parsed message reproduces the same bytes.
@@ -217,6 +223,99 @@ TEST(WorkerPool, StopDrainsEveryQueuedJobAndStartRestarts) {
   ASSERT_TRUE(queue.try_push(45));
   pool.stop();
   EXPECT_EQ(sum.load(), 100);
+}
+
+// Spins until `pred` holds; fails the test (returns false) after ~2 s so a
+// broken pool cannot hang the suite.
+template <typename Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+TEST(WorkerPool, CrashingJobIsIsolatedCountedAndHandedToTheHandler) {
+  BoundedQueue<int> queue(8);
+  std::atomic<int> sum{0};
+  std::atomic<int> crashed_job{0};
+  std::atomic<int> handler_runs{0};
+  WorkerPool<int> pool(queue, [&sum](int& job) {
+    if (job == -7) {
+      throw std::runtime_error("boom");
+    }
+    if (job == -9) {
+      throw ChaosCrash{};  // not a std::exception: needs the catch-all
+    }
+    sum += job;
+  });
+  pool.set_crash_handler([&](int& job, std::exception_ptr error) {
+    crashed_job = job;
+    ++handler_runs;
+    EXPECT_NE(error, nullptr);
+  });
+
+  pool.start(2);
+  for (const int job : {-7, 1, 2, 3}) {
+    ASSERT_TRUE(queue.try_push(job));
+  }
+  pool.stop();
+  EXPECT_EQ(sum.load(), 6) << "the crash costs one job, not the pool";
+  EXPECT_EQ(pool.crashes(), 1u);
+  EXPECT_EQ(handler_runs.load(), 1);
+  EXPECT_EQ(crashed_job.load(), -7);
+
+  // Restart after the exception: the next generation is undamaged, and a
+  // crash that is NOT a std::exception is absorbed just the same.
+  pool.start(1);
+  ASSERT_TRUE(queue.try_push(-9));
+  ASSERT_TRUE(queue.try_push(4));
+  pool.stop();
+  EXPECT_EQ(sum.load(), 10);
+  EXPECT_EQ(pool.crashes(), 2u);
+  EXPECT_EQ(crashed_job.load(), -9);
+}
+
+TEST(WorkerPool, ReplaceEvictsAWedgedWorkerWithoutLosingCapacity) {
+  BoundedQueue<int> queue(8);
+  std::atomic<bool> wedged{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> done{0};
+  std::atomic<unsigned> seen_slot{WorkerPool<int>::kNoSlot};
+  WorkerPool<int> pool(queue, [&](int& job) {
+    seen_slot = WorkerPool<int>::current_slot();
+    if (job == 0) {  // simulates a worker that ignores cancellation
+      wedged = true;
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    ++done;
+  });
+  EXPECT_EQ(WorkerPool<int>::current_slot(), WorkerPool<int>::kNoSlot)
+      << "only worker threads have a slot";
+
+  pool.start(1);
+  ASSERT_TRUE(queue.try_push(0));
+  ASSERT_TRUE(eventually([&] { return wedged.load(); }));
+  EXPECT_EQ(seen_slot.load(), 0u);
+
+  EXPECT_FALSE(pool.replace(99)) << "unknown slot";
+  ASSERT_TRUE(pool.replace(0));
+  EXPECT_EQ(pool.replaced(), 1u);
+  EXPECT_EQ(pool.workers(), 1u) << "the slot is refilled, not removed";
+
+  // The replacement serves new work while the evictee is still stuck.
+  ASSERT_TRUE(queue.try_push(5));
+  ASSERT_TRUE(eventually([&] { return done.load() == 1; }));
+
+  release = true;  // let the detached straggler reach its exit check
+  pool.stop();     // waits for joined AND detached workers
+  EXPECT_EQ(done.load(), 2);
+  EXPECT_FALSE(pool.replace(0)) << "stopped pools have nothing to evict";
 }
 
 // ---------------------------------------------------------------------------
@@ -448,6 +547,203 @@ TEST(SimService, JobDigestIsStableAndInputSensitive) {
   EXPECT_EQ(a, SimService::job_digest("halt\n", "fetch_width=4;"));
   EXPECT_NE(a, SimService::job_digest("halt\n", "fetch_width=8;"));
   EXPECT_NE(a, SimService::job_digest("nop\nhalt\n", "fetch_width=4;"));
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock deadlines and the watchdog (docs/SERVICE.md §Failure modes).
+
+/// Installs a programmatic chaos injector for one test and guarantees it
+/// is removed again even on assertion failure. Tests must quiesce any
+/// thread that might still be inside an injector hook (e.g. sleep past
+/// stall_ms) before the guard's scope ends.
+class ChaosGuard {
+ public:
+  explicit ChaosGuard(const ChaosSpec& spec) {
+    ChaosInjector::install(std::make_unique<ChaosInjector>(spec));
+  }
+  ~ChaosGuard() { ChaosInjector::install(nullptr); }
+  ChaosGuard(const ChaosGuard&) = delete;
+  ChaosGuard& operator=(const ChaosGuard&) = delete;
+};
+
+TEST(SimService, WallDeadlineCancelsOverdueJobCooperatively) {
+  SimService service({.workers = 1,
+                      .queue_capacity = 4,
+                      .cancel_check_cycles = 512,
+                      .watchdog_poll_ms = 5,
+                      // Generous grace: the worker notices the cooperative
+                      // cancel long before the poison path would fire.
+                      .watchdog_grace_ms = 10'000});
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.asm_source = "loop:\n  addi r1, r1, 1\n  beq r0, r0, loop\n";
+  request.max_cycles = 40'000'000;
+  request.wall_ms = 30;
+
+  const Reply reply = service.handle(request);
+  ASSERT_EQ(reply.type, ReplyType::kError) << reply.message;
+  EXPECT_EQ(reply.code, error_code::kWallDeadline);
+  EXPECT_TRUE(reply.retriable) << "a wall deadline invites a resubmit";
+  EXPECT_NE(reply.message.find("wall deadline"), std::string::npos);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.wall_deadline_exceeded, 1u);
+  EXPECT_EQ(stats.workers_poisoned, 0u)
+      << "a cooperative worker must not be evicted";
+  EXPECT_GE(stats.watchdog_scans, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(SimService, PlainJobsNeverWakeTheWatchdog) {
+  SimService service({.workers = 1, .queue_capacity = 4});
+  ASSERT_EQ(service.handle(submit_kernel("fib")).type, ReplyType::kResult);
+  EXPECT_EQ(service.stats().watchdog_scans, 0u)
+      << "without wall_ms the watchdog sleeps: zero overhead";
+}
+
+TEST(SimService, WallDeadlineIsAnSlaNotPartOfTheCacheDigest) {
+  SimService service({.workers = 1, .queue_capacity = 4});
+  const Reply cold = service.handle(submit_kernel("fib"));
+  ASSERT_EQ(cold.type, ReplyType::kResult) << cold.message;
+
+  Request again = submit_kernel("fib");
+  again.wall_ms = 60'000;  // generous: can never fire
+  const Reply hit = service.handle(again);
+  ASSERT_EQ(hit.type, ReplyType::kResult) << hit.message;
+  EXPECT_EQ(hit.cache, "hit") << "wall_ms changes no simulated semantics";
+  EXPECT_EQ(hit.digest, cold.digest);
+}
+
+TEST(SimService, WedgedWorkerIsPoisonedReplacedAndTheReplyStillArrives) {
+  ChaosSpec spec;
+  spec.site(ChaosSite::kWorkerStall) = 1.0;
+  spec.stall_ms = 300;  // ignores cancellation far past the grace window
+  spec.seed = 9;
+  const ChaosGuard chaos(spec);
+
+  SimService service({.workers = 1,
+                      .queue_capacity = 4,
+                      .cache_entries = 0,
+                      .watchdog_poll_ms = 5,
+                      .watchdog_grace_ms = 40});
+  Request request = submit_kernel("fib");
+  request.wall_ms = 20;
+  const Reply reply = service.handle(request);
+  ASSERT_EQ(reply.type, ReplyType::kError) << reply.message;
+  EXPECT_EQ(reply.code, error_code::kWallDeadline);
+  EXPECT_TRUE(reply.retriable);
+
+  // deliver() unblocks this thread *before* the watchdog finishes the
+  // eviction bookkeeping: wait for the poison counter, don't race it.
+  EXPECT_TRUE(eventually(
+      [&] { return service.stats().workers_poisoned == 1; }));
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.workers_poisoned, 1u);
+  EXPECT_EQ(stats.wall_deadline_exceeded, 1u);
+  EXPECT_EQ(stats.workers, 1u) << "capacity survives the eviction";
+
+  // Let the detached straggler clear its stall and exit before the guard
+  // tears the injector down, then prove the replacement worker is healthy.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  ChaosInjector::install(nullptr);
+  const Reply ok = service.handle(submit_kernel("fib"));
+  EXPECT_EQ(ok.type, ReplyType::kResult) << ok.message;
+  EXPECT_EQ(service.stats().completed, 1u);
+}
+
+TEST(SimService, WorkerCrashAnswersRetriableErrorAndThePoolSurvives) {
+  ChaosSpec spec;
+  spec.site(ChaosSite::kWorkerCrash) = 1.0;
+  spec.seed = 3;
+  const ChaosGuard chaos(spec);
+
+  SimService service({.workers = 2, .queue_capacity = 4});
+  const Reply reply = service.handle(submit_kernel("fib"));
+  ASSERT_EQ(reply.type, ReplyType::kError) << reply.message;
+  EXPECT_EQ(reply.code, error_code::kWorkerCrashed);
+  EXPECT_TRUE(reply.retriable);
+  EXPECT_EQ(service.stats().worker_crashes, 1u);
+
+  ChaosInjector::install(nullptr);
+  const Reply ok = service.handle(submit_kernel("fib"));
+  ASSERT_EQ(ok.type, ReplyType::kResult)
+      << "a crash consumes a job, never a worker: " << ok.message;
+  EXPECT_EQ(ok.cache, "miss") << "the crashed attempt cached nothing";
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.workers, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// ChaosSpec grammar and ChaosInjector determinism.
+
+TEST(Chaos, SpecParsesProbabilitiesDurationsAndSeed) {
+  ChaosSpec spec;
+  std::string error;
+  ASSERT_TRUE(ChaosSpec::parse(
+      "corrupt=0.15, drop=0.1, stall=1, stall_ms=40 : 4242", spec, error))
+      << error;
+  EXPECT_DOUBLE_EQ(spec.site(ChaosSite::kFrameCorrupt), 0.15);
+  EXPECT_DOUBLE_EQ(spec.site(ChaosSite::kFrameDrop), 0.1);
+  EXPECT_DOUBLE_EQ(spec.site(ChaosSite::kWorkerStall), 1.0);
+  EXPECT_DOUBLE_EQ(spec.site(ChaosSite::kWorkerCrash), 0.0);
+  EXPECT_EQ(spec.stall_ms, 40u);
+  EXPECT_EQ(spec.seed, 4242u);
+  EXPECT_TRUE(spec.any());
+}
+
+TEST(Chaos, SpecRejectsMalformedInput) {
+  ChaosSpec spec;
+  std::string error;
+  EXPECT_FALSE(ChaosSpec::parse("", spec, error));
+  EXPECT_FALSE(ChaosSpec::parse("warp_drive=0.5", spec, error))
+      << "unknown key";
+  EXPECT_FALSE(ChaosSpec::parse("drop=1.5", spec, error))
+      << "probability above 1";
+  EXPECT_FALSE(ChaosSpec::parse("drop=-0.1", spec, error));
+  EXPECT_FALSE(ChaosSpec::parse("drop=0.5:nope", spec, error))
+      << "non-numeric seed";
+  EXPECT_FALSE(ChaosSpec::parse("stall_ms=40", spec, error))
+      << "durations alone enable no site";
+  EXPECT_FALSE(ChaosSpec::parse("drop=0", spec, error))
+      << "all-zero spec is a configuration mistake, not silence";
+  EXPECT_FALSE(ChaosSpec::parse("drop", spec, error)) << "missing '='";
+}
+
+TEST(Chaos, SameSpecReplaysTheSameInjectionSequence) {
+  ChaosSpec spec;
+  spec.site(ChaosSite::kFrameDrop) = 0.5;
+  spec.seed = 77;
+  ChaosInjector a(spec);
+  ChaosInjector b(spec);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.roll(ChaosSite::kFrameDrop), b.roll(ChaosSite::kFrameDrop));
+  }
+  EXPECT_EQ(a.count(ChaosSite::kFrameDrop), b.count(ChaosSite::kFrameDrop));
+  EXPECT_GT(a.count(ChaosSite::kFrameDrop), 0u);
+  EXPECT_LT(a.count(ChaosSite::kFrameDrop), 200u);
+  EXPECT_FALSE(a.roll(ChaosSite::kWorkerCrash))
+      << "zero-probability sites consume no randomness";
+}
+
+TEST(Chaos, CorruptFlipsExactlyOneBit) {
+  ChaosSpec spec;
+  spec.site(ChaosSite::kFrameCorrupt) = 1.0;
+  spec.seed = 11;
+  ChaosInjector injector(spec);
+  const std::string original = R"({"id":"j","type":"pong"})";
+  std::string frame = original;
+  ASSERT_TRUE(injector.corrupt(frame));
+  ASSERT_EQ(frame.size(), original.size());
+  int flipped = 0;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    flipped += std::popcount(static_cast<unsigned char>(
+        static_cast<unsigned char>(frame[i]) ^
+        static_cast<unsigned char>(original[i])));
+  }
+  EXPECT_EQ(flipped, 1);
+  EXPECT_EQ(injector.count(ChaosSite::kFrameCorrupt), 1u);
+  EXPECT_EQ(injector.summary(), "corrupt=1");
 }
 
 }  // namespace

@@ -1,0 +1,417 @@
+// proto_fuzz — mutational protocol fuzz harness for steersimd
+// (docs/SERVICE.md §Failure modes).
+//
+//   $ proto_fuzz [--frames N] [--seed S] [--socket PATH]
+//
+// Self-hosts a SimService + SocketServer on a private socket, then throws
+// N seeded mutations of valid protocol frames at it: bit flips, span
+// deletions/duplications, junk insertion, digit-run inflation (the
+// "max_cycles": 99999... classics), truncation, frame concatenation and
+// embedded newlines. The contract under test is the server's worst-case
+// posture, not its parser's taste: for EVERY mutant the daemon must
+// either answer a typed error / normal reply or cleanly drop the
+// connection — never crash, never wedge. Each iteration chases the
+// mutant with a uniquely-id'd ping on the same connection; because the
+// server answers frames in order, seeing that pong proves the mutant was
+// fully digested. EOF counts as a clean drop. Only a deadline expiry
+// (hang) or a dead server fails the run, with the offending iteration,
+// seed and mutant bytes printed for replay.
+//
+// Exit codes: 0 all mutants handled, 1 hang/crash detected, 2 usage.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "svc/protocol.hpp"
+
+#if !defined(_WIN32)
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <thread>
+
+#include "svc/server.hpp"
+#include "svc/service.hpp"
+#endif
+
+using namespace steersim;
+using namespace steersim::svc;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--frames N] [--seed S] [--socket PATH]\n",
+               argv0);
+  return 2;
+}
+
+/// Valid frames the mutator starts from — every request kind except
+/// shutdown (the fuzz run must outlive its own inputs).
+std::vector<std::string> build_corpus() {
+  std::vector<std::string> corpus;
+  Request ping;
+  ping.type = RequestType::kPing;
+  ping.id = "corpus-ping";
+  corpus.push_back(ping.to_json());
+  Request stats;
+  stats.type = RequestType::kStats;
+  corpus.push_back(stats.to_json());
+  Request submit;
+  submit.type = RequestType::kSubmit;
+  submit.id = "corpus-submit";
+  submit.kernel = "fib";
+  submit.max_cycles = 1000;
+  corpus.push_back(submit.to_json());
+  submit.kernel = "";
+  submit.asm_source = "loop:\n  addi r1, r1, 1\n  beq r0, r0, loop\n";
+  submit.policy = "oracle";
+  submit.wall_ms = 50;
+  submit.config.emplace_back("fetch_width", 4.0);
+  corpus.push_back(submit.to_json());
+  Request knobs;
+  knobs.type = RequestType::kSubmit;
+  knobs.kernel = "crc_mix";
+  knobs.interval = 64;
+  knobs.confirm = 2;
+  knobs.lookahead = true;
+  knobs.seed = 7;
+  corpus.push_back(knobs.to_json());
+  return corpus;
+}
+
+/// Applies 1-3 random mutations drawn from the classic mutational-fuzz
+/// menu. May return an empty string (total truncation) — still a legal
+/// thing to throw at a server.
+std::string mutate(const std::vector<std::string>& corpus, Xoshiro256& rng) {
+  std::string frame = corpus[static_cast<std::size_t>(
+      rng.next_below(corpus.size()))];
+  const std::uint64_t rounds = 1 + rng.next_below(3);
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    switch (rng.next_below(8)) {
+      case 0: {  // bit flip
+        if (frame.empty()) {
+          break;
+        }
+        const std::size_t pos =
+            static_cast<std::size_t>(rng.next_below(frame.size()));
+        frame[pos] = static_cast<char>(
+            static_cast<unsigned char>(frame[pos]) ^
+            (1u << rng.next_below(8)));
+        break;
+      }
+      case 1: {  // delete a span
+        if (frame.empty()) {
+          break;
+        }
+        const std::size_t start =
+            static_cast<std::size_t>(rng.next_below(frame.size()));
+        const std::size_t len = 1 + static_cast<std::size_t>(rng.next_below(
+                                        frame.size() - start));
+        frame.erase(start, len);
+        break;
+      }
+      case 2: {  // duplicate a span
+        if (frame.empty()) {
+          break;
+        }
+        const std::size_t start =
+            static_cast<std::size_t>(rng.next_below(frame.size()));
+        const std::size_t len =
+            1 + static_cast<std::size_t>(
+                    rng.next_below(std::min<std::size_t>(
+                        32, frame.size() - start)));
+        frame.insert(start, frame.substr(start, len));
+        break;
+      }
+      case 3: {  // insert junk bytes
+        const std::size_t pos = static_cast<std::size_t>(
+            rng.next_below(frame.size() + 1));
+        std::string junk;
+        const std::uint64_t count = 1 + rng.next_below(8);
+        for (std::uint64_t j = 0; j < count; ++j) {
+          junk += static_cast<char>(rng.next_below(256));
+        }
+        frame.insert(pos, junk);
+        break;
+      }
+      case 4: {  // inflate a digit run into a huge number
+        const std::size_t digit = frame.find_first_of("0123456789");
+        if (digit == std::string::npos) {
+          break;
+        }
+        std::size_t end = digit;
+        while (end < frame.size() &&
+               frame[end] >= '0' && frame[end] <= '9') {
+          ++end;
+        }
+        std::string huge = "9";
+        const std::uint64_t digits = 1 + rng.next_below(30);
+        for (std::uint64_t d = 0; d < digits; ++d) {
+          huge += static_cast<char>('0' + rng.next_below(10));
+        }
+        frame.replace(digit, end - digit, huge);
+        break;
+      }
+      case 5: {  // truncate
+        frame.resize(static_cast<std::size_t>(
+            rng.next_below(frame.size() + 1)));
+        break;
+      }
+      case 6: {  // concatenate another corpus frame (framing confusion)
+        frame += corpus[static_cast<std::size_t>(
+            rng.next_below(corpus.size()))];
+        break;
+      }
+      case 7: {  // embed a newline (splits into two bogus frames)
+        const std::size_t pos = static_cast<std::size_t>(
+            rng.next_below(frame.size() + 1));
+        frame.insert(pos, 1, '\n');
+        break;
+      }
+    }
+  }
+  return frame;
+}
+
+}  // namespace
+
+#if defined(_WIN32)
+
+int main(int, char**) {
+  std::fprintf(stderr,
+               "proto_fuzz: Unix domain sockets unavailable; skipping\n");
+  return 0;
+}
+
+#else
+
+namespace {
+
+int connect_to(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+#if defined(MSG_NOSIGNAL)
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd, data.data(), data.size());
+#endif
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+enum class Outcome { kSurvived, kDropped, kHang };
+
+/// Reads replies until the chaser pong (or EOF / the deadline). The pong
+/// id is matched as a substring of any reply line, which is robust even
+/// if earlier mutant-triggered replies interleave.
+Outcome await_pong(int fd, const std::string& pong_id, int deadline_ms) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) {
+        break;
+      }
+      const std::string_view line(buffer.data() + start, newline - start);
+      if (line.find(pong_id) != std::string_view::npos) {
+        return Outcome::kSurvived;
+      }
+      start = newline + 1;
+    }
+    buffer.erase(0, start);
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, deadline_ms);
+    if (ready < 0 && errno == EINTR) {
+      continue;
+    }
+    if (ready == 0) {
+      return Outcome::kHang;
+    }
+    if (ready < 0) {
+      return Outcome::kDropped;
+    }
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return Outcome::kDropped;  // clean close is an acceptable answer
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void dump_mutant(const std::string& mutant) {
+  std::fprintf(stderr, "mutant (%zu bytes):", mutant.size());
+  for (const char c : mutant) {
+    std::fprintf(stderr, " %02x", static_cast<unsigned char>(c));
+  }
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t frames = 10'000;
+  std::uint64_t seed = 1;
+  std::string socket_path;
+  for (int a = 1; a < argc; ++a) {
+    const auto flag_u64 = [&](std::uint64_t& out) {
+      if (a + 1 >= argc) {
+        return false;
+      }
+      const auto value = parse_positive_u64(argv[++a]);
+      if (!value) {
+        return false;
+      }
+      out = *value;
+      return true;
+    };
+    if (std::strcmp(argv[a], "--frames") == 0) {
+      if (!flag_u64(frames)) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[a], "--seed") == 0) {
+      if (!flag_u64(seed)) {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[a], "--socket") == 0) {
+      if (a + 1 >= argc) {
+        return usage(argv[0]);
+      }
+      socket_path = argv[++a];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (socket_path.empty()) {
+    socket_path =
+        "/tmp/steersim-fuzz-" + std::to_string(::getpid()) + ".sock";
+  }
+
+  // Small budgets keep even a mutant that parses into a *valid* submit
+  // cheap; a short idle timeout exercises the slowloris guard too.
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_capacity = 16;
+  config.cache_entries = 128;
+  config.default_max_cycles = 2'000;
+  config.max_cycles_ceiling = 20'000;
+  SimService service(config);
+  ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  server_options.idle_timeout_ms = 2'000;
+  SocketServer server(service, server_options);
+  if (!server.listen()) {
+    return 1;
+  }
+  std::jthread serve_thread([&server] { server.serve(); });
+
+  const std::vector<std::string> corpus = build_corpus();
+  Xoshiro256 rng(seed);
+  std::uint64_t survived = 0;
+  std::uint64_t dropped = 0;
+  constexpr int kDeadlineMs = 5'000;
+
+  for (std::uint64_t i = 0; i < frames; ++i) {
+    const int fd = connect_to(socket_path);
+    if (fd < 0) {
+      std::fprintf(stderr,
+                   "proto_fuzz: FAIL at iteration %llu: cannot connect "
+                   "(server died?)\n",
+                   static_cast<unsigned long long>(i));
+      return 1;
+    }
+    const std::string mutant = mutate(corpus, rng);
+    const std::string pong_id = "fz-" + std::to_string(i);
+    Request chaser;
+    chaser.type = RequestType::kPing;
+    chaser.id = pong_id;
+    // Terminate the mutant with our own newline so the chaser is always
+    // its own frame, whatever the mutant did to its framing.
+    const bool sent = send_all(fd, mutant) && send_all(fd, "\n") &&
+                      send_all(fd, chaser.to_json() + "\n");
+    const Outcome outcome =
+        sent ? await_pong(fd, pong_id, kDeadlineMs) : Outcome::kDropped;
+    ::close(fd);
+    switch (outcome) {
+      case Outcome::kSurvived:
+        ++survived;
+        break;
+      case Outcome::kDropped:
+        ++dropped;
+        break;
+      case Outcome::kHang:
+        std::fprintf(stderr,
+                     "proto_fuzz: FAIL at iteration %llu (seed %llu): no "
+                     "reply within %d ms\n",
+                     static_cast<unsigned long long>(i),
+                     static_cast<unsigned long long>(seed), kDeadlineMs);
+        dump_mutant(mutant);
+        return 1;
+    }
+  }
+
+  // Clean shutdown proves the daemon is still fully in control.
+  const int fd = connect_to(socket_path);
+  if (fd < 0) {
+    std::fprintf(stderr, "proto_fuzz: FAIL: server gone at shutdown\n");
+    return 1;
+  }
+  Request shutdown_request;
+  shutdown_request.type = RequestType::kShutdown;
+  shutdown_request.id = "fz-shutdown";
+  send_all(fd, shutdown_request.to_json() + "\n");
+  const Outcome outcome = await_pong(fd, "fz-shutdown", kDeadlineMs);
+  ::close(fd);
+  serve_thread.join();
+  if (outcome == Outcome::kHang) {
+    std::fprintf(stderr, "proto_fuzz: FAIL: shutdown hung\n");
+    return 1;
+  }
+  std::printf("proto_fuzz: %llu mutants, %llu answered, %llu dropped, "
+              "0 hangs (seed %llu)\n",
+              static_cast<unsigned long long>(frames),
+              static_cast<unsigned long long>(survived),
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
+
+#endif  // !defined(_WIN32)

@@ -4,15 +4,23 @@
 //   $ steersim_client <socket> stats
 //   $ steersim_client <socket> shutdown
 //   $ steersim_client <socket> submit --kernel fib [--policy steered]
-//       [--max-cycles N] [--interval N] [--confirm N] [--lookahead]
-//       [--seed N] [--set knob=value]... [--id ID]
+//       [--max-cycles N] [--wall-ms N] [--interval N] [--confirm N]
+//       [--lookahead] [--seed N] [--set knob=value]... [--id ID]
 //       [--expect-cache hit|miss] [--expect-error CODE]
 //   $ steersim_client <socket> submit --asm-file prog.s ...
 //
-// Prints the reply line verbatim. Exit codes: 0 success (and every
-// --expect assertion held), 1 transport/protocol failure, 2 usage,
-// 3 unexpected error reply, 4 an --expect assertion failed — distinct
-// codes so CI smoke scripts can assert cache hits and deadline rejects.
+// Every command also takes [--retries N] [--timeout-ms N] [--backoff-ms N]:
+// the CLI is a thin shell over the SteersimClient library (svc/client.hpp),
+// so it reconnects on EOF and retries retriable errors with jittered
+// backoff — under a chaos-injected daemon it simply keeps going until the
+// job completes or the attempt budget runs out.
+//
+// Prints the reply line verbatim (the canonical rendering — byte-identical
+// to what the server sent). Exit codes: 0 success (and every --expect
+// assertion held), 1 transport/protocol failure (including retry budget
+// exhausted), 2 usage, 3 unexpected error reply, 4 an --expect assertion
+// failed — distinct codes so CI smoke scripts can assert cache hits and
+// deadline rejects.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,15 +29,8 @@
 #include <string>
 
 #include "common/strings.hpp"
+#include "svc/client.hpp"
 #include "svc/protocol.hpp"
-
-#if !defined(_WIN32)
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
-#endif
 
 using namespace steersim;
 using namespace steersim::svc;
@@ -39,81 +40,17 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <socket-path> ping|stats|shutdown\n"
+      "usage: %s <socket-path> ping|stats|shutdown [common flags]\n"
       "       %s <socket-path> submit (--kernel NAME | --asm-file PATH)\n"
-      "           [--policy P] [--max-cycles N] [--interval N] [--confirm N]\n"
-      "           [--lookahead] [--seed N] [--set knob=value]... [--id ID]\n"
-      "           [--expect-cache hit|miss] [--expect-error CODE]\n",
+      "           [--policy P] [--max-cycles N] [--wall-ms N]\n"
+      "           [--interval N] [--confirm N] [--lookahead] [--seed N]\n"
+      "           [--set knob=value]... [--id ID]\n"
+      "           [--expect-cache hit|miss] [--expect-error CODE]\n"
+      "           [common flags]\n"
+      "common flags: [--retries N] [--timeout-ms N] [--backoff-ms N]\n",
       argv0, argv0);
   return 2;
 }
-
-#if !defined(_WIN32)
-
-/// One round trip: connect, send the request line, read one reply line.
-int exchange(const std::string& socket_path, const std::string& request_line,
-             std::string& reply_line) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "socket path too long: %s\n", socket_path.c_str());
-    return 1;
-  }
-  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("socket");
-    return 1;
-  }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    std::perror(("connect " + socket_path).c_str());
-    ::close(fd);
-    return 1;
-  }
-  const std::string frame = request_line + "\n";
-  std::size_t sent = 0;
-  while (sent < frame.size()) {
-    const ssize_t n = ::write(fd, frame.data() + sent, frame.size() - sent);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) {
-        continue;
-      }
-      std::perror("write");
-      ::close(fd);
-      return 1;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  reply_line.clear();
-  char chunk[4096];
-  while (reply_line.find('\n') == std::string::npos) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    if (n <= 0) {
-      std::fprintf(stderr, "connection closed before a reply arrived\n");
-      ::close(fd);
-      return 1;
-    }
-    reply_line.append(chunk, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-  reply_line.resize(reply_line.find('\n'));
-  return 0;
-}
-
-#else
-
-int exchange(const std::string&, const std::string&, std::string&) {
-  std::fprintf(stderr,
-               "steersim_client: Unix domain sockets unavailable on this "
-               "platform\n");
-  return 1;
-}
-
-#endif
 
 }  // namespace
 
@@ -121,132 +58,159 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     return usage(argv[0]);
   }
-  const std::string socket_path = argv[1];
+  ClientOptions options;
+  options.socket_path = argv[1];
   const std::string command = argv[2];
 
   Request request;
   std::string expect_cache;
   std::string expect_error;
+  bool retries_set = false;
+  const bool is_submit = command == "submit";
   if (command == "ping") {
     request.type = RequestType::kPing;
   } else if (command == "stats") {
     request.type = RequestType::kStats;
   } else if (command == "shutdown") {
     request.type = RequestType::kShutdown;
-  } else if (command == "submit") {
+  } else if (is_submit) {
     request.type = RequestType::kSubmit;
-    for (int a = 3; a < argc; ++a) {
-      const auto flag_value = [&](std::string& out) {
-        if (a + 1 >= argc) {
-          return false;
-        }
-        out = argv[++a];
-        return true;
-      };
-      const auto flag_u64 = [&](std::uint64_t& out) {
-        std::string text;
-        if (!flag_value(text)) {
-          return false;
-        }
-        const auto value = parse_positive_u64(text);
-        if (!value) {
-          return false;
-        }
-        out = *value;
-        return true;
-      };
-      std::string text;
-      if (std::strcmp(argv[a], "--kernel") == 0) {
-        if (!flag_value(request.kernel)) {
-          return usage(argv[0]);
-        }
-      } else if (std::strcmp(argv[a], "--asm-file") == 0) {
-        if (!flag_value(text)) {
-          return usage(argv[0]);
-        }
-        std::ifstream file(text);
-        if (!file) {
-          std::fprintf(stderr, "cannot open '%s'\n", text.c_str());
-          return 2;
-        }
-        std::stringstream buffer;
-        buffer << file.rdbuf();
-        request.asm_source = buffer.str();
-      } else if (std::strcmp(argv[a], "--policy") == 0) {
-        if (!flag_value(request.policy)) {
-          return usage(argv[0]);
-        }
-      } else if (std::strcmp(argv[a], "--max-cycles") == 0) {
-        if (!flag_u64(request.max_cycles)) {
-          return usage(argv[0]);
-        }
-      } else if (std::strcmp(argv[a], "--interval") == 0) {
-        if (!flag_u64(request.interval)) {
-          return usage(argv[0]);
-        }
-      } else if (std::strcmp(argv[a], "--confirm") == 0) {
-        if (!flag_u64(request.confirm)) {
-          return usage(argv[0]);
-        }
-      } else if (std::strcmp(argv[a], "--lookahead") == 0) {
-        request.lookahead = true;
-      } else if (std::strcmp(argv[a], "--seed") == 0) {
-        if (!flag_u64(request.seed)) {
-          return usage(argv[0]);
-        }
-      } else if (std::strcmp(argv[a], "--set") == 0) {
-        if (!flag_value(text)) {
-          return usage(argv[0]);
-        }
-        const std::size_t eq = text.find('=');
-        if (eq == std::string::npos || eq == 0) {
-          std::fprintf(stderr, "--set expects knob=value, got '%s'\n",
-                       text.c_str());
-          return 2;
-        }
-        request.config.emplace_back(text.substr(0, eq),
-                                    std::strtod(text.c_str() + eq + 1,
-                                                nullptr));
-      } else if (std::strcmp(argv[a], "--id") == 0) {
-        if (!flag_value(request.id)) {
-          return usage(argv[0]);
-        }
-      } else if (std::strcmp(argv[a], "--expect-cache") == 0) {
-        if (!flag_value(expect_cache)) {
-          return usage(argv[0]);
-        }
-      } else if (std::strcmp(argv[a], "--expect-error") == 0) {
-        if (!flag_value(expect_error)) {
-          return usage(argv[0]);
-        }
-      } else {
-        std::fprintf(stderr, "unknown flag '%s'\n", argv[a]);
-        return usage(argv[0]);
-      }
-    }
-    if (request.kernel.empty() == request.asm_source.empty()) {
-      std::fprintf(stderr,
-                   "submit needs exactly one of --kernel / --asm-file\n");
-      return 2;
-    }
   } else {
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage(argv[0]);
   }
 
-  std::string reply_line;
-  const int transport = exchange(socket_path, request.to_json(), reply_line);
-  if (transport != 0) {
-    return transport;
+  for (int a = 3; a < argc; ++a) {
+    const auto flag_value = [&](std::string& out) {
+      if (a + 1 >= argc) {
+        return false;
+      }
+      out = argv[++a];
+      return true;
+    };
+    const auto flag_u64 = [&](std::uint64_t& out) {
+      std::string text;
+      if (!flag_value(text)) {
+        return false;
+      }
+      const auto value = parse_positive_u64(text);
+      if (!value) {
+        return false;
+      }
+      out = *value;
+      return true;
+    };
+    std::string text;
+    std::uint64_t number = 0;
+    if (std::strcmp(argv[a], "--retries") == 0) {
+      if (!flag_u64(number)) {
+        return usage(argv[0]);
+      }
+      options.max_attempts = static_cast<unsigned>(number);
+      retries_set = true;
+    } else if (std::strcmp(argv[a], "--timeout-ms") == 0) {
+      if (!flag_u64(number)) {
+        return usage(argv[0]);
+      }
+      options.read_timeout_ms = number;
+      options.connect_timeout_ms = number;
+    } else if (std::strcmp(argv[a], "--backoff-ms") == 0) {
+      if (!flag_u64(number)) {
+        return usage(argv[0]);
+      }
+      options.backoff_base_ms = number;
+    } else if (std::strcmp(argv[a], "--id") == 0) {
+      if (!flag_value(request.id)) {
+        return usage(argv[0]);
+      }
+    } else if (is_submit && std::strcmp(argv[a], "--kernel") == 0) {
+      if (!flag_value(request.kernel)) {
+        return usage(argv[0]);
+      }
+    } else if (is_submit && std::strcmp(argv[a], "--asm-file") == 0) {
+      if (!flag_value(text)) {
+        return usage(argv[0]);
+      }
+      std::ifstream file(text);
+      if (!file) {
+        std::fprintf(stderr, "cannot open '%s'\n", text.c_str());
+        return 2;
+      }
+      std::stringstream buffer;
+      buffer << file.rdbuf();
+      request.asm_source = buffer.str();
+    } else if (is_submit && std::strcmp(argv[a], "--policy") == 0) {
+      if (!flag_value(request.policy)) {
+        return usage(argv[0]);
+      }
+    } else if (is_submit && std::strcmp(argv[a], "--max-cycles") == 0) {
+      if (!flag_u64(request.max_cycles)) {
+        return usage(argv[0]);
+      }
+    } else if (is_submit && std::strcmp(argv[a], "--wall-ms") == 0) {
+      if (!flag_u64(request.wall_ms)) {
+        return usage(argv[0]);
+      }
+    } else if (is_submit && std::strcmp(argv[a], "--interval") == 0) {
+      if (!flag_u64(request.interval)) {
+        return usage(argv[0]);
+      }
+    } else if (is_submit && std::strcmp(argv[a], "--confirm") == 0) {
+      if (!flag_u64(request.confirm)) {
+        return usage(argv[0]);
+      }
+    } else if (is_submit && std::strcmp(argv[a], "--lookahead") == 0) {
+      request.lookahead = true;
+    } else if (is_submit && std::strcmp(argv[a], "--seed") == 0) {
+      if (!flag_u64(request.seed)) {
+        return usage(argv[0]);
+      }
+    } else if (is_submit && std::strcmp(argv[a], "--set") == 0) {
+      if (!flag_value(text)) {
+        return usage(argv[0]);
+      }
+      const std::size_t eq = text.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "--set expects knob=value, got '%s'\n",
+                     text.c_str());
+        return 2;
+      }
+      request.config.emplace_back(text.substr(0, eq),
+                                  std::strtod(text.c_str() + eq + 1,
+                                              nullptr));
+    } else if (is_submit && std::strcmp(argv[a], "--expect-cache") == 0) {
+      if (!flag_value(expect_cache)) {
+        return usage(argv[0]);
+      }
+    } else if (is_submit && std::strcmp(argv[a], "--expect-error") == 0) {
+      if (!flag_value(expect_error)) {
+        return usage(argv[0]);
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[a]);
+      return usage(argv[0]);
+    }
   }
-  std::printf("%s\n", reply_line.c_str());
+  if (is_submit && request.kernel.empty() == request.asm_source.empty()) {
+    std::fprintf(stderr,
+                 "submit needs exactly one of --kernel / --asm-file\n");
+    return 2;
+  }
+  if (!expect_error.empty() && !retries_set) {
+    // The caller is *asserting* an error reply; retrying a retriable one
+    // away would turn the assertion into a timeout-shaped mystery.
+    options.max_attempts = 1;
+  }
 
-  Reply reply;
-  std::string parse_error;
-  if (!Reply::parse(reply_line, reply, parse_error)) {
-    std::fprintf(stderr, "malformed reply: %s\n", parse_error.c_str());
+  SteersimClient client(options);
+  const Reply reply = client.call(request);
+  if (reply.type == ReplyType::kError &&
+      reply.code == error_code::kTransport) {
+    std::fprintf(stderr, "transport failure: %s\n", reply.message.c_str());
     return 1;
   }
+  std::printf("%s\n", reply.to_json().c_str());
+
   if (!expect_error.empty()) {
     if (reply.type != ReplyType::kError || reply.code != expect_error) {
       std::fprintf(stderr, "expected error '%s', got %s reply%s%s\n",

@@ -2,16 +2,21 @@
 //
 //   $ steersimd /tmp/steersim.sock [--workers N] [--queue N] [--cache N]
 //               [--default-max-cycles N] [--max-cycles-ceiling N]
+//               [--idle-timeout-ms N] [--watchdog-grace-ms N]
 //
 // Speaks the JSON-lines protocol of src/svc/protocol.hpp over a Unix
 // domain socket; serves until a `shutdown` request, then drains in-flight
 // jobs and prints the final service metric registry (svc.*) so a session's
-// admit/reject/hit/miss story is visible in the log.
+// admit/reject/hit/miss story is visible in the log. Setting the
+// STEERSIM_CHAOS environment variable (grammar in svc/chaos.hpp) turns on
+// deterministic fault injection — announced loudly at startup and
+// summarized at exit.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "common/strings.hpp"
+#include "svc/chaos.hpp"
 #include "svc/server.hpp"
 #include "svc/service.hpp"
 
@@ -24,7 +29,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <socket-path> [--workers N] [--queue N] "
                "[--cache N] [--default-max-cycles N] "
-               "[--max-cycles-ceiling N]\n",
+               "[--max-cycles-ceiling N] [--idle-timeout-ms N] "
+               "[--watchdog-grace-ms N]\n",
                argv0);
   return 2;
 }
@@ -48,6 +54,8 @@ int main(int argc, char** argv) {
     return usage(argv[0]);
   }
   ServiceConfig config;
+  ServerOptions server_options;
+  server_options.socket_path = argv[1];
   std::uint64_t workers = 0;
   std::uint64_t queue_capacity = config.queue_capacity;
   std::uint64_t cache_entries = 0;
@@ -77,6 +85,16 @@ int main(int argc, char** argv) {
         return usage(argv[0]);
       }
       config.max_cycles_ceiling = value;
+    } else if (std::strcmp(argv[a], "--idle-timeout-ms") == 0) {
+      if (!parse_u64_flag(argc, argv, a, value)) {
+        return usage(argv[0]);
+      }
+      server_options.idle_timeout_ms = value;
+    } else if (std::strcmp(argv[a], "--watchdog-grace-ms") == 0) {
+      if (!parse_u64_flag(argc, argv, a, value)) {
+        return usage(argv[0]);
+      }
+      config.watchdog_grace_ms = value;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[a]);
       return usage(argv[0]);
@@ -89,10 +107,13 @@ int main(int argc, char** argv) {
   }
 
   SimService service(config);
-  SocketServer server(service, ServerOptions{.socket_path = argv[1]});
+  SocketServer server(service, server_options);
   if (!server.listen()) {
     return 1;
   }
+  // Touching the global here (not lazily at the first injected fault)
+  // puts the CHAOS INJECTION ENABLED banner at the top of the log.
+  const std::shared_ptr<ChaosInjector> chaos = ChaosInjector::global();
   std::printf("steersimd: listening on %s (%u workers, queue %zu, cache "
               "%zu, default budget %llu cycles)\n",
               argv[1], service.config().workers,
@@ -106,5 +127,9 @@ int main(int argc, char** argv) {
   }
   std::printf("steersimd: drained; final metrics:\n%s\n",
               canonical_metrics_json(service.metrics()).c_str());
+  if (chaos != nullptr) {
+    std::printf("steersimd: chaos injections: %s\n",
+                chaos->summary().c_str());
+  }
   return 0;
 }
