@@ -107,30 +107,59 @@ inline std::string_view metric_kind_name(MetricKind kind) {
   return "?";
 }
 
-/// `git describe --always --dirty` of the working tree, resolved once per
-/// process; "unknown" when git (or the repo) is unavailable.
+/// `git describe --always --dirty` of the source tree, resolved once per
+/// process. Benches usually run from the build directory (or a CI runner's
+/// scratch directory), so the lookup is anchored at the configured source
+/// tree (STEERSIM_SOURCE_DIR) first, then the working directory, then the
+/// GITHUB_SHA environment variable (shallow CI checkouts where describe
+/// has nothing to work with); "unknown" only when all three fail.
 inline const std::string& git_describe() {
   static const std::string described = [] {
-    std::string out;
+    const auto run_describe = [](const std::string& command) {
+      std::string out;
 #if defined(_WIN32)
-    std::FILE* pipe = nullptr;
+      std::FILE* pipe = nullptr;
+      (void)command;
 #else
-    std::FILE* pipe =
-        ::popen("git describe --always --dirty 2>/dev/null", "r");
+      std::FILE* pipe = ::popen(command.c_str(), "r");
 #endif
-    if (pipe != nullptr) {
-      char buf[128];
-      while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
-        out += buf;
-      }
+      if (pipe != nullptr) {
+        char buf[128];
+        while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+          out += buf;
+        }
 #if !defined(_WIN32)
-      ::pclose(pipe);
+        ::pclose(pipe);
 #endif
+      }
+      while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+        out.pop_back();
+      }
+      return out;
+    };
+#if defined(STEERSIM_SOURCE_DIR)
+    const std::string anchored = run_describe(
+        "git -C '" STEERSIM_SOURCE_DIR "' describe --always --dirty "
+        "2>/dev/null");
+    if (!anchored.empty()) {
+      return anchored;
     }
-    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
-      out.pop_back();
+#endif
+    const std::string local =
+        run_describe("git describe --always --dirty 2>/dev/null");
+    if (!local.empty()) {
+      return local;
     }
-    return out.empty() ? std::string("unknown") : out;
+    if (const char* sha = std::getenv("GITHUB_SHA")) {
+      std::string out(sha);
+      if (out.size() > 12) {
+        out.resize(12);  // short-hash length; full SHAs bloat every report
+      }
+      if (!out.empty()) {
+        return out;
+      }
+    }
+    return std::string("unknown");
   }();
   return described;
 }

@@ -16,6 +16,11 @@ ConfigurationLoader::ConfigurationLoader(const LoaderParams& params,
   STEERSIM_EXPECTS(params.cycles_per_slot >= 1);
   STEERSIM_EXPECTS(params.max_concurrent_regions >= 1);
   STEERSIM_EXPECTS(allocation_.num_slots() == params.num_slots);
+  refresh_target_regions();
+}
+
+void ConfigurationLoader::refresh_target_regions() {
+  target_regions_ = target_.regions();
 }
 
 void ConfigurationLoader::request(const AllocationVector& target) {
@@ -38,16 +43,18 @@ void ConfigurationLoader::request(const AllocationVector& target) {
 void ConfigurationLoader::retarget() {
   if (fenced_.none()) {
     target_ = requested_;
+    refresh_target_regions();
     return;
   }
   unsigned dropped = 0;
   target_ = place_avoiding_fence(requested_, &dropped);
+  refresh_target_regions();
   stats_.units_dropped += dropped;
   // Detected-damage slots the new target no longer covers will never see a
   // repair rewrite; their span was already cleared, so stop tracking them.
   if (repairing_.any()) {
     SlotMask cover;
-    for (const auto& region : target_.regions()) {
+    for (const auto& region : target_regions_) {
       for (unsigned i = 0; i < region.len; ++i) {
         cover.set(region.base + i);
       }
@@ -124,6 +131,25 @@ SlotMask ConfigurationLoader::reconfiguring() const {
     }
   }
   return mask;
+}
+
+bool ConfigurationLoader::quiescent() const {
+  // Mirrors step(): with no active rewrites, no fault state, the scrubber
+  // and ECC read path disabled, and every target region already on the
+  // fabric, step() only advances cycle_ (step_partial starts nothing and
+  // step_full returns satisfied).
+  if (!active_.empty() || full_remaining_ != 0) {
+    return false;
+  }
+  if ((corrupted_ | fenced_ | repairing_).any()) {
+    return false;
+  }
+  if (params_.scrub_interval > 0 || params_.ecc) {
+    return false;
+  }
+  return std::ranges::all_of(target_regions_, [this](const SlotRegion& r) {
+    return region_satisfied(r);
+  });
 }
 
 unsigned ConfigurationLoader::reconfig_cost(
@@ -251,7 +277,7 @@ void ConfigurationLoader::escalate_corruption(unsigned slot) {
     ecc_flips_[s] = 0;
   };
   SlotMask target_cover;
-  for (const auto& region : target_.regions()) {
+  for (const auto& region : target_regions_) {
     for (unsigned i = 0; i < region.len; ++i) {
       target_cover.set(region.base + i);
     }
@@ -373,7 +399,7 @@ void ConfigurationLoader::step_partial(SlotMask slot_busy) {
   // Starting precedes the tick so a rewrite's first cycle is the cycle it
   // begins (an N-cycle rewrite spans exactly N step() calls).
   bool blocked = false;
-  for (const auto& region : target_.regions()) {
+  for (const auto& region : target_regions_) {
     if (active_.size() >= params_.max_concurrent_regions) {
       break;
     }
@@ -454,7 +480,7 @@ void ConfigurationLoader::trace_rewrite(const SlotRegion& region,
 void ConfigurationLoader::step_full(SlotMask slot_busy) {
   if (full_remaining_ == 0) {
     const bool satisfied = std::ranges::all_of(
-        target_.regions(),
+        target_regions_,
         [this](const SlotRegion& r) { return region_satisfied(r); });
     if (satisfied) {
       return;
@@ -471,7 +497,7 @@ void ConfigurationLoader::step_full(SlotMask slot_busy) {
     full_start_ = cycle_;
   }
   if (--full_remaining_ == 0) {
-    for (const auto& region : target_.regions()) {
+    for (const auto& region : target_regions_) {
       allocation_.write_region(region);
       stats_.slots_rewritten += region.len;
     }

@@ -135,6 +135,16 @@ class ConfigurationLoader {
   SlotMask reconfiguring() const;
   bool idle() const { return active_.empty() && full_remaining_ == 0; }
 
+  /// True when a step() would change nothing but the internal cycle
+  /// counter: no rewrites in flight, the target fully implemented, no
+  /// fault state, and no background machinery (scrubber, ECC) running.
+  /// The processor's event-driven skip-ahead keys off this.
+  bool quiescent() const;
+
+  /// Replaces `cycles` quiescent step() calls (cycle-counter advance only).
+  /// Caller must hold quiescent() true for the whole window.
+  void fast_forward(std::uint64_t cycles) { cycle_ += cycles; }
+
   /// Slots that would need rewriting to realize `candidate` from the
   /// current allocation (the selector's least-reconfiguration tie-break).
   /// With fenced slots present the cost is computed against the re-placed
@@ -202,10 +212,16 @@ class ConfigurationLoader {
   /// marks target-covered slots as repairing.
   void escalate_corruption(unsigned slot);
 
+  /// Re-derives the cached region decode after any assignment to target_.
+  void refresh_target_regions();
+
   LoaderParams params_;
   AllocationVector allocation_;
   AllocationVector target_;     ///< realizable target actually steered to
   AllocationVector requested_;  ///< last externally requested target
+  /// Cached target_.regions(): the per-cycle step path iterates the target
+  /// regions, and the decode only changes when the target does.
+  FixedVector<SlotRegion, kMaxRfuSlots> target_regions_;
   std::vector<Rewrite> active_;
   unsigned full_remaining_ = 0;  ///< full-reconfig mode countdown
 

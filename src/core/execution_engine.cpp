@@ -13,6 +13,9 @@ ExecutionEngine::ExecutionEngine(const FuCounts& ffu, bool pipelined)
 
 void ExecutionEngine::begin_cycle(const AllocationVector& rfu_allocation) {
   issued_this_cycle_.clear();
+  if (units_cached_ && rfu_allocation == last_allocation_) {
+    return;  // unit list is a pure function of the allocation
+  }
   units_.clear();
   for (const FuType t : kAllFuTypes) {
     for (unsigned n = 0; n < ffu_[fu_index(t)]; ++n) {
@@ -23,6 +26,15 @@ void ExecutionEngine::begin_cycle(const AllocationVector& rfu_allocation) {
     if (region.len == slot_cost(region.type)) {  // complete units only
       units_.push_back(
           UnitInstance{region.type, false, region.base, region.len});
+    }
+  }
+  last_allocation_ = rfu_allocation;
+  units_cached_ = true;
+  configured_cache_ = FuCounts{};
+  for (const auto& unit : units_) {
+    auto& c = configured_cache_[fu_index(unit.type)];
+    if (c < 255) {
+      ++c;
     }
   }
 }
@@ -100,14 +112,52 @@ std::array<unsigned, kNumFuTypes> ExecutionEngine::free_units() const {
 }
 
 FuCounts ExecutionEngine::configured_units() const {
-  FuCounts counts{};
-  for (const auto& unit : units_) {
-    auto& c = counts[fu_index(unit.type)];
-    if (c < 255) {
-      ++c;
+  return configured_cache_;
+}
+
+ExecutionEngine::IssueView ExecutionEngine::issue_view() const {
+  IssueView view;
+  // One pass over the occupancy list: per-type busy fixed-unit counts
+  // (assign never double-books a unit, so each record is a distinct unit)
+  // and the slot spans busy RFU units drive low.
+  std::array<unsigned, kNumFuTypes> busy_ffu{};
+  SlotMask busy_spans;
+  const auto& occupying = pipelined_ ? issued_this_cycle_ : in_flight_;
+  for (const auto& f : occupying) {
+    if (f.fixed) {
+      ++busy_ffu[fu_index(f.type)];
+    } else {
+      const unsigned len = slot_cost(f.type);
+      for (unsigned i = 0; i < len; ++i) {
+        busy_spans.set(f.base + i);
+      }
     }
   }
-  return counts;
+  for (unsigned t = 0; t < kNumFuTypes; ++t) {
+    view.free[t] = ffu_[t] - busy_ffu[t];
+    view.available[t] = view.free[t] > 0;
+  }
+  // RFU availability reads the per-slot head codes (resource_vector
+  // semantics: a transiently truncated head still drives its type's
+  // availability line); free counts come from the complete-unit list.
+  for (unsigned slot = 0; slot < last_allocation_.num_slots(); ++slot) {
+    const auto type = type_from_encoding(last_allocation_.code(slot));
+    if (type.has_value() && !busy_spans.test(slot)) {
+      view.available[fu_index(*type)] = true;
+    }
+  }
+  for (const auto& unit : units_) {
+    if (unit.fixed) {
+      continue;
+    }
+    const bool busy = std::ranges::any_of(occupying, [&unit](const InFlight& f) {
+      return !f.fixed && f.base == unit.base && f.type == unit.type;
+    });
+    if (!busy) {
+      ++view.free[fu_index(unit.type)];
+    }
+  }
+  return view;
 }
 
 bool ExecutionEngine::assign(FuType t, unsigned latency,
@@ -196,6 +246,32 @@ void ExecutionEngine::note_utilization() {
   }
   for (const auto& f : in_flight_) {
     ++stats_.busy_unit_cycles[fu_index(f.type)];
+  }
+}
+
+unsigned ExecutionEngine::min_remaining() const {
+  unsigned min = 0;
+  for (const auto& f : in_flight_) {
+    if (min == 0 || f.remaining < min) {
+      min = f.remaining;
+    }
+  }
+  return min;
+}
+
+void ExecutionEngine::fast_forward(std::uint64_t cycles) {
+  if (cycles == 0) {
+    return;
+  }
+  for (auto& f : in_flight_) {
+    STEERSIM_EXPECTS(f.remaining > cycles);
+    f.remaining -= static_cast<unsigned>(cycles);
+  }
+  for (const auto& unit : units_) {
+    stats_.configured_unit_cycles[fu_index(unit.type)] += cycles;
+  }
+  for (const auto& f : in_flight_) {
+    stats_.busy_unit_cycles[fu_index(f.type)] += cycles;
   }
 }
 

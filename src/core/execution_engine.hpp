@@ -65,8 +65,21 @@ class ExecutionEngine {
 
   /// Refreshes the unit view from the loader's current allocation. Call
   /// once per cycle before issuing. Busy RFU units always survive (their
-  /// slots cannot be rewritten while busy).
+  /// slots cannot be rewritten while busy). The unit list is a pure
+  /// function of the allocation, so an unchanged allocation skips the
+  /// rebuild (the common case between reconfigurations).
   void begin_cycle(const AllocationVector& rfu_allocation);
+
+  /// The per-cycle issue inputs, computed in one pass over the occupancy
+  /// list: Eq. 1 availability lines plus idle-unit counts per type.
+  /// Bit-identical to availability() + free_units() for the allocation
+  /// passed to the latest begin_cycle() (incomplete head slots count
+  /// toward availability exactly as resource_vector() counts them).
+  struct IssueView {
+    ResourceAvail available{};
+    std::array<unsigned, kNumFuTypes> free{};
+  };
+  IssueView issue_view() const;
 
   /// Eq. 1 resource vector for the current cycle (RFU slots + FFUs with
   /// their availability signals).
@@ -105,6 +118,16 @@ class ExecutionEngine {
   /// Accumulates per-cycle utilization statistics; call once per cycle.
   void note_utilization();
 
+  /// Smallest remaining latency among in-flight operations (0 when idle):
+  /// the earliest future cycle at which a completion can occur.
+  unsigned min_remaining() const;
+
+  /// Event-driven skip-ahead: advances `cycles` cycles at once through a
+  /// window in which nothing issues and nothing completes. Equivalent to
+  /// `cycles` repetitions of step() + note_utilization() with an unchanged
+  /// unit view; requires every in-flight remaining > cycles.
+  void fast_forward(std::uint64_t cycles);
+
   const EngineStats& stats() const { return stats_; }
   const std::vector<UnitInstance>& units() const { return units_; }
 
@@ -125,6 +148,11 @@ class ExecutionEngine {
   FuCounts ffu_;
   bool pipelined_;
   std::vector<UnitInstance> units_;
+  /// begin_cycle() rebuild cache: the allocation units_ was built from.
+  AllocationVector last_allocation_;
+  bool units_cached_ = false;
+  /// configured_units() of the cached unit list.
+  FuCounts configured_cache_{};
   std::vector<InFlight> in_flight_;
   /// Pipelined mode: units that accepted an operation this cycle (the
   /// initiation-interval constraint).

@@ -32,20 +32,30 @@ SteeredPolicy::SteeredPolicy(const SteeringSet& set, CemMode cem,
   }
 }
 
-void SteeredPolicy::steer(const SteerContext& ctx,
-                          ConfigurationLoader& loader) {
-  if (countdown_ > 0) {
-    --countdown_;
-    return;
+const std::array<unsigned, kNumCandidates>& SteeredPolicy::candidate_costs(
+    const ConfigurationLoader& loader) {
+  // reconfig_cost is a pure function of the loader's allocation and fence
+  // set; both are stable between reconfigurations.
+  if (!have_costs_ || loader.allocation() != cost_alloc_ ||
+      loader.fenced() != cost_fenced_) {
+    cost_alloc_ = loader.allocation();
+    cost_fenced_ = loader.fenced();
+    cost_[0] = 0;  // staying on the current configuration rewrites nothing
+    for (unsigned p = 0; p < kNumPresetConfigs; ++p) {
+      cost_[p + 1] = loader.reconfig_cost(preset_allocs_[p]);
+    }
+    have_costs_ = true;
   }
-  countdown_ = interval_ - 1;
+  return cost_;
+}
 
-  std::array<unsigned, kNumCandidates> cost{};
-  cost[0] = 0;  // staying on the current configuration rewrites nothing
-  for (unsigned p = 0; p < kNumPresetConfigs; ++p) {
-    cost[p + 1] = loader.reconfig_cost(preset_allocs_[p]);
+FuCounts SteeredPolicy::merged_requirements(const SteerContext& ctx) {
+  if (!have_required_ || ready_dirty_) {
+    base_required_ = encode_requirements(ctx.ready_ops);
+    have_required_ = true;
+    ready_dirty_ = false;
   }
-  FuCounts required = encode_requirements(ctx.ready_ops);
+  FuCounts required = base_required_;
   if (lookahead_ && ctx.lookahead != nullptr) {
     // Merge the pre-decoded requirements of the upcoming trace (3-bit
     // saturating addition, as the hardware encoders would).
@@ -54,8 +64,38 @@ void SteeredPolicy::steer(const SteerContext& ctx,
           std::min<unsigned>(7, required[t] + (*ctx.lookahead)[t]));
     }
   }
-  const SelectionTrace trace =
-      unit_.select_counts(required, ctx.current_total, cost);
+  return required;
+}
+
+const SelectionTrace& SteeredPolicy::cached_selection(
+    const FuCounts& required, const FuCounts& current_total,
+    const std::array<unsigned, kNumCandidates>& cost) {
+  if (!have_selection_ || required != sel_required_ ||
+      current_total != sel_total_ || cost != sel_cost_) {
+    sel_required_ = required;
+    sel_total_ = current_total;
+    sel_cost_ = cost;
+    sel_trace_ = unit_.select_counts(required, current_total, cost);
+    have_selection_ = true;
+  }
+  return sel_trace_;
+}
+
+void SteeredPolicy::steer(const SteerContext& ctx,
+                          ConfigurationLoader& loader) {
+  // Latch ready-set changes before the countdown gate: the decision after
+  // the countdown must see every change that happened during it.
+  ready_dirty_ = ready_dirty_ || ctx.ready_changed;
+  if (countdown_ > 0) {
+    --countdown_;
+    return;
+  }
+  countdown_ = interval_ - 1;
+
+  const std::array<unsigned, kNumCandidates>& cost = candidate_costs(loader);
+  const FuCounts required = merged_requirements(ctx);
+  const SelectionTrace& trace =
+      cached_selection(required, ctx.current_total, cost);
   ++stats_.steer_events;
   ++stats_.selections[trace.selection];
 
@@ -113,6 +153,50 @@ void SteeredPolicy::steer(const SteerContext& ctx,
   }
 }
 
+std::uint64_t SteeredPolicy::idle_advance(std::uint64_t max_cycles,
+                                          const SteerContext& ctx,
+                                          ConfigurationLoader& loader) {
+  if (max_cycles == 0 || audit_ != nullptr || tracer_ != nullptr) {
+    return 0;  // observers want the per-decision records; step live
+  }
+  ready_dirty_ = ready_dirty_ || ctx.ready_changed;
+  // Countdown cycles are pure decrements.
+  if (countdown_ >= max_cycles) {
+    countdown_ -= static_cast<unsigned>(max_cycles);
+    return max_cycles;
+  }
+  // A decision falls inside the window. Evaluate it: the caller guarantees
+  // every input (ready set, unit totals, allocation) is constant across
+  // the window, so all decisions in it are identical.
+  const std::array<unsigned, kNumCandidates>& cost = candidate_costs(loader);
+  const FuCounts required = merged_requirements(ctx);
+  const SelectionTrace& trace =
+      cached_selection(required, ctx.current_total, cost);
+  if (trace.selection != 0 || loader.requested() != loader.allocation()) {
+    // The decision would (or could, via the freeze-to-current request)
+    // retarget the loader: stop right before the decision cycle.
+    const std::uint64_t skipped = countdown_;
+    countdown_ = 0;
+    return skipped;
+  }
+  // Every decision in the window selects the current configuration and
+  // its freeze request is a no-op. Emulate d back-to-back decisions.
+  const std::uint64_t k = max_cycles;
+  const std::uint64_t first = countdown_;  // cycles before the 1st decision
+  const std::uint64_t d = 1 + (k - first - 1) / interval_;
+  countdown_ =
+      static_cast<unsigned>(interval_ - 1 - ((k - first - 1) % interval_));
+  stats_.steer_events += d;
+  stats_.selections[0] += d;
+  if (pending_selection_ == 0) {
+    pending_streak_ += static_cast<unsigned>(d);
+  } else {
+    pending_selection_ = 0;
+    pending_streak_ = static_cast<unsigned>(d);
+  }
+  return k;
+}
+
 GreedyPolicy::GreedyPolicy(const SteeringSet& set, unsigned interval,
                            double smoothing)
     : set_(set), interval_(interval), smoothing_(smoothing) {
@@ -122,11 +206,15 @@ GreedyPolicy::GreedyPolicy(const SteeringSet& set, unsigned interval,
 
 void GreedyPolicy::steer(const SteerContext& ctx,
                          ConfigurationLoader& loader) {
-  // Sample every cycle so the EWMA sees the demand between decisions.
-  const FuCounts sample = encode_requirements(ctx.ready_ops);
+  // Sample every cycle so the EWMA sees the demand between decisions; the
+  // encoding is only recomputed when the ready set actually changed.
+  if (!have_sample_ || ctx.ready_changed) {
+    sample_cache_ = encode_requirements(ctx.ready_ops);
+    have_sample_ = true;
+  }
   for (unsigned t = 0; t < kNumFuTypes; ++t) {
     smoothed_[t] = (1.0 - smoothing_) * smoothed_[t] +
-                   smoothing_ * static_cast<double>(sample[t]);
+                   smoothing_ * static_cast<double>(sample_cache_[t]);
   }
   if (countdown_ > 0) {
     --countdown_;
@@ -147,6 +235,31 @@ void GreedyPolicy::steer(const SteerContext& ctx,
   if (packed.counts() != loader.target().counts()) {
     loader.request(packed);
   }
+}
+
+std::uint64_t GreedyPolicy::idle_advance(std::uint64_t max_cycles,
+                                         const SteerContext& ctx,
+                                         ConfigurationLoader& loader) {
+  (void)loader;
+  if (!have_sample_ || ctx.ready_changed) {
+    sample_cache_ = encode_requirements(ctx.ready_ops);
+    have_sample_ = true;
+  }
+  if (countdown_ == 0) {
+    return 0;  // a repack decision is due this cycle: run it live
+  }
+  // Countdown cycles only fold the (constant) sample into the EWMA. Iterate
+  // rather than closing the form so the floating-point rounding sequence is
+  // bit-identical to k live steer() calls.
+  const std::uint64_t k = std::min<std::uint64_t>(max_cycles, countdown_);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    for (unsigned t = 0; t < kNumFuTypes; ++t) {
+      smoothed_[t] = (1.0 - smoothing_) * smoothed_[t] +
+                     smoothing_ * static_cast<double>(sample_cache_[t]);
+    }
+  }
+  countdown_ -= static_cast<unsigned>(k);
+  return k;
 }
 
 OraclePolicy::OraclePolicy(const SteeringSet& set) : set_(set) {}
@@ -191,9 +304,30 @@ AllocationVector OraclePolicy::pack(const FuCounts& required,
 
 void OraclePolicy::steer(const SteerContext& ctx,
                          ConfigurationLoader& loader) {
-  const FuCounts required = encode_requirements(ctx.ready_ops);
+  if (!have_packed_ || ctx.ready_changed) {
+    required_cache_ = encode_requirements(ctx.ready_ops);
+    packed_cache_ = pack(required_cache_, set_.ffu, set_.num_slots);
+    have_packed_ = true;
+  }
   ++stats_.steer_events;
-  loader.request(pack(required, set_.ffu, set_.num_slots));
+  loader.request(packed_cache_);
+}
+
+std::uint64_t OraclePolicy::idle_advance(std::uint64_t max_cycles,
+                                         const SteerContext& ctx,
+                                         ConfigurationLoader& loader) {
+  if (!have_packed_ || ctx.ready_changed) {
+    required_cache_ = encode_requirements(ctx.ready_ops);
+    packed_cache_ = pack(required_cache_, set_.ffu, set_.num_slots);
+    have_packed_ = true;
+  }
+  if (loader.requested() != packed_cache_) {
+    return 0;  // the next steer() would retarget: run it live
+  }
+  // Every steer() in the window re-requests the already-requested target,
+  // which ConfigurationLoader::request() ignores.
+  stats_.steer_events += max_cycles;
+  return max_cycles;
 }
 
 RandomPolicy::RandomPolicy(const SteeringSet& set, std::uint64_t seed,
@@ -217,6 +351,17 @@ void RandomPolicy::steer(const SteerContext&, ConfigurationLoader& loader) {
   if (pick != 0) {
     loader.request(preset_allocs_[pick - 1]);
   }
+}
+
+std::uint64_t RandomPolicy::idle_advance(std::uint64_t max_cycles,
+                                         const SteerContext&,
+                                         ConfigurationLoader&) {
+  if (countdown_ == 0) {
+    return 0;  // the decision draws from the RNG: run it live
+  }
+  const std::uint64_t k = std::min<std::uint64_t>(max_cycles, countdown_);
+  countdown_ -= static_cast<unsigned>(k);
+  return k;
 }
 
 }  // namespace steersim

@@ -34,6 +34,10 @@ struct SteerContext {
   const FuCounts* lookahead = nullptr;
   /// Current simulation cycle (timestamps trace/audit observations).
   std::uint64_t cycle = 0;
+  /// False when `ready_ops` is unchanged since the previous steer() (same
+  /// rows, same order) — policies may then reuse cached requirement
+  /// encodings. Defaults to true (recompute), which is always safe.
+  bool ready_changed = true;
 };
 
 struct PolicyStats {
@@ -58,6 +62,26 @@ class SteeringPolicy {
   /// Called once per cycle before the loader steps; may call
   /// loader.request() to retarget the fabric.
   virtual void steer(const SteerContext& ctx, ConfigurationLoader& loader) = 0;
+
+  /// Event-driven skip-ahead hook: the processor has proven that the next
+  /// `max_cycles` cycles are externally idle (nothing wakes, issues,
+  /// completes, retires, dispatches, or fetches, and the loader is
+  /// quiescent), and asks the policy to emulate up to that many
+  /// back-to-back steer(ctx) calls with an unchanged ctx at once. Returns
+  /// how many cycles were emulated — the policy's observable state (stats,
+  /// countdowns, hysteresis, RNG, loader requests) must end exactly as if
+  /// steer() had run that many times. Return 0 to decline (the processor
+  /// falls back to stepping cycle by cycle); a policy whose next decision
+  /// would retarget the loader must stop short of it. The default declines
+  /// always, which is correct for any policy.
+  virtual std::uint64_t idle_advance(std::uint64_t max_cycles,
+                                     const SteerContext& ctx,
+                                     ConfigurationLoader& loader) {
+    (void)max_cycles;
+    (void)ctx;
+    (void)loader;
+    return 0;
+  }
 
   virtual std::string_view name() const = 0;
   const PolicyStats& stats() const { return stats_; }
@@ -89,10 +113,27 @@ class SteeredPolicy final : public SteeringPolicy {
                 bool lookahead = false);
 
   void steer(const SteerContext& ctx, ConfigurationLoader& loader) override;
+  std::uint64_t idle_advance(std::uint64_t max_cycles,
+                             const SteerContext& ctx,
+                             ConfigurationLoader& loader) override;
   std::string_view name() const override { return name_; }
   const ConfigSelectionUnit& selection_unit() const { return unit_; }
 
  private:
+  /// Candidate costs for the current loader state, recomputed only when
+  /// the allocation or fence set moved (reconfig_cost is pure in those).
+  const std::array<unsigned, kNumCandidates>& candidate_costs(
+      const ConfigurationLoader& loader);
+  /// Requirement encoding of the ready set, recomputed only when the set
+  /// changed; the lookahead merge happens per call (it is cheap and tracks
+  /// the fetch PC, not the queue).
+  FuCounts merged_requirements(const SteerContext& ctx);
+  /// CEM selection for (required, current_total, costs), memoized on its
+  /// exact inputs (between reconfigurations every input is stable).
+  const SelectionTrace& cached_selection(
+      const FuCounts& required, const FuCounts& current_total,
+      const std::array<unsigned, kNumCandidates>& cost);
+
   ConfigSelectionUnit unit_;
   std::array<AllocationVector, kNumPresetConfigs> preset_allocs_;
   unsigned interval_;
@@ -102,6 +143,22 @@ class SteeredPolicy final : public SteeringPolicy {
   unsigned pending_streak_ = 0;
   bool lookahead_;
   std::string name_;
+
+  /// Ready-set change latch: steer() may early-return on countdown cycles
+  /// without reading ctx, so changes observed then must survive until the
+  /// next actual decision consumes them.
+  bool ready_dirty_ = true;
+  bool have_required_ = false;
+  FuCounts base_required_{};
+  bool have_costs_ = false;
+  AllocationVector cost_alloc_;
+  SlotMask cost_fenced_;
+  std::array<unsigned, kNumCandidates> cost_{};
+  bool have_selection_ = false;
+  FuCounts sel_required_{};
+  FuCounts sel_total_{};
+  std::array<unsigned, kNumCandidates> sel_cost_{};
+  SelectionTrace sel_trace_;
 };
 
 /// Extension (the paper's stated future work): dynamic reconfiguration
@@ -118,6 +175,9 @@ class GreedyPolicy final : public SteeringPolicy {
                         double smoothing = 0.125);
 
   void steer(const SteerContext& ctx, ConfigurationLoader& loader) override;
+  std::uint64_t idle_advance(std::uint64_t max_cycles,
+                             const SteerContext& ctx,
+                             ConfigurationLoader& loader) override;
   std::string_view name() const override { return "greedy"; }
 
  private:
@@ -126,6 +186,10 @@ class GreedyPolicy final : public SteeringPolicy {
   unsigned countdown_ = 0;
   double smoothing_;
   std::array<double, kNumFuTypes> smoothed_{};
+  /// Requirement sample of the current ready set (resampled only when the
+  /// set changes; the EWMA still folds it in every cycle).
+  bool have_sample_ = false;
+  FuCounts sample_cache_{};
 };
 
 /// No steering at all (covers both FFU-only and frozen-preset machines —
@@ -134,6 +198,10 @@ class StaticPolicy final : public SteeringPolicy {
  public:
   explicit StaticPolicy(std::string name) : name_(std::move(name)) {}
   void steer(const SteerContext&, ConfigurationLoader&) override {}
+  std::uint64_t idle_advance(std::uint64_t max_cycles, const SteerContext&,
+                             ConfigurationLoader&) override {
+    return max_cycles;  // steer() is a no-op, so any window skips freely
+  }
   std::string_view name() const override { return name_; }
 
  private:
@@ -146,6 +214,9 @@ class OraclePolicy final : public SteeringPolicy {
  public:
   explicit OraclePolicy(const SteeringSet& set);
   void steer(const SteerContext& ctx, ConfigurationLoader& loader) override;
+  std::uint64_t idle_advance(std::uint64_t max_cycles,
+                             const SteerContext& ctx,
+                             ConfigurationLoader& loader) override;
   std::string_view name() const override { return "oracle"; }
 
   /// Greedy fabric packing for a requirement vector: repeatedly gives a
@@ -156,6 +227,10 @@ class OraclePolicy final : public SteeringPolicy {
 
  private:
   SteeringSet set_;
+  /// pack() of the current ready set, recomputed only when the set changes.
+  bool have_packed_ = false;
+  FuCounts required_cache_{};
+  AllocationVector packed_cache_;
 };
 
 /// Uniform-random candidate every `interval` cycles.
@@ -164,6 +239,10 @@ class RandomPolicy final : public SteeringPolicy {
   RandomPolicy(const SteeringSet& set, std::uint64_t seed,
                unsigned interval = 16);
   void steer(const SteerContext& ctx, ConfigurationLoader& loader) override;
+  /// Skips only the countdown cycles between decisions; decisions draw
+  /// from the RNG, so they always run live.
+  std::uint64_t idle_advance(std::uint64_t max_cycles, const SteerContext&,
+                             ConfigurationLoader&) override;
   std::string_view name() const override { return "random"; }
 
  private:

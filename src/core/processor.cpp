@@ -127,6 +127,9 @@ Processor::Processor(const Program& program, const MachineConfig& config,
                                                        tracer_.get())
                    : nullptr) {
   STEERSIM_EXPECTS(policy_ != nullptr);
+  skip_eligible_ = tracer_ == nullptr && audit_ == nullptr &&
+                   sampler_ == nullptr && recovery_ == nullptr &&
+                   !config_.fault.enabled() && !config_.pipelined_units;
   mem_.load_image(program_.data);
   loader_.set_tracer(tracer_.get());
   policy_->attach_observers(tracer_.get(), audit_.get());
@@ -379,22 +382,20 @@ void Processor::stage_issue() {
   // Without faults this is exactly loader_.allocation().
   const AllocationVector effective = loader_.effective_allocation();
   engine_.begin_cycle(effective);
-  const ResourceAvail avail = engine_.availability(effective);
+  const auto view = engine_.issue_view();
 
-  EntryMask requests = wakeup_.request_execution(avail);
-
-  // Resource-starvation statistic: entries whose dependences are satisfied
-  // but whose unit type is not configured/available this cycle.
-  ResourceAvail all_true;
-  all_true.fill(true);
-  const EntryMask dep_ready = wakeup_.request_execution(all_true);
+  // One pass derives both the wake-up requests and the resource-starvation
+  // statistic (entries whose dependences are satisfied but whose unit type
+  // is not configured/available this cycle).
+  const EntryMask dep_ready = wakeup_.dep_ready();
+  EntryMask requests = dep_ready & wakeup_.resource_ready(view.available);
   stats_.resource_starved += (dep_ready & ~requests).count();
 
   // Memory-ordering mask for loads.
-  for (unsigned row = 0; row < wakeup_.num_entries(); ++row) {
-    if (!requests.test(row)) {
-      continue;
-    }
+  std::uint64_t pending = requests.raw();
+  while (pending != 0) {
+    const unsigned row = static_cast<unsigned>(std::countr_zero(pending));
+    pending &= pending - 1;
     RuuEntry* entry = ruu_.find(wakeup_.entry(row).tag);
     STEERSIM_ENSURES(entry != nullptr);
     if (!op_info(entry->inst.op).is_load) {
@@ -416,8 +417,8 @@ void Processor::stage_issue() {
 
   const auto age_order = wakeup_.age_order();
   const GrantList grants =
-      select_oldest_first(wakeup_, requests, age_order,
-                          engine_.free_units(), config_.issue_width);
+      select_oldest_first(wakeup_, requests, age_order, view.free,
+                          config_.issue_width);
 
   for (const unsigned row : grants) {
     RuuEntry* entry = ruu_.find(wakeup_.entry(row).tag);
@@ -515,10 +516,13 @@ void Processor::stage_issue() {
   }
 }
 
-void Processor::stage_steer() {
-  // The configuration manager inspects the queue entries that are ready to
-  // be executed (valid, not yet scheduled), oldest first.
-  FixedVector<Opcode, kMaxWakeupEntries> ready_ops;
+void Processor::refresh_ready_ops() {
+  const std::uint64_t version = wakeup_.ready_version();
+  if (version == steer_ready_version_) {
+    return;
+  }
+  steer_ready_version_ = version;
+  ready_ops_cache_.clear();
   for (const unsigned row : wakeup_.age_order()) {
     const WakeupEntry& we = wakeup_.entry(row);
     if (we.scheduled) {
@@ -526,12 +530,22 @@ void Processor::stage_steer() {
     }
     const RuuEntry* entry = ruu_.find(we.tag);
     STEERSIM_ENSURES(entry != nullptr);
-    ready_ops.push_back(entry->inst.op);
+    ready_ops_cache_.push_back(entry->inst.op);
   }
+  ready_dirty_ = true;
+}
+
+void Processor::stage_steer() {
+  // The configuration manager inspects the queue entries that are ready to
+  // be executed (valid, not yet scheduled), oldest first. The list (and
+  // downstream requirement encodings, via ctx.ready_changed) is rebuilt
+  // only when the wake-up array's ready set actually changed.
+  refresh_ready_ops();
   SteerContext ctx;
-  ctx.ready_ops = {ready_ops.begin(), ready_ops.end()};
+  ctx.ready_ops = {ready_ops_cache_.begin(), ready_ops_cache_.end()};
   ctx.current_total = engine_.configured_units();
   ctx.cycle = stats_.cycles;
+  ctx.ready_changed = ready_dirty_;
   // Lookahead probe: the pre-decoded requirements of the trace line the
   // fetch unit is about to stream, if it will hit.
   if (trace_cache_ != nullptr) {
@@ -540,7 +554,83 @@ void Processor::stage_steer() {
     }
   }
   policy_->steer(ctx, loader_);
+  ready_dirty_ = false;
   loader_.step(engine_.slot_busy());
+}
+
+std::uint64_t Processor::try_skip(std::uint64_t budget) {
+  if (!skip_eligible_ || budget == 0) {
+    return 0;
+  }
+  // Front end stalled: dispatch blocked on a full window AND fetch blocked
+  // on a full decode buffer (an empty-enough buffer would fetch, which
+  // moves predictor/trace-cache state).
+  if (!(ruu_.full() || wakeup_.full())) {
+    return 0;
+  }
+  if (decode_buffer_.size() + config_.fetch_width <=
+      decode_buffer_.capacity()) {
+    return 0;
+  }
+  // Nothing can retire: the RUU head is not done (and stays not-done while
+  // nothing completes).
+  if (ruu_.empty() || ruu_.at(0).state == RuuState::kDone) {
+    return 0;
+  }
+  // The loader must be a pure cycle counter for the whole window.
+  if (!loader_.quiescent()) {
+    return 0;
+  }
+  // Nothing completes during the window: every in-flight op needs at least
+  // min_remaining cycles, so k <= min_remaining - 1 keeps them in flight.
+  const unsigned min_rem = engine_.min_remaining();
+  if (min_rem < 2) {
+    return 0;
+  }
+  // Nothing can issue this cycle (and therefore for the whole window: the
+  // dependence and availability inputs cannot change while nothing wakes).
+  const AllocationVector effective = loader_.effective_allocation();
+  engine_.begin_cycle(effective);
+  const auto view = engine_.issue_view();
+  const EntryMask dep_ready = wakeup_.dep_ready();
+  if ((dep_ready & wakeup_.resource_ready(view.available)).any()) {
+    return 0;
+  }
+  std::uint64_t k = min_rem - 1;
+  const unsigned wakeup_timer = wakeup_.min_timer();
+  if (wakeup_timer > 0) {
+    k = std::min<std::uint64_t>(k, wakeup_timer);
+  }
+  k = std::min(k, budget);
+  if (k == 0) {
+    return 0;
+  }
+  // Ask the policy to emulate up to k back-to-back steer() calls.
+  refresh_ready_ops();
+  SteerContext ctx;
+  ctx.ready_ops = {ready_ops_cache_.begin(), ready_ops_cache_.end()};
+  ctx.current_total = engine_.configured_units();
+  ctx.cycle = stats_.cycles;
+  ctx.ready_changed = ready_dirty_;
+  if (trace_cache_ != nullptr) {
+    if (const TraceLine* line = trace_cache_->peek(fetch_.pc())) {
+      ctx.lookahead = &line->requirements;
+    }
+  }
+  const std::uint64_t advanced = policy_->idle_advance(k, ctx, loader_);
+  if (advanced == 0) {
+    return 0;
+  }
+  ready_dirty_ = false;
+  // Replay the per-cycle bookkeeping the skipped cycles would have done.
+  stats_.resource_starved += advanced * dep_ready.count();
+  engine_.fast_forward(advanced);
+  loader_.fast_forward(advanced);
+  wakeup_.advance(advanced);
+  stats_.queue_occupancy_sum +=
+      advanced * (wakeup_.num_entries() - wakeup_.free_entries());
+  stats_.cycles += advanced;
+  return advanced;
 }
 
 std::uint32_t Processor::next_architectural_pc() const {
@@ -763,9 +853,16 @@ RunOutcome Processor::run(std::uint64_t max_cycles) {
   constexpr std::uint64_t kStallLimit = 100'000;
 
   while (!halted_ && !faulted_ && stats_.cycles < max_cycles) {
-    step();
+    // Event-driven skip-ahead: when the machine is provably idle until the
+    // next unit completion, advance the clock in one shot.
+    std::uint64_t advanced = try_skip(max_cycles - stats_.cycles);
+    if (advanced == 0) {
+      step();
+      advanced = 1;
+    }
     if (stats_.retired == last_retired) {
-      if (++stall_window >= kStallLimit) {
+      stall_window += advanced;
+      if (stall_window >= kStallLimit) {
         // One-line machine-state digest so a stall report is actionable
         // without rerunning under a debugger.
         std::string digest =

@@ -217,6 +217,16 @@ class Processor {
   void stage_dispatch();
   void stage_fetch();
 
+  /// Rebuilds `ready_ops_cache_` iff the wake-up array's ready set changed
+  /// since the last rebuild (keyed on WakeupArray::ready_version()).
+  void refresh_ready_ops();
+  /// Event-driven skip-ahead (run() fast path; step() stays one cycle):
+  /// when the machine is provably idle — front end stalled, nothing can
+  /// retire, issue, or complete, loader quiescent — advances up to
+  /// `budget` cycles in one shot with bit-identical statistics. Returns
+  /// the cycles advanced; 0 means "step live".
+  std::uint64_t try_skip(std::uint64_t budget);
+
   /// PC of the oldest un-retired instruction: the point a checkpoint
   /// resumes from. Valid any time retire has drained this cycle's commits.
   std::uint32_t next_architectural_pc() const;
@@ -265,6 +275,18 @@ class Processor {
   std::unique_ptr<IntervalSampler> sampler_;
 
   std::function<void(const RuuEntry&)> retire_hook_;
+
+  /// stage_steer ready-op list, rebuilt only when the wake-up array's
+  /// ready set changed. `ready_dirty_` latches "changed since the policy
+  /// last consumed it" across cycles (and across skip windows).
+  FixedVector<Opcode, kMaxWakeupEntries> ready_ops_cache_;
+  std::uint64_t steer_ready_version_ = ~std::uint64_t{0};
+  bool ready_dirty_ = true;
+  /// Skip-ahead is structurally allowed: no observers (tracer, audit,
+  /// sampler), no recovery, no fault injection, no pipelined units. Fixed
+  /// at construction.
+  bool skip_eligible_ = false;
+
   SimStats stats_;
   FaultStats fault_stats_;
   bool halted_ = false;

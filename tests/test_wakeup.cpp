@@ -216,6 +216,78 @@ TEST(Wakeup, NoResourcesNoRequests) {
   EXPECT_TRUE(ex.array.request_execution(none_available()).none());
 }
 
+TEST(WakeupDeathTest, DepOnInvalidRowIsAContractViolation) {
+  // A dependence column pointing at a row nothing occupies can never be
+  // satisfied — the consumer would silently block forever. insert()
+  // promotes that latent hang to a loud contract failure.
+  WakeupArray array(4);
+  array.insert(FuType::kIntAlu, {}, 1);  // row 0 valid; rows 1..3 are not
+  EXPECT_DEATH(array.insert(FuType::kIntAlu, deps_of({2}), 2), "Expects");
+}
+
+TEST(WakeupDeathTest, DepOnRetiredRowIsAContractViolation) {
+  WakeupArray array(4);
+  const auto producer = array.insert(FuType::kIntAlu, {}, 1);
+  array.grant(*producer, 1);
+  array.retire(*producer);
+  // The producer's row is free again: depending on it now is the same
+  // forever-blocked shape as depending on a never-used row.
+  EXPECT_DEATH(array.insert(FuType::kIntAlu, deps_of({*producer}), 2),
+               "Expects");
+}
+
+TEST(Wakeup, RequestDecomposesIntoDepAndResourceReady) {
+  PaperExample ex;
+  ResourceAvail avail = all_available();
+  avail[fu_index(FuType::kIntAlu)] = false;
+  // request_execution is exactly the AND of its two column planes.
+  EXPECT_EQ(ex.array.request_execution(avail),
+            ex.array.dep_ready() & ex.array.resource_ready(avail));
+  // dep_ready ignores resources: all three roots are dependence-ready even
+  // with their unit lines low.
+  EXPECT_EQ(ex.array.dep_ready(), deps_of({0, 1, 4}));
+  EXPECT_EQ(ex.array.resource_ready(none_available()), EntryMask{});
+}
+
+TEST(Wakeup, ReadyVersionTracksReadySetNotTimers) {
+  WakeupArray array(4);
+  const std::uint64_t v0 = array.ready_version();
+  const auto row = array.insert(FuType::kIntMdu, {}, 1);
+  const std::uint64_t v1 = array.ready_version();
+  EXPECT_NE(v0, v1);
+  array.grant(*row, 4);
+  const std::uint64_t v2 = array.ready_version();
+  EXPECT_NE(v1, v2);
+  // Ticks move timers, not the ready set: the version must hold still so
+  // the steering path can keep its cached ready-ops snapshot.
+  array.tick();
+  array.tick();
+  EXPECT_EQ(array.ready_version(), v2);
+  array.retire(*row);
+  EXPECT_NE(array.ready_version(), v2);
+}
+
+TEST(Wakeup, AdvanceMatchesRepeatedTicks) {
+  WakeupArray a(4);
+  WakeupArray b(4);
+  for (WakeupArray* arr : {&a, &b}) {
+    arr->insert(FuType::kIntMdu, {}, 1);
+    arr->insert(FuType::kLsu, {}, 2);
+    arr->grant(0, 4);
+    arr->grant(1, 6);
+  }
+  EXPECT_EQ(a.min_timer(), 4u);  // timer arms with the full latency
+  a.advance(4);
+  for (int t = 0; t < 4; ++t) {
+    b.tick();
+  }
+  EXPECT_EQ(a.entry(0).result_available, b.entry(0).result_available);
+  EXPECT_TRUE(a.entry(0).result_available);
+  EXPECT_FALSE(a.entry(1).result_available);
+  EXPECT_EQ(a.min_timer(), b.min_timer());
+  EXPECT_EQ(a.min_timer(), 2u);  // the load's remaining countdown
+}
+
 TEST(SelectLogic, BudgetPerTypeRespected) {
   WakeupArray array(4);
   for (std::uint64_t i = 0; i < 4; ++i) {

@@ -1,0 +1,166 @@
+// Reference oracle for the columnar wake-up kernel: the original row-major
+// scalar implementation of WakeupArray, preserved verbatim (test-only).
+// tests/test_wakeup_cosim.cpp drives random operation sequences through
+// both and asserts bit-identical masks, stats, order, and grant behavior.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "sched/wakeup_array.hpp"
+
+namespace steersim {
+
+class ScalarWakeupArray {
+ public:
+  explicit ScalarWakeupArray(unsigned num_entries) : entries_(num_entries) {
+    STEERSIM_EXPECTS(num_entries >= 1 && num_entries <= kMaxWakeupEntries);
+  }
+
+  unsigned num_entries() const {
+    return static_cast<unsigned>(entries_.size());
+  }
+
+  bool full() const { return free_entries() == 0; }
+
+  unsigned free_entries() const {
+    unsigned n = 0;
+    for (const auto& e : entries_) {
+      n += e.valid ? 0u : 1u;
+    }
+    return n;
+  }
+
+  std::optional<unsigned> insert(FuType fu, EntryMask deps,
+                                 std::uint64_t tag) {
+    for (unsigned i = 0; i < num_entries(); ++i) {
+      if (!entries_[i].valid) {
+        WakeupEntry& e = entries_[i];
+        e.valid = true;
+        e.scheduled = false;
+        e.fu = fu;
+        e.deps = deps;
+        e.timer = 0;
+        e.result_available = false;
+        e.age = next_age_++;
+        e.tag = tag;
+        ++stats_.inserts;
+        return i;
+      }
+    }
+    return std::nullopt;
+  }
+
+  EntryMask request_execution(const ResourceAvail& resource_available) const {
+    EntryMask requests;
+    for (unsigned i = 0; i < num_entries(); ++i) {
+      const WakeupEntry& e = entries_[i];
+      if (!e.valid || e.scheduled) {
+        continue;
+      }
+      bool ready = resource_available[fu_index(e.fu)];
+      for (unsigned j = 0; ready && j < num_entries(); ++j) {
+        if (e.deps.test(j)) {
+          ready = entries_[j].valid && entries_[j].result_available;
+        }
+      }
+      if (ready) {
+        requests.set(i);
+      }
+    }
+    return requests;
+  }
+
+  void grant(unsigned idx, unsigned latency) {
+    STEERSIM_EXPECTS(idx < num_entries());
+    STEERSIM_EXPECTS(latency >= 1);
+    WakeupEntry& e = entries_[idx];
+    STEERSIM_EXPECTS(e.valid && !e.scheduled);
+    e.scheduled = true;
+    e.timer = latency;
+    e.result_available = false;
+    ++stats_.grants;
+  }
+
+  void reschedule(unsigned idx) {
+    STEERSIM_EXPECTS(idx < num_entries());
+    WakeupEntry& e = entries_[idx];
+    STEERSIM_EXPECTS(e.valid);
+    e.scheduled = false;
+    e.timer = 0;
+    e.result_available = false;
+    ++stats_.reschedules;
+  }
+
+  void retire(unsigned idx) {
+    STEERSIM_EXPECTS(idx < num_entries());
+    STEERSIM_EXPECTS(entries_[idx].valid);
+    clear_entry(idx);
+    ++stats_.retires;
+  }
+
+  void squash(unsigned idx) {
+    STEERSIM_EXPECTS(idx < num_entries());
+    STEERSIM_EXPECTS(entries_[idx].valid);
+    clear_entry(idx);
+    ++stats_.squashes;
+  }
+
+  void tick() {
+    for (auto& e : entries_) {
+      if (e.valid && e.scheduled && e.timer > 0) {
+        if (--e.timer == 0) {
+          e.result_available = true;
+        }
+      }
+    }
+  }
+
+  const WakeupEntry& entry(unsigned idx) const {
+    STEERSIM_EXPECTS(idx < num_entries());
+    return entries_[idx];
+  }
+
+  std::vector<unsigned> age_order() const {
+    std::vector<unsigned> order;
+    order.reserve(entries_.size());
+    for (unsigned i = 0; i < num_entries(); ++i) {
+      if (entries_[i].valid) {
+        order.push_back(i);
+      }
+    }
+    std::ranges::sort(order, [this](unsigned a, unsigned b) {
+      return entries_[a].age < entries_[b].age;
+    });
+    return order;
+  }
+
+  EntryMask unscheduled() const {
+    EntryMask mask;
+    for (unsigned i = 0; i < num_entries(); ++i) {
+      if (entries_[i].valid && !entries_[i].scheduled) {
+        mask.set(i);
+      }
+    }
+    return mask;
+  }
+
+  const WakeupStats& stats() const { return stats_; }
+
+ private:
+  void clear_entry(unsigned idx) {
+    entries_[idx] = WakeupEntry{};
+    for (auto& e : entries_) {
+      e.deps.reset(idx);
+    }
+  }
+
+  std::vector<WakeupEntry> entries_;
+  std::uint64_t next_age_ = 0;
+  WakeupStats stats_;
+};
+
+}  // namespace steersim

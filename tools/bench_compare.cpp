@@ -3,8 +3,11 @@
 //   bench_compare [--warn-only] [--host-tol FRAC] <baseline-dir> <candidate-dir>
 //
 // Exit codes: 0 = no regression (or --warn-only), 1 = regression detected,
-// 2 = usage or I/O error. CI runs this warn-only against the committed
-// bench/baseline/ snapshot; release branches drop --warn-only to gate.
+// 2 = usage or I/O error. CI gates on this against the committed
+// bench/baseline/ snapshot: sim metrics compare exactly, host metrics with
+// a wide direction-aware tolerance (--host-tol 0.6) that absorbs runner
+// noise but catches order-of-magnitude slowdowns. Use --warn-only for
+// exploratory local comparisons.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
