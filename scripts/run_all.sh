@@ -44,9 +44,32 @@ done
 ./build/tools/steersim_client "$sock" submit --kernel fib --expect-cache hit
 ./build/tools/steersim_client "$sock" submit --kernel matmul_int \
   --max-cycles 50 --expect-error deadline
+./build/tools/steersim_client "$sock" submit --elf rv32_phases \
+  --expect-cache miss
+./build/tools/steersim_client "$sock" submit --elf rv32_phases \
+  --expect-cache hit
 ./build/tools/steersim_client "$sock" shutdown
 wait "$daemon"
 echo "service smoke passed"
+
+# RV32 ELF smoke (docs/EXTENDING.md §Running ELF binaries): committed
+# fixture binaries must match freshly encoded bytes, and the same binary
+# through run_elf twice must produce bit-identical simulated metrics.
+./build/tools/make_fixtures /tmp/steersim-fresh-fixtures
+for f in tests/fixtures/*.elf; do
+  cmp "$f" "/tmp/steersim-fresh-fixtures/$(basename "$f")"
+done
+rm -rf elf_run1 elf_run2
+mkdir -p elf_run1 elf_run2
+for fx in rv32_int rv32_fp rv32_phases; do
+  (cd elf_run1 && ../build/tools/run_elf --fixture "$fx" steered \
+    --report "elf_$fx" > /dev/null)
+  (cd elf_run2 && ../build/tools/run_elf --fixture "$fx" steered \
+    --report "elf_$fx" > /dev/null)
+done
+./build/tools/bench_compare elf_run1 elf_run2
+rm -rf elf_run1 elf_run2
+echo "elf smoke passed"
 
 # Chaos smoke (docs/SERVICE.md §Failure modes): the same daemon under a
 # seeded fault storm — reply frames dropped/corrupted/truncated, workers

@@ -1,9 +1,11 @@
 #include "common/strings.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <system_error>
 
 #include "common/contracts.hpp"
 
@@ -119,9 +121,15 @@ std::string json_number(double value) {
       std::abs(value) < 1e15) {
     return std::to_string(static_cast<std::int64_t>(value));
   }
+  // std::to_chars with explicit precision renders exactly like printf
+  // "%.17g" in the "C" locale, but is locale-independent: canonical
+  // renderings (and the FNV-1a digests over them) stay byte-identical
+  // even when the process sets a comma-decimal global locale.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
-  return buf;
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value,
+                                       std::chars_format::general, 17);
+  STEERSIM_ENSURES(ec == std::errc{});
+  return std::string(buf, ptr);
 }
 
 std::string format_bits(std::uint64_t value, unsigned bits) {

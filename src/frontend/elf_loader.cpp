@@ -1,0 +1,295 @@
+#include "frontend/elf_loader.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/contracts.hpp"
+#include "isa/rv32.hpp"
+
+namespace steersim::elf {
+
+namespace {
+
+// ELF constants actually used (from the ELF32 spec; no <elf.h> dependency
+// so the loader behaves identically on every host).
+constexpr std::size_t kEhdrSize = 52;
+constexpr std::size_t kPhdrSize = 32;
+constexpr std::uint16_t kEtExec = 2;
+constexpr std::uint16_t kEmRiscv = 243;
+constexpr std::uint32_t kPtLoad = 1;
+constexpr std::uint32_t kPfX = 1;
+
+[[noreturn]] void fail(ElfError::Kind kind, const std::string& message) {
+  throw ElfError(kind, message);
+}
+
+/// Bounds-checked little-endian field reads — the only way loader code
+/// touches the image, so no access can go past the span.
+std::uint16_t read_u16(std::span<const std::uint8_t> image,
+                       std::size_t offset) {
+  STEERSIM_EXPECTS(offset + 2 <= image.size());
+  return static_cast<std::uint16_t>(image[offset] |
+                                    (image[offset + 1] << 8));
+}
+
+std::uint32_t read_u32(std::span<const std::uint8_t> image,
+                       std::size_t offset) {
+  STEERSIM_EXPECTS(offset + 4 <= image.size());
+  return static_cast<std::uint32_t>(image[offset]) |
+         (static_cast<std::uint32_t>(image[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(image[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(image[offset + 3]) << 24);
+}
+
+void append_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+ElfFile parse_elf32(std::span<const std::uint8_t> image) {
+  if (image.size() < kEhdrSize) {
+    fail(ElfError::Kind::kTruncated,
+         "file smaller than the ELF32 header (" +
+             std::to_string(image.size()) + " bytes)");
+  }
+  if (image[0] != 0x7f || image[1] != 'E' || image[2] != 'L' ||
+      image[3] != 'F') {
+    fail(ElfError::Kind::kBadMagic, "bad magic (not an ELF file)");
+  }
+  if (image[4] != 1) {  // EI_CLASS: ELFCLASS32
+    fail(ElfError::Kind::kUnsupported, "not a 32-bit ELF (EI_CLASS)");
+  }
+  if (image[5] != 1) {  // EI_DATA: ELFDATA2LSB
+    fail(ElfError::Kind::kUnsupported, "not little-endian (EI_DATA)");
+  }
+  if (const std::uint16_t type = read_u16(image, 16); type != kEtExec) {
+    fail(ElfError::Kind::kUnsupported,
+         "e_type " + std::to_string(type) +
+             " is not ET_EXEC (only static executables load)");
+  }
+  if (const std::uint16_t machine = read_u16(image, 18);
+      machine != kEmRiscv) {
+    fail(ElfError::Kind::kUnsupported,
+         "e_machine " + std::to_string(machine) + " is not EM_RISCV");
+  }
+
+  ElfFile file;
+  file.entry = read_u32(image, 24);
+  const std::uint32_t phoff = read_u32(image, 28);
+  const std::uint16_t phentsize = read_u16(image, 42);
+  const std::uint16_t phnum = read_u16(image, 44);
+  if (phnum == 0) {
+    fail(ElfError::Kind::kBadLayout, "no program headers (e_phnum == 0)");
+  }
+  if (phentsize != kPhdrSize) {
+    fail(ElfError::Kind::kUnsupported,
+         "e_phentsize " + std::to_string(phentsize) + " != 32");
+  }
+  const std::uint64_t ph_end =
+      static_cast<std::uint64_t>(phoff) +
+      static_cast<std::uint64_t>(phnum) * kPhdrSize;
+  if (ph_end > image.size()) {
+    fail(ElfError::Kind::kTruncated,
+         "program header table runs past the end of the file");
+  }
+
+  for (std::uint16_t i = 0; i < phnum; ++i) {
+    const std::size_t ph = phoff + static_cast<std::size_t>(i) * kPhdrSize;
+    const std::uint32_t p_type = read_u32(image, ph + 0);
+    if (p_type != kPtLoad) {
+      continue;  // PT_RISCV_ATTRIBUTES, PT_NOTE, ... carry no bytes we run
+    }
+    const std::uint32_t p_offset = read_u32(image, ph + 4);
+    const std::uint32_t p_vaddr = read_u32(image, ph + 8);
+    const std::uint32_t p_filesz = read_u32(image, ph + 16);
+    const std::uint32_t p_memsz = read_u32(image, ph + 20);
+    const std::uint32_t p_flags = read_u32(image, ph + 24);
+    if (static_cast<std::uint64_t>(p_offset) + p_filesz > image.size()) {
+      fail(ElfError::Kind::kTruncated,
+           "PT_LOAD segment " + std::to_string(i) +
+               " payload runs past the end of the file");
+    }
+    if (p_memsz < p_filesz) {
+      fail(ElfError::Kind::kBadLayout,
+           "PT_LOAD segment " + std::to_string(i) + " has p_memsz < p_filesz");
+    }
+    if (static_cast<std::uint64_t>(p_vaddr) + p_memsz >
+        std::uint64_t{1} << 32) {
+      fail(ElfError::Kind::kBadLayout,
+           "PT_LOAD segment " + std::to_string(i) +
+               " wraps the 32-bit address space");
+    }
+    ElfSegment seg;
+    seg.vaddr = p_vaddr;
+    seg.executable = (p_flags & kPfX) != 0;
+    seg.bytes.assign(image.begin() + p_offset,
+                     image.begin() + p_offset + p_filesz);
+    seg.bytes.resize(p_memsz, 0);  // BSS zero-fill
+    file.segments.push_back(std::move(seg));
+  }
+  if (file.segments.empty()) {
+    fail(ElfError::Kind::kBadLayout, "no PT_LOAD segments");
+  }
+  // Overlap check over all loadable segments (a linker never emits
+  // overlapping PT_LOADs; corrupt images must not silently alias memory).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+  ranges.reserve(file.segments.size());
+  for (const ElfSegment& seg : file.segments) {
+    ranges.emplace_back(seg.vaddr,
+                        static_cast<std::uint64_t>(seg.vaddr) +
+                            seg.bytes.size());
+  }
+  std::sort(ranges.begin(), ranges.end());
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    if (ranges[i].first < ranges[i - 1].second) {
+      fail(ElfError::Kind::kBadLayout, "PT_LOAD segments overlap");
+    }
+  }
+  return file;
+}
+
+Program load_elf_program(std::span<const std::uint8_t> image,
+                         const std::string& name) {
+  const ElfFile file = parse_elf32(image);
+
+  const ElfSegment* text = nullptr;
+  for (const ElfSegment& seg : file.segments) {
+    if (!seg.executable) {
+      continue;
+    }
+    if (text != nullptr) {
+      fail(ElfError::Kind::kBadLayout,
+           "more than one executable PT_LOAD segment");
+    }
+    text = &seg;
+  }
+  if (text == nullptr) {
+    fail(ElfError::Kind::kBadLayout, "no executable PT_LOAD segment");
+  }
+  if (text->vaddr % 4 != 0 || text->bytes.size() % 4 != 0) {
+    fail(ElfError::Kind::kBadLayout,
+         "text segment address/size is not 4-byte aligned");
+  }
+  if (text->bytes.empty()) {
+    fail(ElfError::Kind::kBadLayout, "text segment is empty");
+  }
+
+  std::vector<std::uint32_t> words(text->bytes.size() / 4);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    words[i] = read_u32(text->bytes, i * 4);
+  }
+  rv32::Translation tr =
+      rv32::translate(words, text->vaddr, file.entry);
+
+  // Flat data image from byte 0 to the highest data-segment end, packed
+  // into the 64-bit little-endian cells Program::data loads at address 0.
+  std::uint64_t data_end = 0;
+  for (const ElfSegment& seg : file.segments) {
+    if (seg.executable) {
+      continue;
+    }
+    data_end = std::max(
+        data_end, static_cast<std::uint64_t>(seg.vaddr) + seg.bytes.size());
+  }
+  if (data_end > kMaxDataImageBytes) {
+    fail(ElfError::Kind::kBadLayout,
+         "data segments end at " + std::to_string(data_end) +
+             ", above the " + std::to_string(kMaxDataImageBytes) +
+             "-byte loader ceiling");
+  }
+  std::vector<std::uint8_t> flat(static_cast<std::size_t>(data_end), 0);
+  for (const ElfSegment& seg : file.segments) {
+    if (seg.executable || seg.bytes.empty()) {
+      continue;
+    }
+    std::memcpy(flat.data() + seg.vaddr, seg.bytes.data(), seg.bytes.size());
+  }
+
+  Program program;
+  program.name = name;
+  program.code = std::move(tr.code);
+  program.data.resize((flat.size() + 7) / 8, 0);
+  if (!flat.empty()) {
+    std::memcpy(program.data.data(), flat.data(), flat.size());
+  }
+  program.code_labels["entry"] =
+      tr.index_of[(file.entry - text->vaddr) / 4];
+  return program;
+}
+
+ElfBuilder& ElfBuilder::segment(std::uint32_t vaddr,
+                                std::vector<std::uint8_t> bytes,
+                                bool executable,
+                                std::uint32_t memsz_extra) {
+  segments_.push_back(Seg{vaddr, std::move(bytes), executable, memsz_extra});
+  return *this;
+}
+
+ElfBuilder& ElfBuilder::text(std::uint32_t vaddr,
+                             std::span<const std::uint32_t> words) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(words.size() * 4);
+  for (const std::uint32_t w : words) {
+    append_u32(bytes, w);
+  }
+  return segment(vaddr, std::move(bytes), true);
+}
+
+std::vector<std::uint8_t> ElfBuilder::build() const {
+  const std::size_t phnum = segments_.size();
+  const std::size_t payload_base = kEhdrSize + phnum * kPhdrSize;
+
+  std::vector<std::uint8_t> out;
+  out.reserve(payload_base);
+  // e_ident
+  out.push_back(0x7f);
+  out.push_back('E');
+  out.push_back('L');
+  out.push_back('F');
+  out.push_back(1);  // ELFCLASS32
+  out.push_back(1);  // ELFDATA2LSB
+  out.push_back(1);  // EV_CURRENT
+  out.resize(out.size() + 9, 0);
+  append_u16(out, kEtExec);
+  append_u16(out, kEmRiscv);
+  append_u32(out, 1);        // e_version
+  append_u32(out, entry_);   // e_entry
+  append_u32(out, kEhdrSize);  // e_phoff: phdrs follow the ehdr
+  append_u32(out, 0);        // e_shoff: no section headers
+  append_u32(out, 0);        // e_flags
+  append_u16(out, kEhdrSize);
+  append_u16(out, kPhdrSize);
+  append_u16(out, static_cast<std::uint16_t>(phnum));
+  append_u16(out, 0);  // e_shentsize
+  append_u16(out, 0);  // e_shnum
+  append_u16(out, 0);  // e_shstrndx
+  STEERSIM_ENSURES(out.size() == kEhdrSize);
+
+  std::size_t offset = payload_base;
+  for (const Seg& seg : segments_) {
+    append_u32(out, kPtLoad);
+    append_u32(out, static_cast<std::uint32_t>(offset));  // p_offset
+    append_u32(out, seg.vaddr);                           // p_vaddr
+    append_u32(out, seg.vaddr);                           // p_paddr
+    append_u32(out, static_cast<std::uint32_t>(seg.bytes.size()));
+    append_u32(out, static_cast<std::uint32_t>(seg.bytes.size()) +
+                        seg.memsz_extra);
+    append_u32(out, seg.executable ? 0x5u : 0x6u);  // R+X or R+W
+    append_u32(out, 4);                             // p_align
+    offset += seg.bytes.size();
+  }
+  for (const Seg& seg : segments_) {
+    out.insert(out.end(), seg.bytes.begin(), seg.bytes.end());
+  }
+  return out;
+}
+
+}  // namespace steersim::elf

@@ -1,0 +1,577 @@
+#include "isa/rv32.hpp"
+
+#include <array>
+#include <cstdio>
+#include <optional>
+
+#include "common/contracts.hpp"
+
+namespace steersim::rv32 {
+
+namespace {
+
+// RV32 major opcodes (bits [6:0]).
+constexpr std::uint8_t kMajLoad = 0x03;
+constexpr std::uint8_t kMajLoadFp = 0x07;
+constexpr std::uint8_t kMajMiscMem = 0x0f;
+constexpr std::uint8_t kMajOpImm = 0x13;
+constexpr std::uint8_t kMajAuipc = 0x17;
+constexpr std::uint8_t kMajStore = 0x23;
+constexpr std::uint8_t kMajStoreFp = 0x27;
+constexpr std::uint8_t kMajOp = 0x33;
+constexpr std::uint8_t kMajLui = 0x37;
+constexpr std::uint8_t kMajOpFp = 0x53;
+constexpr std::uint8_t kMajBranch = 0x63;
+constexpr std::uint8_t kMajJalr = 0x67;
+constexpr std::uint8_t kMajJal = 0x6f;
+constexpr std::uint8_t kMajSystem = 0x73;
+
+// clang-format off
+constexpr std::array kTable = {
+    // RV32I register-register.
+    Rv32Op{"add",      kMajOp, 0, 0x00, Format::kR, Expand::kAluRR, Opcode::kAdd},
+    Rv32Op{"sub",      kMajOp, 0, 0x20, Format::kR, Expand::kAluRR, Opcode::kSub},
+    Rv32Op{"sll",      kMajOp, 1, 0x00, Format::kR, Expand::kAluRR, Opcode::kSll},
+    Rv32Op{"slt",      kMajOp, 2, 0x00, Format::kR, Expand::kAluRR, Opcode::kSlt},
+    Rv32Op{"sltu",     kMajOp, 3, 0x00, Format::kR, Expand::kAluRR, Opcode::kSltu},
+    Rv32Op{"xor",      kMajOp, 4, 0x00, Format::kR, Expand::kAluRR, Opcode::kXor},
+    Rv32Op{"srl",      kMajOp, 5, 0x00, Format::kR, Expand::kAluRR, Opcode::kSrl},
+    Rv32Op{"sra",      kMajOp, 5, 0x20, Format::kR, Expand::kAluRR, Opcode::kSra},
+    Rv32Op{"or",       kMajOp, 6, 0x00, Format::kR, Expand::kAluRR, Opcode::kOr},
+    Rv32Op{"and",      kMajOp, 7, 0x00, Format::kR, Expand::kAluRR, Opcode::kAnd},
+    // RV32M (all land on IntMdu; mulh is the signed-high flavour).
+    Rv32Op{"mul",      kMajOp, 0, 0x01, Format::kR, Expand::kAluRR, Opcode::kMul},
+    Rv32Op{"mulh",     kMajOp, 1, 0x01, Format::kR, Expand::kAluRR, Opcode::kMulh},
+    Rv32Op{"div",      kMajOp, 4, 0x01, Format::kR, Expand::kAluRR, Opcode::kDiv},
+    Rv32Op{"rem",      kMajOp, 6, 0x01, Format::kR, Expand::kAluRR, Opcode::kRem},
+    // RV32I register-immediate.
+    Rv32Op{"addi",     kMajOpImm, 0, kAnyF7, Format::kI, Expand::kAluRI, Opcode::kAddi},
+    Rv32Op{"slti",     kMajOpImm, 2, kAnyF7, Format::kI, Expand::kAluRI, Opcode::kSlti},
+    Rv32Op{"sltiu",    kMajOpImm, 3, kAnyF7, Format::kI, Expand::kSltiu, Opcode::kSltu},
+    Rv32Op{"xori",     kMajOpImm, 4, kAnyF7, Format::kI, Expand::kAluRI, Opcode::kXori},
+    Rv32Op{"ori",      kMajOpImm, 6, kAnyF7, Format::kI, Expand::kAluRI, Opcode::kOri},
+    Rv32Op{"andi",     kMajOpImm, 7, kAnyF7, Format::kI, Expand::kAluRI, Opcode::kAndi},
+    Rv32Op{"slli",     kMajOpImm, 1, 0x00, Format::kI, Expand::kShift, Opcode::kSlli},
+    Rv32Op{"srli",     kMajOpImm, 5, 0x00, Format::kI, Expand::kShift, Opcode::kSrli},
+    Rv32Op{"srai",     kMajOpImm, 5, 0x20, Format::kI, Expand::kShift, Opcode::kSrai},
+    // Upper-immediate materialization.
+    Rv32Op{"lui",      kMajLui,   kAnyF3, kAnyF7, Format::kU, Expand::kLui, Opcode::kLui},
+    Rv32Op{"auipc",    kMajAuipc, kAnyF3, kAnyF7, Format::kU, Expand::kAuipc, Opcode::kLui},
+    // Loads/stores (integer and FP data, all on the LSU).
+    Rv32Op{"lb",       kMajLoad, 0, kAnyF7, Format::kI, Expand::kLoad, Opcode::kLb},
+    Rv32Op{"lw",       kMajLoad, 2, kAnyF7, Format::kI, Expand::kLoad, Opcode::kLw},
+    Rv32Op{"lbu",      kMajLoad, 4, kAnyF7, Format::kI, Expand::kLbu, Opcode::kLb},
+    Rv32Op{"sb",       kMajStore, 0, kAnyF7, Format::kS, Expand::kStore, Opcode::kSb},
+    Rv32Op{"sw",       kMajStore, 2, kAnyF7, Format::kS, Expand::kStore, Opcode::kSw},
+    Rv32Op{"flw",      kMajLoadFp, 2, kAnyF7, Format::kI, Expand::kLoad, Opcode::kFlw},
+    Rv32Op{"fsw",      kMajStoreFp, 2, kAnyF7, Format::kS, Expand::kStore, Opcode::kFsw},
+    // Control flow (resolved on the IntAlu, like the native ISA).
+    Rv32Op{"beq",      kMajBranch, 0, kAnyF7, Format::kB, Expand::kBranch, Opcode::kBeq},
+    Rv32Op{"bne",      kMajBranch, 1, kAnyF7, Format::kB, Expand::kBranch, Opcode::kBne},
+    Rv32Op{"blt",      kMajBranch, 4, kAnyF7, Format::kB, Expand::kBranch, Opcode::kBlt},
+    Rv32Op{"bge",      kMajBranch, 5, kAnyF7, Format::kB, Expand::kBranch, Opcode::kBge},
+    Rv32Op{"jal",      kMajJal,  kAnyF3, kAnyF7, Format::kJ, Expand::kJal, Opcode::kJal},
+    Rv32Op{"jalr",     kMajJalr, 0, kAnyF7, Format::kI, Expand::kJalr, Opcode::kJr},
+    // Fences order nothing in this single-core model.
+    Rv32Op{"fence",    kMajMiscMem, kAnyF3, kAnyF7, Format::kI, Expand::kNop, Opcode::kNop},
+    // ecall/ebreak end the simulated program (the runner has no OS).
+    Rv32Op{"ecall",    kMajSystem, 0, kAnyF7, Format::kI, Expand::kHalt, Opcode::kHalt},
+    // RV32F arithmetic (FpAlu) and multiply/divide/sqrt (FpMdu).
+    Rv32Op{"fadd.s",   kMajOpFp, kAnyF3, 0x00, Format::kR, Expand::kFpRR, Opcode::kFadd},
+    Rv32Op{"fsub.s",   kMajOpFp, kAnyF3, 0x04, Format::kR, Expand::kFpRR, Opcode::kFsub},
+    Rv32Op{"fmul.s",   kMajOpFp, kAnyF3, 0x08, Format::kR, Expand::kFpRR, Opcode::kFmul},
+    Rv32Op{"fdiv.s",   kMajOpFp, kAnyF3, 0x0c, Format::kR, Expand::kFpRR, Opcode::kFdiv},
+    Rv32Op{"fsqrt.s",  kMajOpFp, kAnyF3, 0x2c, Format::kR, Expand::kFpUnary, Opcode::kFsqrt},
+    Rv32Op{"fsgnj.s",  kMajOpFp, 0, 0x10, Format::kR, Expand::kFsgnj, Opcode::kFmin},
+    Rv32Op{"fsgnjn.s", kMajOpFp, 1, 0x10, Format::kR, Expand::kFsgnj, Opcode::kFneg},
+    Rv32Op{"fsgnjx.s", kMajOpFp, 2, 0x10, Format::kR, Expand::kFsgnj, Opcode::kFabs},
+    Rv32Op{"fmin.s",   kMajOpFp, 0, 0x14, Format::kR, Expand::kFpRR, Opcode::kFmin},
+    Rv32Op{"fmax.s",   kMajOpFp, 1, 0x14, Format::kR, Expand::kFpRR, Opcode::kFmax},
+    Rv32Op{"fcvt.w.s", kMajOpFp, kAnyF3, 0x60, Format::kR, Expand::kFcvt, Opcode::kCvtFI},
+    Rv32Op{"fcvt.s.w", kMajOpFp, kAnyF3, 0x68, Format::kR, Expand::kFcvt, Opcode::kCvtIF},
+    Rv32Op{"fle.s",    kMajOpFp, 0, 0x50, Format::kR, Expand::kFcmp, Opcode::kFle},
+    Rv32Op{"flt.s",    kMajOpFp, 1, 0x50, Format::kR, Expand::kFcmp, Opcode::kFlt},
+    Rv32Op{"feq.s",    kMajOpFp, 2, 0x50, Format::kR, Expand::kFcmp, Opcode::kFeq},
+};
+// clang-format on
+
+std::int32_t sext(std::uint32_t value, unsigned bits) {
+  const std::uint32_t sign = 1u << (bits - 1);
+  return static_cast<std::int32_t>((value ^ sign) - sign);
+}
+
+/// Recognized-but-unmapped encodings get a precise `kUnsupported` message;
+/// anything else is an unknown instruction.
+std::optional<std::string_view> describe_unsupported(const Fields& f) {
+  switch (f.major) {
+    case kMajLoad:
+      if (f.funct3 == 1 || f.funct3 == 5) {
+        return "halfword loads (lh/lhu) are not modelled";
+      }
+      break;
+    case kMajStore:
+      if (f.funct3 == 1) {
+        return "halfword stores (sh) are not modelled";
+      }
+      break;
+    case kMajBranch:
+      if (f.funct3 == 6 || f.funct3 == 7) {
+        return "unsigned branches (bltu/bgeu) have no internal mapping";
+      }
+      break;
+    case kMajOp:
+      if (f.funct7 == 0x01) {
+        return "mulhsu/mulhu/divu/remu have no internal mapping";
+      }
+      break;
+    case kMajOpFp:
+      if (f.funct7 == 0x70 || f.funct7 == 0x78) {
+        return "bit-pattern FP moves (fmv.x.w/fmv.w.x/fclass) are not "
+               "modelled";
+      }
+      break;
+    case kMajSystem:
+      return "CSR and privileged instructions are not modelled";
+    default:
+      break;
+  }
+  return std::nullopt;
+}
+
+[[noreturn]] void fail(Rv32Error::Kind kind, std::uint32_t addr,
+                       const std::string& message) {
+  throw Rv32Error(kind, addr, message);
+}
+
+}  // namespace
+
+std::string Rv32Error::hex(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return buf;
+}
+
+std::span<const Rv32Op> table() { return kTable; }
+
+Fields split_fields(std::uint32_t w) {
+  Fields f;
+  f.word = w;
+  f.major = static_cast<std::uint8_t>(w & 0x7f);
+  f.rd = static_cast<std::uint8_t>((w >> 7) & 0x1f);
+  f.funct3 = static_cast<std::uint8_t>((w >> 12) & 0x7);
+  f.rs1 = static_cast<std::uint8_t>((w >> 15) & 0x1f);
+  f.rs2 = static_cast<std::uint8_t>((w >> 20) & 0x1f);
+  f.funct7 = static_cast<std::uint8_t>((w >> 25) & 0x7f);
+  f.imm_i = sext(w >> 20, 12);
+  f.imm_s = sext(((w >> 25) << 5) | ((w >> 7) & 0x1f), 12);
+  f.imm_b = sext(((w >> 31) << 12) | (((w >> 7) & 1u) << 11) |
+                     (((w >> 25) & 0x3f) << 5) | (((w >> 8) & 0xf) << 1),
+                 13);
+  f.imm_u = sext(w >> 12, 20);
+  f.imm_j = sext(((w >> 31) << 20) | (((w >> 12) & 0xff) << 12) |
+                     (((w >> 20) & 1u) << 11) | (((w >> 21) & 0x3ff) << 1),
+                 21);
+  return f;
+}
+
+const Rv32Op* lookup(std::uint32_t word) {
+  const Fields f = split_fields(word);
+  for (const Rv32Op& op : kTable) {
+    if (op.major != f.major) {
+      continue;
+    }
+    if (op.funct3 != kAnyF3 && op.funct3 != f.funct3) {
+      continue;
+    }
+    if (op.funct7 != kAnyF7 && op.funct7 != f.funct7) {
+      continue;
+    }
+    return &op;
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Emits the 1-5 internal instructions that materialize the signed 32-bit
+/// constant `value` into integer register rd. The internal immediate is
+/// 15 bits (vs RV32's 20-bit lui payload), so large constants chain
+/// lui/addi + shift + or in 14-bit chunks.
+void emit_materialize(std::vector<Instruction>& out, std::uint8_t rd,
+                      std::int32_t value) {
+  const std::int32_t lo = value & 0x3fff;
+  if (value >= kImm15Min && value <= kImm15Max) {
+    out.push_back(make_ri(Opcode::kAddi, rd, 0, value));
+    return;
+  }
+  if (value >= -(1 << 28) && value < (1 << 28)) {
+    out.push_back(make_ri(Opcode::kLui, rd, 0, value >> 14));
+    if (lo != 0) {
+      out.push_back(make_ri(Opcode::kOri, rd, rd, lo));
+    }
+    return;
+  }
+  const std::int32_t mid = (value >> 14) & 0x3fff;
+  out.push_back(make_ri(Opcode::kAddi, rd, 0, value >> 28));
+  out.push_back(make_ri(Opcode::kSlli, rd, rd, 14));
+  if (mid != 0) {
+    out.push_back(make_ri(Opcode::kOri, rd, rd, mid));
+  }
+  out.push_back(make_ri(Opcode::kSlli, rd, rd, 14));
+  if (lo != 0) {
+    out.push_back(make_ri(Opcode::kOri, rd, rd, lo));
+  }
+}
+
+struct Fixup {
+  std::size_t emit_index = 0;     ///< internal index of the control op
+  std::uint32_t source_addr = 0;  ///< byte address of the RV32 word
+  std::uint32_t target_addr = 0;  ///< byte address it jumps/branches to
+  bool is_branch = false;         ///< imm15 (branch) vs imm20 (jump) range
+};
+
+}  // namespace
+
+Translation translate(std::span<const std::uint32_t> text,
+                      std::uint32_t text_base, std::uint32_t entry) {
+  if (text_base % 4 != 0) {
+    fail(Rv32Error::Kind::kBadTarget, text_base,
+         ".text base address must be 4-byte aligned");
+  }
+  const std::uint32_t text_end =
+      text_base + static_cast<std::uint32_t>(text.size()) * 4;
+  if (entry % 4 != 0 || entry < text_base || entry >= text_end) {
+    fail(Rv32Error::Kind::kBadTarget, entry,
+         "entry point is misaligned or outside .text");
+  }
+
+  Translation tr;
+  std::vector<Fixup> fixups;
+  tr.code.reserve(text.size() + 1);
+  tr.index_of.reserve(text.size());
+
+  if (entry != text_base) {
+    // The internal machine always starts at index 0: reach a non-leading
+    // entry point through a one-instruction jump stub. All translated
+    // control flow is relative (or index-space values produced at run
+    // time), so the +1 shift is invisible to the program.
+    tr.code.push_back(make_jump(Opcode::kJ, 0, 0));
+    fixups.push_back({0, text_base, entry, false});
+  }
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const std::uint32_t addr =
+        text_base + static_cast<std::uint32_t>(i) * 4;
+    const std::uint32_t word = text[i];
+    const Fields f = split_fields(word);
+    const Rv32Op* op = lookup(word);
+    tr.index_of.push_back(static_cast<std::uint32_t>(tr.code.size()));
+    if (op == nullptr) {
+      if (const auto why = describe_unsupported(f)) {
+        fail(Rv32Error::Kind::kUnsupported, addr, std::string(*why));
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "unknown instruction word %08x", word);
+      fail(Rv32Error::Kind::kUnknownInstruction, addr, buf);
+    }
+    const std::size_t before = tr.code.size();
+
+    switch (op->expand) {
+      case Expand::kAluRR:
+      case Expand::kFpRR:
+        tr.code.push_back(make_rr(op->internal, f.rd, f.rs1, f.rs2));
+        break;
+      case Expand::kAluRI:
+        tr.code.push_back(make_ri(op->internal, f.rd, f.rs1, f.imm_i));
+        break;
+      case Expand::kShift:
+        tr.code.push_back(make_ri(op->internal, f.rd, f.rs1, f.rs2));
+        break;
+      case Expand::kLoad:
+        tr.code.push_back(make_ri(op->internal, f.rd, f.rs1, f.imm_i));
+        break;
+      case Expand::kLbu:
+        // Zero-extension: internal lb sign-extends, so mask back down.
+        tr.code.push_back(make_ri(Opcode::kLb, f.rd, f.rs1, f.imm_i));
+        if (f.rd != 0) {
+          tr.code.push_back(make_ri(Opcode::kAndi, f.rd, f.rd, 0xff));
+        }
+        break;
+      case Expand::kStore:
+        tr.code.push_back(make_store(op->internal, f.rs2, f.rs1, f.imm_s));
+        break;
+      case Expand::kBranch:
+        if (f.imm_b % 4 != 0) {
+          fail(Rv32Error::Kind::kBadTarget, addr,
+               "branch offset is not word-aligned (C extension is out of "
+               "scope)");
+        }
+        tr.code.push_back(make_branch(op->internal, f.rs1, f.rs2, 0));
+        fixups.push_back({before, addr,
+                          addr + static_cast<std::uint32_t>(f.imm_b), true});
+        break;
+      case Expand::kLui:
+        emit_materialize(tr.code, f.rd,
+                         static_cast<std::int32_t>(
+                             static_cast<std::uint32_t>(f.imm_u) << 12));
+        break;
+      case Expand::kAuipc:
+        // The word's own address is known statically, so auipc is a plain
+        // constant materialization of a byte address.
+        emit_materialize(
+            tr.code, f.rd,
+            static_cast<std::int32_t>(
+                addr + (static_cast<std::uint32_t>(f.imm_u) << 12)));
+        break;
+      case Expand::kJal:
+        if (f.imm_j % 4 != 0) {
+          fail(Rv32Error::Kind::kBadTarget, addr,
+               "jump offset is not word-aligned (C extension is out of "
+               "scope)");
+        }
+        tr.code.push_back(f.rd == 0
+                              ? make_jump(Opcode::kJ, 0, 0)
+                              : make_jump(Opcode::kJal, f.rd, 0));
+        fixups.push_back({before, addr,
+                          addr + static_cast<std::uint32_t>(f.imm_j), false});
+        break;
+      case Expand::kJalr:
+        if (f.rd != 0) {
+          fail(Rv32Error::Kind::kUnsupported, addr,
+               "linking jalr (rd != x0) has no internal mapping; indirect "
+               "calls are out of scope");
+        }
+        if (f.imm_i != 0) {
+          fail(Rv32Error::Kind::kUnsupported, addr,
+               "jalr with a nonzero offset is out of scope (targets live "
+               "in index space)");
+        }
+        tr.code.push_back(Instruction{Opcode::kJr, 0, f.rs1, 0, 0});
+        break;
+      case Expand::kSltiu:
+        // No scratch registers exist (all 32 map to x0..x31), so stage the
+        // immediate through rd itself; rd == rs1 would clobber the source.
+        if (f.rd == 0) {
+          tr.code.push_back(Instruction{});  // writes x0: architectural nop
+        } else if (f.rd == f.rs1) {
+          fail(Rv32Error::Kind::kBadOperand, addr,
+               "sltiu with rd == rs1 needs a scratch register the mapping "
+               "does not have");
+        } else {
+          tr.code.push_back(make_ri(Opcode::kAddi, f.rd, 0, f.imm_i));
+          tr.code.push_back(make_rr(Opcode::kSltu, f.rd, f.rs1, f.rd));
+        }
+        break;
+      case Expand::kFpUnary:
+        if (f.rs2 != 0) {
+          fail(Rv32Error::Kind::kUnknownInstruction, addr,
+               "fsqrt.s requires rs2 == 0");
+        }
+        tr.code.push_back(make_rr(op->internal, f.rd, f.rs1, 0));
+        break;
+      case Expand::kFsgnj:
+        if (f.rs1 != f.rs2) {
+          fail(Rv32Error::Kind::kUnsupported, addr,
+               "general sign injection is not modelled; only the "
+               "fmv.s/fneg.s/fabs.s pseudo forms (rs1 == rs2) map");
+        }
+        // fmv.s maps to fmin(rs, rs) == rs; fneg.s/fabs.s map directly.
+        tr.code.push_back(op->internal == Opcode::kFmin
+                              ? make_rr(Opcode::kFmin, f.rd, f.rs1, f.rs1)
+                              : make_rr(op->internal, f.rd, f.rs1, 0));
+        break;
+      case Expand::kFcvt:
+        if (f.rs2 != 0) {
+          fail(Rv32Error::Kind::kUnsupported, addr,
+               "unsigned conversions (fcvt.wu.s/fcvt.s.wu) have no "
+               "internal mapping");
+        }
+        tr.code.push_back(make_rr(op->internal, f.rd, f.rs1, 0));
+        break;
+      case Expand::kFcmp:
+        tr.code.push_back(make_rr(op->internal, f.rd, f.rs1, f.rs2));
+        break;
+      case Expand::kNop:
+        tr.code.push_back(Instruction{});
+        break;
+      case Expand::kHalt:
+        if (f.imm_i != 0 && f.imm_i != 1) {
+          fail(Rv32Error::Kind::kUnsupported, addr,
+               "SYSTEM instructions other than ecall/ebreak are not "
+               "modelled");
+        }
+        tr.code.push_back(Instruction{Opcode::kHalt, 0, 0, 0, 0});
+        break;
+    }
+    if (tr.code.size() - before > 1) {
+      ++tr.expanded_words;
+    }
+  }
+
+  for (const Fixup& fx : fixups) {
+    if (fx.target_addr % 4 != 0 || fx.target_addr < text_base ||
+        fx.target_addr >= text_end) {
+      fail(Rv32Error::Kind::kBadTarget, fx.source_addr,
+           "control-flow target is misaligned or outside .text");
+    }
+    const std::uint32_t target_index =
+        tr.index_of[(fx.target_addr - text_base) / 4];
+    const std::int64_t delta = static_cast<std::int64_t>(target_index) -
+                               static_cast<std::int64_t>(fx.emit_index);
+    const std::int64_t lo = fx.is_branch ? kImm15Min : kImm20Min;
+    const std::int64_t hi = fx.is_branch ? kImm15Max : kImm20Max;
+    if (delta < lo || delta > hi) {
+      fail(Rv32Error::Kind::kImmOutOfRange, fx.source_addr,
+           "translated control-flow offset exceeds the internal immediate "
+           "range");
+    }
+    tr.code[fx.emit_index].imm = static_cast<std::int32_t>(delta);
+  }
+  return tr;
+}
+
+// --- Encoding helpers ----------------------------------------------------
+
+namespace {
+
+std::uint32_t reg5(std::uint8_t r) {
+  STEERSIM_EXPECTS(r < 32);
+  return r;
+}
+
+std::uint32_t ubits(std::int32_t imm, unsigned bits) {
+  const std::int32_t lo = -(1 << (bits - 1));
+  const std::int32_t hi = (1 << (bits - 1)) - 1;
+  STEERSIM_EXPECTS(imm >= lo && imm <= hi);
+  return static_cast<std::uint32_t>(imm) & ((1u << bits) - 1u);
+}
+
+}  // namespace
+
+std::uint32_t enc_r(std::uint8_t major, std::uint8_t funct3,
+                    std::uint8_t funct7, std::uint8_t rd, std::uint8_t rs1,
+                    std::uint8_t rs2) {
+  return (static_cast<std::uint32_t>(funct7) << 25) | (reg5(rs2) << 20) |
+         (reg5(rs1) << 15) | (static_cast<std::uint32_t>(funct3) << 12) |
+         (reg5(rd) << 7) | major;
+}
+
+std::uint32_t enc_i(std::uint8_t major, std::uint8_t funct3, std::uint8_t rd,
+                    std::uint8_t rs1, std::int32_t imm) {
+  return (ubits(imm, 12) << 20) | (reg5(rs1) << 15) |
+         (static_cast<std::uint32_t>(funct3) << 12) | (reg5(rd) << 7) |
+         major;
+}
+
+std::uint32_t enc_s(std::uint8_t major, std::uint8_t funct3, std::uint8_t rs1,
+                    std::uint8_t rs2, std::int32_t imm) {
+  const std::uint32_t u = ubits(imm, 12);
+  return ((u >> 5) << 25) | (reg5(rs2) << 20) | (reg5(rs1) << 15) |
+         (static_cast<std::uint32_t>(funct3) << 12) | ((u & 0x1f) << 7) |
+         major;
+}
+
+std::uint32_t enc_b(std::uint8_t major, std::uint8_t funct3, std::uint8_t rs1,
+                    std::uint8_t rs2, std::int32_t offset) {
+  STEERSIM_EXPECTS(offset % 2 == 0);
+  const std::uint32_t u = ubits(offset, 13);
+  return ((u >> 12) << 31) | (((u >> 5) & 0x3f) << 25) | (reg5(rs2) << 20) |
+         (reg5(rs1) << 15) | (static_cast<std::uint32_t>(funct3) << 12) |
+         (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1u) << 7) | major;
+}
+
+std::uint32_t enc_u(std::uint8_t major, std::uint8_t rd, std::int32_t imm20) {
+  return (ubits(imm20, 20) << 12) | (reg5(rd) << 7) | major;
+}
+
+std::uint32_t enc_j(std::uint8_t major, std::uint8_t rd, std::int32_t offset) {
+  STEERSIM_EXPECTS(offset % 2 == 0);
+  const std::uint32_t u = ubits(offset, 21);
+  return ((u >> 20) << 31) | (((u >> 1) & 0x3ff) << 21) |
+         (((u >> 11) & 1u) << 20) | (((u >> 12) & 0xff) << 12) |
+         (reg5(rd) << 7) | major;
+}
+
+std::uint32_t addi(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm) {
+  return enc_i(kMajOpImm, 0, rd, rs1, imm);
+}
+std::uint32_t add(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  return enc_r(kMajOp, 0, 0x00, rd, rs1, rs2);
+}
+std::uint32_t sub(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  return enc_r(kMajOp, 0, 0x20, rd, rs1, rs2);
+}
+std::uint32_t mul(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  return enc_r(kMajOp, 0, 0x01, rd, rs1, rs2);
+}
+std::uint32_t div(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  return enc_r(kMajOp, 4, 0x01, rd, rs1, rs2);
+}
+std::uint32_t rem(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  return enc_r(kMajOp, 6, 0x01, rd, rs1, rs2);
+}
+std::uint32_t slli(std::uint8_t rd, std::uint8_t rs1, std::uint8_t shamt) {
+  STEERSIM_EXPECTS(shamt < 32);
+  return enc_r(kMajOpImm, 1, 0x00, rd, rs1, shamt);
+}
+std::uint32_t srli(std::uint8_t rd, std::uint8_t rs1, std::uint8_t shamt) {
+  STEERSIM_EXPECTS(shamt < 32);
+  return enc_r(kMajOpImm, 5, 0x00, rd, rs1, shamt);
+}
+std::uint32_t lui(std::uint8_t rd, std::int32_t imm20) {
+  return enc_u(kMajLui, rd, imm20);
+}
+std::uint32_t lw(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm) {
+  return enc_i(kMajLoad, 2, rd, rs1, imm);
+}
+std::uint32_t sw(std::uint8_t rs1, std::uint8_t rs2, std::int32_t imm) {
+  return enc_s(kMajStore, 2, rs1, rs2, imm);
+}
+std::uint32_t flw(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm) {
+  return enc_i(kMajLoadFp, 2, rd, rs1, imm);
+}
+std::uint32_t fsw(std::uint8_t rs1, std::uint8_t rs2, std::int32_t imm) {
+  return enc_s(kMajStoreFp, 2, rs1, rs2, imm);
+}
+std::uint32_t beq(std::uint8_t rs1, std::uint8_t rs2, std::int32_t offset) {
+  return enc_b(kMajBranch, 0, rs1, rs2, offset);
+}
+std::uint32_t bne(std::uint8_t rs1, std::uint8_t rs2, std::int32_t offset) {
+  return enc_b(kMajBranch, 1, rs1, rs2, offset);
+}
+std::uint32_t blt(std::uint8_t rs1, std::uint8_t rs2, std::int32_t offset) {
+  return enc_b(kMajBranch, 4, rs1, rs2, offset);
+}
+std::uint32_t bge(std::uint8_t rs1, std::uint8_t rs2, std::int32_t offset) {
+  return enc_b(kMajBranch, 5, rs1, rs2, offset);
+}
+std::uint32_t jal(std::uint8_t rd, std::int32_t offset) {
+  return enc_j(kMajJal, rd, offset);
+}
+std::uint32_t jalr(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm) {
+  return enc_i(kMajJalr, 0, rd, rs1, imm);
+}
+std::uint32_t fadd_s(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  return enc_r(kMajOpFp, 0, 0x00, rd, rs1, rs2);
+}
+std::uint32_t fsub_s(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  return enc_r(kMajOpFp, 0, 0x04, rd, rs1, rs2);
+}
+std::uint32_t fmul_s(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  return enc_r(kMajOpFp, 0, 0x08, rd, rs1, rs2);
+}
+std::uint32_t fdiv_s(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  return enc_r(kMajOpFp, 0, 0x0c, rd, rs1, rs2);
+}
+std::uint32_t fcvt_s_w(std::uint8_t rd, std::uint8_t rs1) {
+  return enc_r(kMajOpFp, 0, 0x68, rd, rs1, 0);
+}
+std::uint32_t fcvt_w_s(std::uint8_t rd, std::uint8_t rs1) {
+  return enc_r(kMajOpFp, 0, 0x60, rd, rs1, 0);
+}
+std::uint32_t flt_s(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+  return enc_r(kMajOpFp, 1, 0x50, rd, rs1, rs2);
+}
+std::uint32_t ecall() { return enc_i(kMajSystem, 0, 0, 0, 0); }
+
+}  // namespace steersim::rv32

@@ -1,0 +1,204 @@
+// RV32IM+F front end: decodes real RISC-V machine words and translates
+// them onto the steersim machine (docs/ISA.md, DESIGN.md §RV32 front end).
+//
+// The paper's steering hypothesis is about phase behaviour of *real* code,
+// so this front end lets compiled RV32 programs exercise the RFU steering:
+// every implemented RISC-V opcode maps onto exactly one of the five
+// functional-unit types (IntAlu/IntMdu/Lsu/FpAlu/FpMdu) at the latencies
+// in isa/opcode.hpp — M-extension ops land on IntMdu, F ops on
+// FpAlu/FpMdu — and translates into the existing Instruction/Program
+// representation that the fetch unit already executes.
+//
+// Address spaces (the key translation decision):
+//   * The internal PC is an instruction *index*, not a byte address.
+//     Translation maps RV32 text word i at byte address base+4i to one or
+//     more internal instructions and rewrites all control-flow offsets
+//     into index space. `jal` links and `jr` targets therefore live in
+//     index space — consistent as long as jump targets only come from
+//     jal/jalr links (function call/return), which translated code
+//     guarantees.
+//   * `auipc`/`lui` materialize their architectural byte-address/constant
+//     value (auipc resolves statically at translation time); deriving an
+//     *indirect jump target* from an auipc value is out of scope and will
+//     misbehave, so fixtures and supported programs must not do it.
+//   * Data addresses are RV32 byte addresses into the simulated data
+//     memory. The memory model keeps the host machine's 64-bit cells:
+//     lw/sw move 64-bit words and flw/fsw move binary64 values, so word
+//     arrays stride 8 bytes, not 4 (see docs/ISA.md for the full list of
+//     modelling divergences).
+//
+// Unsupported encodings (A/C extensions, sub-word halfword accesses,
+// unsigned divide/branches, bit-pattern FP moves, linking jalr) raise
+// Rv32Error with a typed kind and the faulting byte address — malformed
+// input is never undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+
+namespace steersim::rv32 {
+
+/// Typed decode/translation failure; `addr` is the byte address of the
+/// offending word (or 0 when no address applies).
+class Rv32Error : public std::runtime_error {
+ public:
+  enum class Kind {
+    kUnknownInstruction,  ///< no table entry matches the word
+    kUnsupported,         ///< decodes, but has no internal mapping
+    kBadOperand,          ///< operand constraint violated (e.g. sltiu rd==rs1)
+    kBadTarget,           ///< branch/jump target misaligned or outside .text
+    kImmOutOfRange,       ///< translated offset exceeds imm15/imm20
+  };
+
+  Rv32Error(Kind kind, std::uint32_t addr, const std::string& message)
+      : std::runtime_error("rv32: 0x" + hex(addr) + ": " + message),
+        kind_(kind),
+        addr_(addr) {}
+
+  Kind kind() const { return kind_; }
+  std::uint32_t addr() const { return addr_; }
+
+ private:
+  static std::string hex(std::uint32_t v);
+  Kind kind_;
+  std::uint32_t addr_;
+};
+
+/// How a matched RV32 instruction becomes internal instruction(s).
+enum class Expand : std::uint8_t {
+  kAluRR,    ///< R-type -> internal R-type, registers verbatim
+  kAluRI,    ///< I-type -> internal I-type (imm12 fits imm15)
+  kShift,    ///< slli/srli/srai: shamt from rs2 field
+  kLoad,     ///< lb/lw/flw -> internal load
+  kLbu,      ///< lb + andi 0xff zero-extension (2 instructions)
+  kStore,    ///< sb/sw/fsw -> internal store
+  kBranch,   ///< beq/bne/blt/bge, offset rewritten to index space
+  kLui,      ///< materialize imm20<<12 (lui + ori, 2 instructions)
+  kAuipc,    ///< materialize pc + imm20<<12 statically (2 instructions)
+  kJal,      ///< j / jal, offset rewritten to index space
+  kJalr,     ///< rd=x0, imm=0 -> jr; anything else unsupported
+  kSltiu,    ///< addi tmp + sltu (2 instructions, requires rd != rs1)
+  kFpRR,     ///< R-type FP -> internal FP R-type
+  kFpUnary,  ///< fsqrt: rd, rs1 only (rs2 must be 0)
+  kFsgnj,    ///< rs1==rs2 pseudo forms fmv/fneg.s/fabs.s only
+  kFcvt,     ///< fcvt.w.s / fcvt.s.w (rs2 selects signedness)
+  kFcmp,     ///< feq/flt/fle: FP sources, integer destination
+  kNop,      ///< fence et al: no architectural effect here
+  kHalt,     ///< ecall/ebreak end the simulated program
+};
+
+/// Instruction encoding format (which immediate decoding applies).
+enum class Format : std::uint8_t { kR, kI, kS, kB, kU, kJ };
+
+inline constexpr std::uint8_t kAnyF3 = 0xff;
+inline constexpr std::uint8_t kAnyF7 = 0xff;
+
+/// One row of the decode table: an (opcode, funct3, funct7) pattern plus
+/// the translation recipe.
+struct Rv32Op {
+  std::string_view mnemonic;
+  std::uint8_t major;   ///< bits [6:0]
+  std::uint8_t funct3;  ///< bits [14:12] or kAnyF3
+  std::uint8_t funct7;  ///< bits [31:25] or kAnyF7
+  Format format;
+  Expand expand;
+  /// Internal opcode for 1:1 recipes; the first/defining opcode for
+  /// multi-instruction expansions (what golden tests check FU/latency on).
+  Opcode internal;
+};
+
+/// The full decode table (every implemented RV32IM+F encoding), for
+/// golden-vector tests that want to sweep each row.
+std::span<const Rv32Op> table();
+
+/// Raw field split of one word (immediates sign-extended per format).
+struct Fields {
+  std::uint32_t word = 0;
+  std::uint8_t major = 0;
+  std::uint8_t rd = 0;
+  std::uint8_t funct3 = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t funct7 = 0;
+  std::int32_t imm_i = 0;  ///< I-type, sign-extended 12-bit
+  std::int32_t imm_s = 0;  ///< S-type
+  std::int32_t imm_b = 0;  ///< B-type (byte offset, bit 0 zero)
+  std::int32_t imm_u = 0;  ///< U-type: upper 20 bits, NOT shifted
+  std::int32_t imm_j = 0;  ///< J-type (byte offset, bit 0 zero)
+};
+
+Fields split_fields(std::uint32_t word);
+
+/// Table lookup; nullptr when no row matches (unknown instruction).
+const Rv32Op* lookup(std::uint32_t word);
+
+/// Translation of one text image. `index_of[i]` is the internal index of
+/// the first instruction emitted for text word i — the addr->index map
+/// the control-flow rewrite used, exposed for tests and debuggers.
+struct Translation {
+  std::vector<Instruction> code;
+  std::vector<std::uint32_t> index_of;
+  /// Static translation census: how many RV32 words expanded to more than
+  /// one internal instruction.
+  std::uint32_t expanded_words = 0;
+};
+
+/// Translates RV32 text into internal instructions. `text_base` is the
+/// byte address of text[0]; `entry` is the program entry point (when it
+/// is not `text_base`, a jump stub is prepended). Throws Rv32Error.
+Translation translate(std::span<const std::uint32_t> text,
+                      std::uint32_t text_base, std::uint32_t entry);
+
+// --- Encoding helpers (fixtures and tests) -------------------------------
+// Hand-encoded fixture programs are built from these, and the decoder
+// golden tests check encode -> decode round trips against the table.
+
+std::uint32_t enc_r(std::uint8_t major, std::uint8_t funct3,
+                    std::uint8_t funct7, std::uint8_t rd, std::uint8_t rs1,
+                    std::uint8_t rs2);
+std::uint32_t enc_i(std::uint8_t major, std::uint8_t funct3, std::uint8_t rd,
+                    std::uint8_t rs1, std::int32_t imm);
+std::uint32_t enc_s(std::uint8_t major, std::uint8_t funct3, std::uint8_t rs1,
+                    std::uint8_t rs2, std::int32_t imm);
+std::uint32_t enc_b(std::uint8_t major, std::uint8_t funct3, std::uint8_t rs1,
+                    std::uint8_t rs2, std::int32_t offset);
+std::uint32_t enc_u(std::uint8_t major, std::uint8_t rd, std::int32_t imm20);
+std::uint32_t enc_j(std::uint8_t major, std::uint8_t rd, std::int32_t offset);
+
+// Mnemonic-level conveniences for the common fixture vocabulary.
+std::uint32_t addi(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm);
+std::uint32_t add(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+std::uint32_t sub(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+std::uint32_t mul(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+std::uint32_t div(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+std::uint32_t rem(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+std::uint32_t slli(std::uint8_t rd, std::uint8_t rs1, std::uint8_t shamt);
+std::uint32_t srli(std::uint8_t rd, std::uint8_t rs1, std::uint8_t shamt);
+std::uint32_t lui(std::uint8_t rd, std::int32_t imm20);
+std::uint32_t lw(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm);
+std::uint32_t sw(std::uint8_t rs1, std::uint8_t rs2, std::int32_t imm);
+std::uint32_t flw(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm);
+std::uint32_t fsw(std::uint8_t rs1, std::uint8_t rs2, std::int32_t imm);
+std::uint32_t beq(std::uint8_t rs1, std::uint8_t rs2, std::int32_t offset);
+std::uint32_t bne(std::uint8_t rs1, std::uint8_t rs2, std::int32_t offset);
+std::uint32_t blt(std::uint8_t rs1, std::uint8_t rs2, std::int32_t offset);
+std::uint32_t bge(std::uint8_t rs1, std::uint8_t rs2, std::int32_t offset);
+std::uint32_t jal(std::uint8_t rd, std::int32_t offset);
+std::uint32_t jalr(std::uint8_t rd, std::uint8_t rs1, std::int32_t imm);
+std::uint32_t fadd_s(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+std::uint32_t fsub_s(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+std::uint32_t fmul_s(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+std::uint32_t fdiv_s(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+std::uint32_t fcvt_s_w(std::uint8_t rd, std::uint8_t rs1);
+std::uint32_t fcvt_w_s(std::uint8_t rd, std::uint8_t rs1);
+std::uint32_t flt_s(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2);
+std::uint32_t ecall();
+
+}  // namespace steersim::rv32

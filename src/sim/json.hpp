@@ -1,14 +1,20 @@
 // Minimal recursive-descent JSON reader, shared by the bench-regression
 // comparator (sim/bench_compare.hpp), the tools/ CLI and the observability
 // tests. Reads everything this repo emits (trace-event documents, metric
-// objects, BENCH_*.json reports); not a general-purpose validator — escape
-// handling collapses \uXXXX to a placeholder byte and numbers go through
-// strtod. Header-only so test binaries can use it without a link edge.
+// objects, BENCH_*.json reports). \uXXXX escapes decode to real UTF-8
+// (surrogate pairs included), numbers parse and render via
+// std::from_chars/std::to_chars (locale-independent, so canonical
+// renderings and FNV-1a digests are stable under any global locale), and
+// digit-only tokens keep an exact 64-bit integer representation so
+// protocol fields >= 2^53 round-trip without double rounding. Header-only
+// so test binaries can use it without a link edge.
 #pragma once
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
+#include <cstdint>
 #include <map>
+#include <system_error>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,9 +25,16 @@ namespace steersim {
 
 struct JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  /// Exact payload carried alongside `number` for digit-only tokens: a
+  /// double loses integers past 2^53, so cycle budgets and wall-clock
+  /// fields keep their 64-bit value and render back digit-identical.
+  enum class NumberRepr { kDouble, kU64, kI64 };
   Kind kind = Kind::kNull;
   bool boolean = false;
   double number = 0.0;
+  NumberRepr repr = NumberRepr::kDouble;
+  std::uint64_t u64 = 0;  ///< valid when repr == kU64
+  std::int64_t i64 = 0;   ///< valid when repr == kI64 (negative integers)
   std::string string;
   std::vector<JsonValue> array;
   std::map<std::string, JsonValue> object;
@@ -29,6 +42,30 @@ struct JsonValue {
   const JsonValue* get(const std::string& key) const {
     const auto it = object.find(key);
     return it == object.end() ? nullptr : &it->second;
+  }
+
+  /// Exact unsigned read: true when this is a number representable as
+  /// u64 without rounding (integer-carried, or an integral double below
+  /// 2^53 — anything bigger only exists as a digit-only token).
+  bool as_u64(std::uint64_t& out) const {
+    if (kind != Kind::kNumber) {
+      return false;
+    }
+    switch (repr) {
+      case NumberRepr::kU64:
+        out = u64;
+        return true;
+      case NumberRepr::kI64:
+        return false;  // negative
+      case NumberRepr::kDouble:
+        break;
+    }
+    if (number < 0.0 || number > 9007199254740992.0 ||
+        number != static_cast<double>(static_cast<std::uint64_t>(number))) {
+      return false;
+    }
+    out = static_cast<std::uint64_t>(number);
+    return true;
   }
 };
 
@@ -81,6 +118,76 @@ class JsonParser {
     return false;
   }
 
+  /// Consumes exactly four hex digits into `out`.
+  bool hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) {
+      return false;
+    }
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      std::uint32_t nibble = 0;
+      if (c >= '0' && c <= '9') {
+        nibble = static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        nibble = static_cast<std::uint32_t>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        nibble = static_cast<std::uint32_t>(c - 'A') + 10;
+      } else {
+        return false;
+      }
+      out = (out << 4) | nibble;
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  /// \uXXXX after the backslash: decodes to UTF-8, pairing surrogates.
+  /// Lone or mismatched surrogates are malformed input and fail the parse
+  /// (never a placeholder byte — round trips must be byte-identical).
+  bool unicode_escape(std::string& out) {
+    ++pos_;  // consume 'u'
+    std::uint32_t cp = 0;
+    if (!hex4(cp)) {
+      return false;
+    }
+    if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      return false;  // low surrogate with no preceding high surrogate
+    }
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u') {
+        return false;
+      }
+      pos_ += 2;
+      std::uint32_t low = 0;
+      if (!hex4(low) || low < 0xDC00 || low > 0xDFFF) {
+        return false;
+      }
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+    }
+    append_utf8(out, cp);
+    return true;
+  }
+
   bool value(JsonValue& out) {
     skip_ws();
     if (pos_ >= text_.size()) {
@@ -129,6 +236,9 @@ class JsonParser {
           case '\\':
             out += '\\';
             break;
+          case '/':
+            out += '/';
+            break;
           case 'n':
             out += '\n';
             break;
@@ -138,13 +248,17 @@ class JsonParser {
           case 'r':
             out += '\r';
             break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
           case 'u':
-            if (pos_ + 4 >= text_.size()) {
+            if (!unicode_escape(out)) {
               return false;
             }
-            out += '?';  // escaped control byte; exact value irrelevant
-            pos_ += 4;
-            break;
+            continue;  // unicode_escape consumed its own characters
           default:
             return false;
         }
@@ -171,7 +285,51 @@ class JsonParser {
       return false;
     }
     out.kind = JsonValue::Kind::kNumber;
-    out.number = std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(), nullptr);
+    std::string_view token = text_.substr(start, pos_ - start);
+
+    // Digit-only tokens (optional leading '-') carry an exact 64-bit
+    // integer next to the double approximation, so values past 2^53 render
+    // back digit-identical.
+    const bool negative = token.front() == '-';
+    const std::string_view digits = negative ? token.substr(1) : token;
+    const bool digit_only =
+        !digits.empty() &&
+        digits.find_first_not_of("0123456789") == std::string_view::npos;
+    if (digit_only) {
+      if (!negative) {
+        std::uint64_t value = 0;
+        const auto [ptr, ec] =
+            std::from_chars(digits.data(), digits.data() + digits.size(),
+                            value);
+        if (ec == std::errc{} && ptr == digits.data() + digits.size()) {
+          out.repr = JsonValue::NumberRepr::kU64;
+          out.u64 = value;
+          out.number = static_cast<double>(value);
+          return true;
+        }
+      } else {
+        std::int64_t value = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), value);
+        if (ec == std::errc{} && ptr == token.data() + token.size()) {
+          out.repr = JsonValue::NumberRepr::kI64;
+          out.i64 = value;
+          out.number = static_cast<double>(value);
+          return true;
+        }
+      }
+      // Out-of-range integers fall through to the double path.
+    }
+
+    // Locale-independent float parse. std::from_chars rejects a leading
+    // '+', which the scan (and the old strtod path) tolerated; strip it.
+    if (token.front() == '+') {
+      token.remove_prefix(1);
+    }
+    out.repr = JsonValue::NumberRepr::kDouble;
+    out.number = 0.0;  // lenient like strtod: unparsable tokens read as 0
+    (void)std::from_chars(token.data(), token.data() + token.size(),
+                          out.number);
     return true;
   }
 
@@ -267,7 +425,17 @@ inline std::string render_json(const JsonValue& value) {
       out = value.boolean ? "true" : "false";
       break;
     case JsonValue::Kind::kNumber:
-      out = json_number(value.number);
+      switch (value.repr) {
+        case JsonValue::NumberRepr::kU64:
+          out = std::to_string(value.u64);
+          break;
+        case JsonValue::NumberRepr::kI64:
+          out = std::to_string(value.i64);
+          break;
+        case JsonValue::NumberRepr::kDouble:
+          out = json_number(value.number);
+          break;
+      }
       break;
     case JsonValue::Kind::kString:
       out += '"';

@@ -35,6 +35,21 @@ void append_number_field(std::string& out, std::string_view key, double value,
   out += json_number(value);
 }
 
+/// Integer protocol fields (cycle budgets, wall_ms, counters) render from
+/// the 64-bit value directly: routing them through double would silently
+/// round anything >= 2^53.
+void append_u64_field(std::string& out, std::string_view key,
+                      std::uint64_t value, bool& first) {
+  if (!first) {
+    out += ',';
+  }
+  first = false;
+  out += '"';
+  append_json_escaped(out, key);
+  out += "\":";
+  out += std::to_string(value);
+}
+
 void append_bool_field(std::string& out, std::string_view key, bool value,
                        bool& first) {
   if (!first) {
@@ -81,12 +96,13 @@ std::uint64_t read_u64(const JsonValue& object, const std::string& key,
   if (field == nullptr) {
     return fallback;
   }
-  if (field->kind != JsonValue::Kind::kNumber || field->number < 0.0) {
+  std::uint64_t value = 0;
+  if (field->kind != JsonValue::Kind::kNumber || !field->as_u64(value)) {
     ok = false;
-    error = "field '" + key + "' must be a non-negative number";
+    error = "field '" + key + "' must be a non-negative integer";
     return fallback;
   }
-  return static_cast<std::uint64_t>(field->number);
+  return value;
 }
 
 bool read_bool(const JsonValue& object, const std::string& key, bool fallback,
@@ -149,30 +165,29 @@ std::string Request::to_json() const {
     if (!asm_source.empty()) {
       append_string_field(out, "asm", asm_source, first);
     }
+    if (!elf.empty()) {
+      append_string_field(out, "elf", elf, first);
+    }
     if (policy != "steered") {
       append_string_field(out, "policy", policy, first);
     }
     if (max_cycles != 0) {
-      append_number_field(out, "max_cycles",
-                          static_cast<double>(max_cycles), first);
+      append_u64_field(out, "max_cycles", max_cycles, first);
     }
     if (wall_ms != 0) {
-      append_number_field(out, "wall_ms", static_cast<double>(wall_ms),
-                          first);
+      append_u64_field(out, "wall_ms", wall_ms, first);
     }
     if (interval != 1) {
-      append_number_field(out, "interval", static_cast<double>(interval),
-                          first);
+      append_u64_field(out, "interval", interval, first);
     }
     if (confirm != 1) {
-      append_number_field(out, "confirm", static_cast<double>(confirm),
-                          first);
+      append_u64_field(out, "confirm", confirm, first);
     }
     if (lookahead) {
       append_bool_field(out, "lookahead", lookahead, first);
     }
     if (seed != 42) {
-      append_number_field(out, "seed", static_cast<double>(seed), first);
+      append_u64_field(out, "seed", seed, first);
     }
     if (!config.empty()) {
       auto sorted = config;
@@ -219,6 +234,7 @@ bool Request::parse(std::string_view text, Request& out, std::string& error) {
   parsed.id = read_string(doc, "id", "", ok, error);
   parsed.kernel = read_string(doc, "kernel", "", ok, error);
   parsed.asm_source = read_string(doc, "asm", "", ok, error);
+  parsed.elf = read_string(doc, "elf", "", ok, error);
   parsed.policy = read_string(doc, "policy", "steered", ok, error);
   parsed.max_cycles = read_u64(doc, "max_cycles", 0, ok, error);
   parsed.wall_ms = read_u64(doc, "wall_ms", 0, ok, error);
@@ -259,9 +275,8 @@ std::string Reply::to_json() const {
       append_string_field(out, "digest", digest, first);
       append_string_field(out, "policy", policy, first);
       append_string_field(out, "outcome", outcome, first);
-      append_number_field(out, "cycles", static_cast<double>(cycles), first);
-      append_number_field(out, "retired", static_cast<double>(retired),
-                          first);
+      append_u64_field(out, "cycles", cycles, first);
+      append_u64_field(out, "retired", retired, first);
       if (!metrics_json.empty()) {
         append_raw_field(out, "metrics", metrics_json, first);
       }

@@ -44,10 +44,15 @@ struct Request {
 
   // --- submit payload ---------------------------------------------------
   /// Named workload kernel (src/workload/kernels.hpp); exclusive with
-  /// `asm_source`.
+  /// `asm_source` and `elf`.
   std::string kernel;
   /// Inline assembly program (docs/ISA.md grammar).
   std::string asm_source;
+  /// Named committed RV32 ELF fixture (src/workload/rv32_fixtures.hpp);
+  /// the job digest covers the ELF image bytes, so identical binaries
+  /// share one cache entry regardless of the name they were submitted
+  /// under.
+  std::string elf;
   /// Policy label: steered|static-ffu|static-integer|static-memory|
   /// static-float|oracle|full-reconfig|random|greedy.
   std::string policy = "steered";

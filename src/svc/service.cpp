@@ -5,17 +5,21 @@
 #include <cstdio>
 #include <future>
 #include <map>
+#include <span>
 #include <stdexcept>
 #include <utility>
 
 #include "common/strings.hpp"
+#include "frontend/elf_loader.hpp"
 #include "isa/assembler.hpp"
+#include "isa/rv32.hpp"
 #include "svc/chaos.hpp"
 #include "obs/profile.hpp"
 #include "sim/metrics.hpp"
 #include "sim/report.hpp"
 #include "sim/sweep.hpp"
 #include "workload/kernels.hpp"
+#include "workload/rv32_fixtures.hpp"
 
 namespace steersim::svc {
 
@@ -256,11 +260,20 @@ Reply SimService::handle_submit(const Request& request) {
 
   const bool has_kernel = !request.kernel.empty();
   const bool has_asm = !request.asm_source.empty();
-  if (has_kernel == has_asm) {
+  const bool has_elf = !request.elf.empty();
+  if (static_cast<int>(has_kernel) + static_cast<int>(has_asm) +
+          static_cast<int>(has_elf) !=
+      1) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     return Reply::error(request.id, error_code::kBadRequest,
-                        "exactly one of 'kernel' and 'asm' is required");
+                        "exactly one of 'kernel', 'asm' and 'elf' is "
+                        "required");
   }
+  // `source` is what the job digest covers alongside the effective
+  // config: asm text for kernel/asm jobs, the raw ELF image bytes for elf
+  // jobs (identical binaries share one cache entry whatever name they
+  // were submitted under).
+  std::string elf_image_bytes;
   std::string_view source;
   std::string program_name;
   if (has_kernel) {
@@ -272,6 +285,17 @@ Reply SimService::handle_submit(const Request& request) {
     }
     source = kernel->source;
     program_name = kernel->name;
+  } else if (has_elf) {
+    const Rv32Fixture* fixture = rv32_fixture_find(request.elf);
+    if (fixture == nullptr) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      return Reply::error(request.id, error_code::kBadRequest,
+                          "unknown elf fixture '" + request.elf + "'");
+    }
+    const std::vector<std::uint8_t> image = rv32_fixture_elf(*fixture);
+    elf_image_bytes.assign(image.begin(), image.end());
+    source = elf_image_bytes;
+    program_name = fixture->name;
   } else {
     source = request.asm_source;
     program_name = "asm";
@@ -281,11 +305,27 @@ Reply SimService::handle_submit(const Request& request) {
   job->request = request;
   job->wall_ms = request.wall_ms;
   try {
-    job->program = assemble(source, program_name);
+    if (has_elf) {
+      const auto* bytes =
+          reinterpret_cast<const std::uint8_t*>(elf_image_bytes.data());
+      job->program = elf::load_elf_program(
+          std::span<const std::uint8_t>(bytes, elf_image_bytes.size()),
+          program_name);
+    } else {
+      job->program = assemble(source, program_name);
+    }
   } catch (const AssemblyError& e) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     return Reply::error(request.id, error_code::kBadRequest,
                         "assembly failed: " + std::string(e.what()));
+  } catch (const elf::ElfError& e) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return Reply::error(request.id, error_code::kBadRequest,
+                        "elf load failed: " + std::string(e.what()));
+  } catch (const rv32::Rv32Error& e) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return Reply::error(request.id, error_code::kBadRequest,
+                        "rv32 translation failed: " + std::string(e.what()));
   }
 
   if (!parse_policy(request.policy, job->spec)) {

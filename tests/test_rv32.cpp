@@ -1,0 +1,402 @@
+// RV32 front-end tests: decode-table golden vectors (every implemented
+// encoding maps to the right row, FU type and latency), immediate field
+// extraction, translation behaviours (materialization, zero-extension,
+// entry stub, index map), typed error kinds for every rejection path, the
+// committed fixtures' architectural checks, and a run_elf-vs-run_asm
+// equivalence pair: a hand-written internal-ISA twin of rv32_int must
+// translate to the exact same instruction vector and simulate to the
+// exact same cycle/retire counts.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "isa/assembler.hpp"
+#include "isa/opcode.hpp"
+#include "isa/rv32.hpp"
+#include "sim/runner.hpp"
+#include "workload/rv32_fixtures.hpp"
+
+namespace steersim {
+namespace {
+
+namespace rv = rv32;
+
+// RISC-V major opcodes used by hand-built error-path encodings.
+constexpr std::uint8_t kMajLoad = 0x03;
+constexpr std::uint8_t kMajOpImm = 0x13;
+constexpr std::uint8_t kMajStore = 0x23;
+constexpr std::uint8_t kMajOp = 0x33;
+constexpr std::uint8_t kMajBranch = 0x63;
+constexpr std::uint8_t kMajOpFp = 0x53;
+constexpr std::uint8_t kMajSystem = 0x73;
+
+/// The paper's property, restated per mnemonic: each RV32 encoding lands
+/// on exactly one of the five FU types.
+FuType expected_fu(const rv::Rv32Op& row) {
+  const std::string_view m = row.mnemonic;
+  if (m == "mul" || m == "mulh" || m == "div" || m == "rem") {
+    return FuType::kIntMdu;
+  }
+  if (row.expand == rv::Expand::kLoad || row.expand == rv::Expand::kLbu ||
+      row.expand == rv::Expand::kStore) {
+    return FuType::kLsu;
+  }
+  if (m == "fmul.s" || m == "fdiv.s" || m == "fsqrt.s") {
+    return FuType::kFpMdu;
+  }
+  if (m.front() == 'f' && m != "fence") {
+    return FuType::kFpAlu;
+  }
+  return FuType::kIntAlu;
+}
+
+/// Builds one representative machine word for a table row (wildcard
+/// funct3/funct7 become 0; fixed funct7 on I-format rows means the shift
+/// family, whose funct7 lives in the imm bits exactly like R-format).
+std::uint32_t representative_word(const rv::Rv32Op& row) {
+  const std::uint8_t f3 = row.funct3 == rv::kAnyF3 ? 0 : row.funct3;
+  const std::uint8_t f7 = row.funct7 == rv::kAnyF7 ? 0 : row.funct7;
+  switch (row.format) {
+    case rv::Format::kR:
+      return rv::enc_r(row.major, f3, f7, 1, 2, 3);
+    case rv::Format::kI:
+      return row.funct7 == rv::kAnyF7
+                 ? rv::enc_i(row.major, f3, 1, 2, 1)
+                 : rv::enc_r(row.major, f3, f7, 1, 2, 3);
+    case rv::Format::kS:
+      return rv::enc_s(row.major, f3, 1, 2, 8);
+    case rv::Format::kB:
+      return rv::enc_b(row.major, f3, 1, 2, 8);
+    case rv::Format::kU:
+      return rv::enc_u(row.major, 1, 1);
+    case rv::Format::kJ:
+      return rv::enc_j(row.major, 1, 2048);
+  }
+  return 0;
+}
+
+TEST(Rv32Decode, EveryTableRowRoundTripsAndMapsToItsFuType) {
+  for (const rv::Rv32Op& row : rv::table()) {
+    const std::uint32_t word = representative_word(row);
+    const rv::Rv32Op* hit = rv::lookup(word);
+    ASSERT_NE(hit, nullptr) << row.mnemonic;
+    EXPECT_EQ(hit->mnemonic, row.mnemonic);
+    EXPECT_EQ(fu_type_of(row.internal), expected_fu(row)) << row.mnemonic;
+    EXPECT_GE(op_info(row.internal).latency, 1u) << row.mnemonic;
+  }
+}
+
+TEST(Rv32Decode, LatenciesFollowTheOpcodeModel) {
+  // Spot-check the latency classes the steering signal depends on
+  // (isa/opcode.hpp: ALU 1, load 3, mul 4, div 12, fadd 3, fmul 5,
+  // fdiv 16, fsqrt 20).
+  EXPECT_EQ(op_info(rv::lookup(rv::add(1, 2, 3))->internal).latency, 1u);
+  EXPECT_EQ(op_info(rv::lookup(rv::lw(1, 2, 0))->internal).latency, 3u);
+  EXPECT_EQ(op_info(rv::lookup(rv::mul(1, 2, 3))->internal).latency, 4u);
+  EXPECT_EQ(op_info(rv::lookup(rv::div(1, 2, 3))->internal).latency, 12u);
+  EXPECT_EQ(op_info(rv::lookup(rv::fadd_s(1, 2, 3))->internal).latency, 3u);
+  EXPECT_EQ(op_info(rv::lookup(rv::fmul_s(1, 2, 3))->internal).latency, 5u);
+  EXPECT_EQ(op_info(rv::lookup(rv::fdiv_s(1, 2, 3))->internal).latency,
+            16u);
+}
+
+TEST(Rv32Decode, WellKnownEncodingsMatchTheRiscvSpec) {
+  // Cross-checked against a reference assembler, so the encoders (and
+  // through them every committed fixture word) agree with real RV32.
+  EXPECT_EQ(rv::addi(0, 0, 0), 0x00000013u);   // nop
+  EXPECT_EQ(rv::ecall(), 0x00000073u);
+  EXPECT_EQ(rv::jalr(0, 1, 0), 0x00008067u);   // ret
+  EXPECT_EQ(rv::add(1, 2, 3), 0x003100b3u);
+  EXPECT_EQ(rv::addi(10, 0, 600), 0x25800513u);
+}
+
+TEST(Rv32Decode, SplitFieldsSignExtendsEveryImmediateFormat) {
+  EXPECT_EQ(rv::split_fields(rv::addi(1, 2, -1)).imm_i, -1);
+  EXPECT_EQ(rv::split_fields(rv::addi(1, 2, 2047)).imm_i, 2047);
+  EXPECT_EQ(rv::split_fields(rv::sw(2, 1, -8)).imm_s, -8);
+  EXPECT_EQ(rv::split_fields(rv::bne(1, 2, -12)).imm_b, -12);
+  EXPECT_EQ(rv::split_fields(rv::bne(1, 2, 4094)).imm_b, 4094);
+  EXPECT_EQ(rv::split_fields(rv::lui(1, 1)).imm_u, 1);
+  EXPECT_EQ(rv::split_fields(rv::lui(1, -1)).imm_u, -1);
+  EXPECT_EQ(rv::split_fields(rv::jal(1, -2048)).imm_j, -2048);
+
+  const rv::Fields f = rv::split_fields(rv::add(1, 2, 3));
+  EXPECT_EQ(f.rd, 1);
+  EXPECT_EQ(f.rs1, 2);
+  EXPECT_EQ(f.rs2, 3);
+  EXPECT_EQ(f.major, kMajOp);
+}
+
+TEST(Rv32Decode, UnknownWordsHaveNoTableRow) {
+  EXPECT_EQ(rv::lookup(0xffffffffu), nullptr);
+  EXPECT_EQ(rv::lookup(0u), nullptr);
+  // lh: valid RISC-V, deliberately unimplemented (sub-word halfword).
+  EXPECT_EQ(rv::lookup(rv::enc_i(kMajLoad, 1, 1, 2, 0)), nullptr);
+}
+
+// --- Translation behaviours ----------------------------------------------
+
+/// Translates, runs under the default steered machine and returns the
+/// 64-bit data cell at `addr`.
+std::int64_t run_and_load(const std::vector<std::uint32_t>& text,
+                          std::uint64_t addr, std::uint32_t base = 0,
+                          std::uint32_t entry_delta = 0) {
+  const rv::Translation tr = rv::translate(text, base, base + entry_delta);
+  Program program;
+  program.name = "rv32-test";
+  program.code = tr.code;
+  auto cpu = make_processor(program, MachineConfig{}, PolicySpec{});
+  const RunOutcome outcome = cpu->run(2'000'000);
+  EXPECT_EQ(outcome, RunOutcome::kHalted) << cpu->fault_message();
+  return cpu->memory().load_word(addr);
+}
+
+TEST(Rv32Translate, SmallLuiCollapsesToOneImmediate) {
+  // 4096 fits imm15, so lui materializes in a single addi.
+  const rv::Translation tr =
+      rv::translate(std::vector<std::uint32_t>{rv::lui(5, 1), rv::ecall()},
+                    0, 0);
+  ASSERT_EQ(tr.code.size(), 2u);
+  EXPECT_EQ(tr.code[0], make_ri(Opcode::kAddi, 5, 0, 4096));
+  EXPECT_EQ(tr.expanded_words, 0u);
+
+  EXPECT_EQ(run_and_load({rv::lui(5, 1), rv::sw(0, 5, 0), rv::ecall()}, 0),
+            4096);
+}
+
+TEST(Rv32Translate, LargeLuiMaterializesTheFullConstant) {
+  // 0x12345 << 12 = 305419264: beyond the lui+ori window, so the chunked
+  // path (addi/slli/ori) must reconstruct it exactly.
+  const std::int64_t want = std::int64_t{0x12345} << 12;
+  EXPECT_EQ(
+      run_and_load({rv::lui(5, 0x12345), rv::sw(0, 5, 0), rv::ecall()}, 0),
+      want);
+  // Negative upper immediate: lui x5, 0xfffff (signed imm20 -1) == -4096.
+  EXPECT_EQ(
+      run_and_load({rv::lui(5, -1), rv::sw(0, 5, 0), rv::ecall()}, 0),
+      -4096);
+}
+
+TEST(Rv32Translate, AuipcResolvesToItsOwnByteAddress) {
+  // auipc at word 1 of base 0x1000: value = 0x1004 + (1 << 12).
+  const std::vector<std::uint32_t> text = {
+      rv::addi(1, 0, 0),
+      rv::enc_u(0x17, 5, 1),  // auipc x5, 1
+      rv::sw(0, 5, 0),
+      rv::ecall(),
+  };
+  EXPECT_EQ(run_and_load(text, 0, 0x1000), 0x1004 + 4096);
+}
+
+TEST(Rv32Translate, LbuZeroExtendsWhereLbSignExtends) {
+  const std::vector<std::uint32_t> lbu_text = {
+      rv::addi(1, 0, -1),
+      rv::sw(0, 1, 0),                     // cell 0 = all ones
+      rv::enc_i(kMajLoad, 4, 2, 0, 0),     // lbu x2, 0(x0)
+      rv::sw(0, 2, 8),
+      rv::ecall(),
+  };
+  EXPECT_EQ(run_and_load(lbu_text, 8), 0xff);
+
+  const std::vector<std::uint32_t> lb_text = {
+      rv::addi(1, 0, -1),
+      rv::sw(0, 1, 0),
+      rv::enc_i(kMajLoad, 0, 2, 0, 0),     // lb x2, 0(x0)
+      rv::sw(0, 2, 8),
+      rv::ecall(),
+  };
+  EXPECT_EQ(run_and_load(lb_text, 8), -1);
+}
+
+TEST(Rv32Translate, SltiuComparesUnsigned) {
+  const auto sltiu = [](std::uint8_t rd, std::uint8_t rs1,
+                        std::int32_t imm) {
+    return rv::enc_i(kMajOpImm, 3, rd, rs1, imm);
+  };
+  // 3 < 5 unsigned -> 1.
+  EXPECT_EQ(run_and_load({rv::addi(1, 0, 3), sltiu(2, 1, 5),
+                          rv::sw(0, 2, 0), rv::ecall()},
+                         0),
+            1);
+  // -1 is huge unsigned -> 0.
+  EXPECT_EQ(run_and_load({rv::addi(1, 0, -1), sltiu(2, 1, 5),
+                          rv::sw(0, 2, 0), rv::ecall()},
+                         0),
+            0);
+}
+
+TEST(Rv32Translate, EntryStubJumpsOverLeadingText) {
+  // Entry at word 1: translation must prepend a jump stub and keep the
+  // word->index map shifted by one.
+  const std::vector<std::uint32_t> text = {
+      rv::ecall(),           // dead word at the base
+      rv::addi(1, 0, 7),     // entry
+      rv::sw(0, 1, 0),
+      rv::ecall(),
+  };
+  const rv::Translation tr = rv::translate(text, 0, 4);
+  ASSERT_EQ(tr.code.size(), text.size() + 1);
+  EXPECT_TRUE(op_info(tr.code[0].op).is_jump);
+  EXPECT_EQ(tr.index_of[0], 1u);
+  EXPECT_EQ(run_and_load(text, 0, 0, 4), 7);
+}
+
+TEST(Rv32Translate, IndexMapAccountsForExpansions) {
+  const std::vector<std::uint32_t> text = {
+      rv::lui(5, 0x12345),                 // expands to several words
+      rv::addi(1, 0, 1),
+      rv::ecall(),
+  };
+  const rv::Translation tr = rv::translate(text, 0, 0);
+  EXPECT_EQ(tr.expanded_words, 1u);
+  EXPECT_EQ(tr.index_of[0], 0u);
+  EXPECT_GT(tr.index_of[1], 1u);  // lui occupied more than one slot
+  EXPECT_EQ(tr.code[tr.index_of[1]], make_ri(Opcode::kAddi, 1, 0, 1));
+}
+
+// --- Typed rejection paths -----------------------------------------------
+
+rv::Rv32Error::Kind translate_error(const std::vector<std::uint32_t>& text,
+                                    std::uint32_t base = 0,
+                                    std::uint32_t entry_delta = 0) {
+  try {
+    (void)rv::translate(text, base, base + entry_delta);
+  } catch (const rv::Rv32Error& e) {
+    return e.kind();
+  }
+  ADD_FAILURE() << "translate did not throw";
+  return rv::Rv32Error::Kind::kUnknownInstruction;
+}
+
+TEST(Rv32Errors, EveryRejectionHasATypedKind) {
+  using Kind = rv::Rv32Error::Kind;
+  // Garbage word.
+  EXPECT_EQ(translate_error({0xffffffffu}), Kind::kUnknownInstruction);
+  // Valid RISC-V outside the mapped subset.
+  EXPECT_EQ(translate_error({rv::enc_i(kMajLoad, 1, 1, 2, 0)}),
+            Kind::kUnsupported);  // lh
+  EXPECT_EQ(translate_error({rv::enc_b(kMajBranch, 6, 1, 2, 8),
+                             rv::ecall(), rv::ecall()}),
+            Kind::kUnsupported);  // bltu
+  EXPECT_EQ(translate_error({rv::enc_r(kMajOp, 5, 0x01, 1, 2, 3)}),
+            Kind::kUnsupported);  // divu
+  // Operand constraints.
+  EXPECT_EQ(translate_error({rv::enc_i(kMajOpImm, 3, 5, 5, 1)}),
+            Kind::kBadOperand);  // sltiu rd == rs1
+  EXPECT_EQ(translate_error({rv::jalr(2, 1, 0)}),
+            Kind::kUnsupported);  // linking jalr
+  EXPECT_EQ(translate_error({rv::jalr(0, 1, 4)}),
+            Kind::kUnsupported);  // jalr with offset
+  EXPECT_EQ(translate_error({rv::enc_r(kMajOpFp, 0, 0x10, 1, 2, 3)}),
+            Kind::kUnsupported);  // general fsgnj (rs1 != rs2)
+  EXPECT_EQ(translate_error({rv::enc_i(kMajSystem, 0, 0, 0, 2)}),
+            Kind::kUnsupported);  // SYSTEM beyond ecall/ebreak
+  // Control-flow targets.
+  EXPECT_EQ(translate_error({rv::bne(1, 2, 2), rv::ecall()}),
+            Kind::kBadTarget);  // misaligned (C extension)
+  EXPECT_EQ(translate_error({rv::beq(1, 2, 64), rv::ecall()}),
+            Kind::kBadTarget);  // outside .text
+  EXPECT_EQ(translate_error({rv::ecall()}, 0, 8),
+            Kind::kBadTarget);  // entry outside .text
+  EXPECT_EQ(translate_error({rv::ecall()}, 2),
+            Kind::kBadTarget);  // misaligned base
+}
+
+TEST(Rv32Errors, JumpSpanBeyondImm20IsRejectedNotMisencoded) {
+  // Constant materialization expands one RV32 word into up to five
+  // internal instructions, so a jump that fits RV32's byte-offset range
+  // can exceed the internal imm20 *index* range. That must raise
+  // kImmOutOfRange instead of tripping the encoder contract: 110000
+  // large-lui words put the jal target 550001 internal slots away
+  // (> 2^19 - 1) while the byte offset stays a legal J-format value.
+  constexpr int kWords = 110'000;
+  std::vector<std::uint32_t> text;
+  text.reserve(kWords + 2);
+  text.push_back(rv::jal(0, 4 * (kWords + 1)));  // jump to the last word
+  for (int i = 0; i < kWords; ++i) {
+    text.push_back(rv::lui(5, 0x12345));  // 5 internal instructions each
+  }
+  text.push_back(rv::ecall());
+  EXPECT_EQ(translate_error(text), rv::Rv32Error::Kind::kImmOutOfRange);
+}
+
+// --- Committed fixtures end to end ---------------------------------------
+
+TEST(Rv32Fixtures, ArchitecturalChecksHoldUnderEveryFixture) {
+  for (const Rv32Fixture& fx : rv32_fixture_library()) {
+    const Program program = rv32_fixture_program(fx);
+    auto cpu = make_processor(program, MachineConfig{}, PolicySpec{});
+    const RunOutcome outcome = cpu->run(5'000'000);
+    ASSERT_EQ(outcome, RunOutcome::kHalted)
+        << fx.name << ": " << cpu->fault_message();
+    ASSERT_FALSE(fx.checks.empty()) << fx.name;
+    for (const Rv32Check& check : fx.checks) {
+      const std::int64_t cell = cpu->memory().load_word(check.addr);
+      if (check.is_fp) {
+        EXPECT_EQ(std::bit_cast<double>(cell), check.fp_value)
+            << fx.name << " @" << check.addr;
+      } else {
+        EXPECT_EQ(cell, check.int_value) << fx.name << " @" << check.addr;
+      }
+    }
+  }
+}
+
+TEST(Rv32Fixtures, EntryStubOnlyWhereTheEntryIsNotTheBase) {
+  const Program phases =
+      rv32_fixture_program(rv32_fixture_by_name("rv32_phases"));
+  const Program plain = rv32_fixture_program(rv32_fixture_by_name("rv32_int"));
+  EXPECT_TRUE(op_info(phases.code.front().op).is_jump);
+  EXPECT_FALSE(op_info(plain.code.front().op).is_jump);
+}
+
+// --- run_elf vs run_asm equivalence --------------------------------------
+
+TEST(Rv32Equivalence, TranslatedIntFixtureMatchesHandWrittenAsmTwin) {
+  // The same program written twice: once as RV32 machine words (the
+  // committed rv32_int fixture) and once in the internal assembly
+  // grammar. Both front ends must produce the identical instruction
+  // vector, and therefore bit-identical simulations.
+  const Program from_elf =
+      rv32_fixture_program(rv32_fixture_by_name("rv32_int"));
+  const Program from_asm = assemble(R"(
+      addi r10, r0, 600
+      addi r11, r0, 1
+      addi r12, r0, 0
+    loop:
+      jal  r1, func
+      add  r12, r12, r13
+      addi r11, r11, 1
+      bne  r11, r10, loop
+      sw   r12, 0(r0)
+      halt
+    func:
+      mul  r13, r11, r11
+      srli r14, r13, 3
+      add  r13, r13, r14
+      div  r14, r13, r11
+      rem  r15, r13, r10
+      add  r13, r14, r15
+      jr   r1
+  )",
+                                    "rv32_int_twin");
+
+  ASSERT_EQ(from_elf.code.size(), from_asm.code.size());
+  for (std::size_t i = 0; i < from_elf.code.size(); ++i) {
+    EXPECT_EQ(from_elf.code[i], from_asm.code[i]) << "instruction " << i;
+  }
+
+  auto elf_cpu = make_processor(from_elf, MachineConfig{}, PolicySpec{});
+  auto asm_cpu = make_processor(from_asm, MachineConfig{}, PolicySpec{});
+  ASSERT_EQ(elf_cpu->run(5'000'000), RunOutcome::kHalted);
+  ASSERT_EQ(asm_cpu->run(5'000'000), RunOutcome::kHalted);
+  EXPECT_EQ(elf_cpu->stats().cycles, asm_cpu->stats().cycles);
+  EXPECT_EQ(elf_cpu->stats().retired, asm_cpu->stats().retired);
+  EXPECT_EQ(elf_cpu->memory().load_word(0), asm_cpu->memory().load_word(0));
+}
+
+}  // namespace
+}  // namespace steersim

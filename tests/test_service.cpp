@@ -79,6 +79,47 @@ TEST(Protocol, SubmitRoundTripsWithDefaultsAndWithEveryFieldSet) {
   EXPECT_EQ(parsed_request(full).to_json(), full.to_json());
 }
 
+TEST(Protocol, IntegersPast2p53RoundTripExactly) {
+  // Cycle budgets and counters are u64 on the wire; routing them through
+  // a double would silently round anything >= 2^53. 2^53 + 1 is the
+  // first casualty, so it is the canary.
+  constexpr std::uint64_t kCanary = 9007199254740993ull;  // 2^53 + 1
+
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.kernel = "fib";
+  request.max_cycles = kCanary;
+  request.wall_ms = 18446744073709551615ull;  // UINT64_MAX
+  request.seed = (1ull << 62) + 3;
+  EXPECT_EQ(parsed_request(request), request);
+  EXPECT_NE(request.to_json().find("9007199254740993"), std::string::npos);
+  EXPECT_NE(request.to_json().find("18446744073709551615"),
+            std::string::npos);
+
+  Reply reply;
+  reply.type = ReplyType::kResult;
+  reply.cache = "miss";
+  reply.digest = "0123456789abcdef";
+  reply.policy = "steered";
+  reply.outcome = "halted";
+  reply.cycles = kCanary;
+  reply.retired = kCanary + 2;
+  reply.metrics_json = R"({"core.cycles":9007199254740993})";
+  EXPECT_EQ(parsed_reply(reply), reply);
+  // The embedded metrics object re-renders canonically, digit-identical.
+  EXPECT_EQ(parsed_reply(reply).to_json(), reply.to_json());
+}
+
+TEST(Protocol, ElfSubmitRoundTrips) {
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.id = "elf-1";
+  request.elf = "rv32_phases";
+  request.max_cycles = 250000;
+  EXPECT_EQ(parsed_request(request), request);
+  EXPECT_EQ(parsed_request(request).to_json(), request.to_json());
+}
+
 TEST(Protocol, ReplyRoundTripsEveryKind) {
   Reply pong;
   pong.type = ReplyType::kPong;
@@ -402,6 +443,52 @@ TEST(SimService, DistinctConfigsGetDistinctDigests) {
   ASSERT_EQ(other.type, ReplyType::kResult) << other.message;
   EXPECT_NE(base.digest, other.digest);
   EXPECT_EQ(other.cache, "miss") << "a different config is different work";
+}
+
+Request submit_elf(std::string fixture, std::string id = "") {
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.elf = std::move(fixture);
+  request.id = std::move(id);
+  return request;
+}
+
+TEST(SimService, ElfSubmitRunsAndReplaysFromCache) {
+  SimService service({.workers = 2, .queue_capacity = 8});
+  const Request request = submit_elf("rv32_int", "elf-job");
+
+  const Reply cold = service.handle(request);
+  ASSERT_EQ(cold.type, ReplyType::kResult) << cold.message;
+  EXPECT_EQ(cold.cache, "miss");
+  EXPECT_EQ(cold.outcome, "halted");
+  EXPECT_GT(cold.cycles, 0u);
+  EXPECT_FALSE(cold.metrics_json.empty());
+
+  const Reply hit = service.handle(request);
+  ASSERT_EQ(hit.type, ReplyType::kResult) << hit.message;
+  EXPECT_EQ(hit.cache, "hit");
+  Reply normalized = hit;
+  normalized.cache = "miss";
+  EXPECT_EQ(normalized.to_json(), cold.to_json());
+
+  // The digest covers the ELF image bytes, not the fixture name, and is
+  // distinct from an unrelated binary's digest.
+  const Reply other = service.handle(submit_elf("rv32_fp"));
+  ASSERT_EQ(other.type, ReplyType::kResult) << other.message;
+  EXPECT_NE(other.digest, cold.digest);
+}
+
+TEST(SimService, ElfBadRequestsAreTypedAndNotRetriable) {
+  SimService service({.workers = 1, .queue_capacity = 4});
+
+  const Reply unknown = service.handle(submit_elf("no_such_fixture"));
+  ASSERT_EQ(unknown.type, ReplyType::kError);
+  EXPECT_EQ(unknown.code, error_code::kBadRequest);
+  EXPECT_FALSE(unknown.retriable);
+
+  Request both = submit_elf("rv32_int");
+  both.kernel = "fib";
+  EXPECT_EQ(service.handle(both).code, error_code::kBadRequest);
 }
 
 TEST(SimService, BadRequestsAreTypedAndNotRetriable) {

@@ -1,0 +1,44 @@
+// Regenerates the committed RV32 ELF fixture binaries from the encoder
+// arrays in src/workload/rv32_fixtures.cpp:
+//
+//   $ ./tools/make_fixtures [output_dir]      (default tests/fixtures)
+//
+// The ELF builder is fully deterministic, so regeneration is a no-op
+// unless the fixture programs themselves changed; the encoder self-test
+// in tests/test_elf_loader.cpp fails when the committed bytes and the
+// arrays disagree, which is the cue to rerun this tool and commit.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "workload/rv32_fixtures.hpp"
+
+using namespace steersim;
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tests/fixtures";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const Rv32Fixture& fx : rv32_fixture_library()) {
+    const std::vector<std::uint8_t> image = rv32_fixture_elf(fx);
+    const std::string path = dir + "/" + fx.name + ".elf";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out ||
+        !out.write(reinterpret_cast<const char*>(image.data()),
+                   static_cast<std::streamsize>(image.size()))) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("wrote %s (%zu bytes, %zu text words)\n", path.c_str(),
+                image.size(), fx.text.size());
+  }
+  return failures == 0 ? 0 : 1;
+}

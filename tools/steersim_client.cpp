@@ -41,7 +41,8 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <socket-path> ping|stats|shutdown [common flags]\n"
-      "       %s <socket-path> submit (--kernel NAME | --asm-file PATH)\n"
+      "       %s <socket-path> submit (--kernel NAME | --asm-file PATH |"
+      " --elf NAME)\n"
       "           [--policy P] [--max-cycles N] [--wall-ms N]\n"
       "           [--interval N] [--confirm N] [--lookahead] [--seed N]\n"
       "           [--set knob=value]... [--id ID]\n"
@@ -127,6 +128,10 @@ int main(int argc, char** argv) {
       if (!flag_value(request.kernel)) {
         return usage(argv[0]);
       }
+    } else if (is_submit && std::strcmp(argv[a], "--elf") == 0) {
+      if (!flag_value(request.elf)) {
+        return usage(argv[0]);
+      }
     } else if (is_submit && std::strcmp(argv[a], "--asm-file") == 0) {
       if (!flag_value(text)) {
         return usage(argv[0]);
@@ -191,9 +196,13 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (is_submit && request.kernel.empty() == request.asm_source.empty()) {
-    std::fprintf(stderr,
-                 "submit needs exactly one of --kernel / --asm-file\n");
+  if (is_submit && static_cast<int>(!request.kernel.empty()) +
+                           static_cast<int>(!request.asm_source.empty()) +
+                           static_cast<int>(!request.elf.empty()) !=
+                       1) {
+    std::fprintf(
+        stderr,
+        "submit needs exactly one of --kernel / --asm-file / --elf\n");
     return 2;
   }
   if (!expect_error.empty() && !retries_set) {
