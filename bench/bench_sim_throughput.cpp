@@ -81,6 +81,32 @@ int main() {
   traced_row.kips = traced.host.kips(traced.stats.retired);
   rows.push_back(traced_row);
 
+  // Full-observability row: tracer AND interval sampler attached, the
+  // configuration docs/OBSERVABILITY.md calls "traced steered". The ring
+  // drains at sampler window boundaries, so this row also pays the
+  // batched render/write path inside the timed region. Still bit-identical.
+  MachineConfig observed_cfg = traced_cfg;
+  observed_cfg.trace.path = "BENCH_sim_throughput_trace_sample.tmp.json";
+  observed_cfg.sample.period = 4096;
+  observed_cfg.sample.csv_path = "BENCH_sim_throughput_sample.tmp.csv";
+  const SimResult observed =
+      simulate(program, observed_cfg, {.kind = PolicyKind::kSteered}, budget);
+  STEERSIM_EXPECTS(observed.stats.cycles == plain.stats.cycles &&
+                   observed.stats.retired == plain.stats.retired &&
+                   observed.stats.issued == plain.stats.issued &&
+                   observed.stats.mispredicts == plain.stats.mispredicts);
+  std::remove(observed_cfg.trace.path.c_str());
+  std::remove(observed_cfg.sample.csv_path.c_str());
+  Row observed_row;
+  observed_row.policy = "steered+trace+sample";
+  observed_row.cycles = observed.stats.cycles;
+  observed_row.retired = observed.stats.retired;
+  observed_row.wall_seconds = observed.host.run_seconds;
+  observed_row.sim_cycles_per_sec =
+      observed.host.cycles_per_sec(observed.stats.cycles);
+  observed_row.kips = observed.host.kips(observed.stats.retired);
+  rows.push_back(observed_row);
+
   // Determinism self-check: a repeat run must simulate the exact same
   // machine trajectory (wall time varies; simulated statistics may not).
   const SimResult again =

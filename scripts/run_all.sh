@@ -48,6 +48,11 @@ done
   --expect-cache miss
 ./build/tools/steersim_client "$sock" submit --elf rv32_phases \
   --expect-cache hit
+# Live introspection: the svc.* registry snapshot must be well-formed and
+# reflect the submits above (docs/SERVICE.md §stats).
+snapshot=$(./build/tools/steersim_client "$sock" --stats)
+echo "$snapshot" | grep -F '"type":"stats"' >/dev/null
+echo "$snapshot" | grep -F '"svc.workers_live":' >/dev/null
 ./build/tools/steersim_client "$sock" shutdown
 wait "$daemon"
 echo "service smoke passed"

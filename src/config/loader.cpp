@@ -469,7 +469,9 @@ void ConfigurationLoader::trace_rewrite(const SlotRegion& region,
     return;
   }
   const unsigned lane = trace_lane::kSlotBase + region.base;
-  tracer_->ensure_lane(lane, "rfu slot " + std::to_string(region.base));
+  if (!tracer_->lane_named(lane)) {
+    tracer_->ensure_lane(lane, "rfu slot " + std::to_string(region.base));
+  }
   TraceArgs args;
   args.num("base", std::uint64_t{region.base})
       .num("len", std::uint64_t{region.len});

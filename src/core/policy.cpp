@@ -140,26 +140,32 @@ void SteeredPolicy::steer(const SteerContext& ctx,
     rec.intent = intent;
     audit_->record(rec);
   }
-  if (tracer_ != nullptr && tracer_->wants(trace_cat::kSteer, ctx.cycle)) {
-    tracer_->ensure_lane(trace_lane::kSteer, "steer");
-    TraceArgs args;
-    args.num("selection", std::uint64_t{trace.selection})
-        .num("error", trace.errors[trace.selection])
-        .num("cost", std::uint64_t{trace.costs[trace.selection]})
-        .num("streak", std::uint64_t{pending_streak_})
-        .str("intent", audit_intent_name(intent));
-    tracer_->instant("steer", trace_cat::kSteer, trace_lane::kSteer,
-                     ctx.cycle, args);
+  if (tracer_ != nullptr) {
+    tracer_->instant_steer(ctx.cycle, trace.selection,
+                           trace.errors[trace.selection],
+                           trace.costs[trace.selection], pending_streak_,
+                           audit_intent_name(intent));
   }
 }
 
 std::uint64_t SteeredPolicy::idle_advance(std::uint64_t max_cycles,
                                           const SteerContext& ctx,
                                           ConfigurationLoader& loader) {
-  if (max_cycles == 0 || audit_ != nullptr || tracer_ != nullptr) {
-    return 0;  // observers want the per-decision records; step live
+  if (max_cycles == 0) {
+    return 0;
   }
+  // Latch ready-set changes exactly as a live steer() at the window's
+  // first cycle would (the caller clears its dirty flag after a skip).
   ready_dirty_ = ready_dirty_ || ctx.ready_changed;
+  if (audit_ != nullptr) {
+    // The audit log wants a live record for every decision: advance only
+    // through the decision-free countdown prefix and stop right before
+    // the next decision cycle (degenerates to no skip at interval 1).
+    const std::uint64_t skipped =
+        std::min<std::uint64_t>(countdown_, max_cycles);
+    countdown_ -= static_cast<unsigned>(skipped);
+    return skipped;
+  }
   // Countdown cycles are pure decrements.
   if (countdown_ >= max_cycles) {
     countdown_ -= static_cast<unsigned>(max_cycles);
@@ -188,6 +194,20 @@ std::uint64_t SteeredPolicy::idle_advance(std::uint64_t max_cycles,
       static_cast<unsigned>(interval_ - 1 - ((k - first - 1) % interval_));
   stats_.steer_events += d;
   stats_.selections[0] += d;
+  if (tracer_ != nullptr &&
+      tracer_->wants_span(trace_cat::kSteer, ctx.cycle + first, k - first)) {
+    // Replay the per-decision trace instants the live loop would have
+    // emitted, at the exact decision cycles with the exact streak values,
+    // so a traced skipped run parses identically to a stepped one.
+    const unsigned streak_base =
+        pending_selection_ == 0 ? pending_streak_ : 0;
+    const std::string_view intent = audit_intent_name(AuditIntent::kHold);
+    for (std::uint64_t i = 0; i < d; ++i) {
+      tracer_->instant_steer(ctx.cycle + first + i * interval_, 0,
+                             trace.errors[0], trace.costs[0],
+                             streak_base + i + 1, intent);
+    }
+  }
   if (pending_selection_ == 0) {
     pending_streak_ += static_cast<unsigned>(d);
   } else {

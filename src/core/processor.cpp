@@ -127,9 +127,12 @@ Processor::Processor(const Program& program, const MachineConfig& config,
                                                        tracer_.get())
                    : nullptr) {
   STEERSIM_EXPECTS(policy_ != nullptr);
-  skip_eligible_ = tracer_ == nullptr && audit_ == nullptr &&
-                   sampler_ == nullptr && recovery_ == nullptr &&
-                   !config_.fault.enabled() && !config_.pipelined_units;
+  // Tracer/audit/sampler no longer veto skip-ahead: a proven-quiescent
+  // window produces no per-cycle pipeline events, the policies replay (or
+  // decline) their decision records bit-exactly (idle_advance), and
+  // try_skip stops at sampler window boundaries so sampling is unchanged.
+  skip_eligible_ = recovery_ == nullptr && !config_.fault.enabled() &&
+                   !config_.pipelined_units;
   mem_.load_image(program_.data);
   loader_.set_tracer(tracer_.get());
   policy_->attach_observers(tracer_.get(), audit_.get());
@@ -254,12 +257,10 @@ void Processor::stage_retire() {
     if (retire_hook_) {
       retire_hook_(head);
     }
-    if (tracer_ != nullptr &&
-        tracer_->wants(trace_cat::kCommit, stats_.cycles)) {
-      TraceArgs args;
-      args.num("pc", std::uint64_t{head.pc}).num("id", head.id);
-      tracer_->instant(info.mnemonic, trace_cat::kCommit,
-                       trace_lane::kCommit, stats_.cycles, args);
+    if (tracer_ != nullptr) {
+      tracer_->instant_pc_id(info.mnemonic, trace_cat::kCommit,
+                             trace_lane::kCommit, stats_.cycles, head.pc,
+                             head.id);
     }
     wakeup_.retire(static_cast<unsigned>(head.wakeup_row));
     ++stats_.retired;
@@ -349,12 +350,12 @@ void Processor::stage_complete() {
         tracer_->wants_span(trace_cat::kExecute, entry->cycle_issue,
                             stats_.cycles - entry->cycle_issue)) {
       const unsigned lane = trace_lane::kExecuteBase + row;
-      tracer_->ensure_lane(lane, "exec row " + std::to_string(row));
-      TraceArgs args;
-      args.num("pc", std::uint64_t{entry->pc}).num("id", entry->id);
-      tracer_->complete(info.mnemonic, trace_cat::kExecute, lane,
-                       entry->cycle_issue,
-                       stats_.cycles - entry->cycle_issue, args);
+      if (!tracer_->lane_named(lane)) {
+        tracer_->ensure_lane(lane, "exec row " + std::to_string(row));
+      }
+      tracer_->complete_pc_id(info.mnemonic, lane, entry->cycle_issue,
+                              stats_.cycles - entry->cycle_issue, entry->pc,
+                              entry->id);
     }
     if (info.is_branch) {
       ++stats_.branches;
@@ -602,6 +603,13 @@ std::uint64_t Processor::try_skip(std::uint64_t budget) {
     k = std::min<std::uint64_t>(k, wakeup_timer);
   }
   k = std::min(k, budget);
+  if (sampler_ != nullptr) {
+    // Never skip across a sampler window boundary: maybe_sample() below
+    // then fires at exactly the cycles a live-stepped run would sample,
+    // so sampled CSVs and counter tracks stay bit-identical.
+    const std::uint64_t period = sampler_->config().period;
+    k = std::min(k, period - stats_.cycles % period);
+  }
   if (k == 0) {
     return 0;
   }
@@ -630,6 +638,14 @@ std::uint64_t Processor::try_skip(std::uint64_t budget) {
   stats_.queue_occupancy_sum +=
       advanced * (wakeup_.num_entries() - wakeup_.free_entries());
   stats_.cycles += advanced;
+  if (tracer_ != nullptr) {
+    // One synthetic span covering the whole window on a dedicated lane;
+    // the per-decision steer events inside it were already replayed by
+    // idle_advance, and no other per-cycle event can occur while the
+    // machine is provably idle.
+    tracer_->skip_span(stats_.cycles - advanced, advanced);
+  }
+  maybe_sample();
   return advanced;
 }
 
@@ -735,12 +751,10 @@ void Processor::stage_dispatch() {
     const auto row = wakeup_.insert(fu_type_of(fi.inst.op), deps, entry.id);
     STEERSIM_ENSURES(row.has_value());
     entry.wakeup_row = static_cast<int>(*row);
-    if (tracer_ != nullptr &&
-        tracer_->wants(trace_cat::kDispatch, stats_.cycles)) {
-      TraceArgs args;
-      args.num("pc", std::uint64_t{fi.pc}).num("id", entry.id);
-      tracer_->instant(info.mnemonic, trace_cat::kDispatch,
-                       trace_lane::kDispatch, stats_.cycles, args);
+    if (tracer_ != nullptr) {
+      tracer_->instant_pc_id(info.mnemonic, trace_cat::kDispatch,
+                             trace_lane::kDispatch, stats_.cycles, fi.pc,
+                             entry.id);
     }
     ++stats_.dispatched;
     ++consumed;
@@ -755,14 +769,9 @@ void Processor::stage_fetch() {
   }
   FetchGroup group;
   fetch_.fetch_group(group);
-  if (tracer_ != nullptr && !group.empty() &&
-      tracer_->wants(trace_cat::kFetch, stats_.cycles)) {
-    TraceArgs args;
-    args.num("pc", std::uint64_t{group[0].pc})
-        .num("count", static_cast<std::uint64_t>(group.size()))
-        .num("from_trace", std::uint64_t{group[0].from_trace ? 1u : 0u});
-    tracer_->instant("fetch", trace_cat::kFetch, trace_lane::kFetch,
-                     stats_.cycles, args);
+  if (tracer_ != nullptr && !group.empty()) {
+    tracer_->instant_fetch(stats_.cycles, group[0].pc, group.size(),
+                           group[0].from_trace);
   }
   for (const auto& fi : group) {
     decode_buffer_.push_back(fi);
@@ -794,6 +803,11 @@ MetricRegistry Processor::live_metrics() const {
 void Processor::maybe_sample() {
   if (sampler_ != nullptr && sampler_->due(stats_.cycles)) {
     sampler_->sample(live_metrics(), stats_.cycles);
+    if (tracer_ != nullptr) {
+      // Window boundary: drain the tracer's event ring so trace output
+      // advances in lockstep with the sampled telemetry.
+      tracer_->flush();
+    }
   }
 }
 

@@ -90,6 +90,10 @@ void IntervalSampler::capture(const MetricRegistry& live,
     }
     STEERSIM_ENSURES(retired_index_ < counter_names_.size());
     last_values_.assign(counter_names_.size(), 0.0);
+    track_names_.reserve(counter_names_.size());
+    for (const std::string& name : counter_names_) {
+      track_names_.push_back(tracked(name) ? "win." + name : std::string());
+    }
     schema_fixed_ = true;
     if (csv_.is_open()) {
       csv_ << csv_header() << '\n';
@@ -121,10 +125,9 @@ void IntervalSampler::capture(const MetricRegistry& live,
 
   if (tracer_ != nullptr && config_.counter_tracks) {
     tracer_->counter("win.ipc", cycle, window.ipc);
-    for (std::size_t k = 0; k < counter_names_.size(); ++k) {
-      if (tracked(counter_names_[k])) {
-        tracer_->counter("win." + counter_names_[k], cycle,
-                         window.deltas[k]);
+    for (std::size_t k = 0; k < track_names_.size(); ++k) {
+      if (!track_names_[k].empty()) {
+        tracer_->counter(track_names_[k], cycle, window.deltas[k]);
       }
     }
   }

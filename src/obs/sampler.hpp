@@ -107,6 +107,9 @@ class IntervalSampler {
   std::ofstream csv_;
   bool schema_fixed_ = false;
   std::vector<std::string> counter_names_;
+  /// "win."-prefixed track names, parallel to counter_names_; empty when
+  /// the counter is not tracked. Built once when the schema is fixed.
+  std::vector<std::string> track_names_;
   std::vector<double> last_values_;
   std::size_t retired_index_ = 0;  ///< index of "sim.retired" in the schema
   std::uint64_t last_cycle_ = 0;

@@ -645,6 +645,8 @@ ServiceStats SimService::stats() const {
   s.cache_size = cache_.size();
   s.queue_depth = queue_.depth();
   s.workers = config_.workers;
+  s.workers_live = pool_.workers();
+  s.workers_replaced = pool_.replaced();
   {
     std::lock_guard<std::mutex> lock(latency_mutex_);
     s.latency_count = latency_ms_.count();

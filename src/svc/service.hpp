@@ -83,7 +83,9 @@ struct ServiceStats {
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_size = 0;   ///< resident entries (gauge)
   std::uint64_t queue_depth = 0;  ///< jobs waiting (gauge)
-  std::uint64_t workers = 0;      ///< pool size (gauge)
+  std::uint64_t workers = 0;      ///< configured pool size (gauge)
+  std::uint64_t workers_live = 0;      ///< threads currently joinable (gauge)
+  std::uint64_t workers_replaced = 0;  ///< poisoned workers respawned
   /// Completed-job wall latency, milliseconds (cache hits excluded).
   std::uint64_t latency_count = 0;
   double latency_mean_ms = 0.0;
@@ -114,6 +116,8 @@ struct ServiceStats {
     visit("cache_size", static_cast<double>(cache_size));
     visit("queue_depth", static_cast<double>(queue_depth));
     visit("workers", static_cast<double>(workers));
+    visit("workers_live", static_cast<double>(workers_live));
+    visit("workers_replaced", static_cast<double>(workers_replaced));
     visit("latency_ms_count", static_cast<double>(latency_count));
     visit("latency_ms_mean", latency_mean_ms, true);
     visit("latency_ms_p50", latency_p50_ms, true);

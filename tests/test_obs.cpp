@@ -207,6 +207,243 @@ TEST(Tracing, WindowLimitsEventsToCycleRange) {
   EXPECT_GT(counted, 0u);
 }
 
+// --- Batched pipeline: skip-ahead stays engaged under observation. -------
+
+/// Event lines of a rendered trace document, in order, trailing comma
+/// stripped. Metadata ("ph":"M") and the synthetic skip-lane events are
+/// excluded so a skip-engaged document can compare against a live-stepped
+/// one (which has neither a skip lane nor skip spans).
+std::vector<std::string> comparable_event_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("{\"name\":", 0) != 0) {
+      continue;  // document prefix/suffix
+    }
+    if (!line.empty() && line.back() == ',') {
+      line.pop_back();
+    }
+    if (line.find("\"ph\":\"M\"") != std::string::npos ||
+        line.find("\"cat\":\"skip\"") != std::string::npos) {
+      continue;
+    }
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::uint64_t count_skip_spans(const std::string& text) {
+  std::uint64_t spans = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"cat\":\"skip\"") != std::string::npos &&
+        line.find("\"ph\":\"X\"") != std::string::npos) {
+      ++spans;
+    }
+  }
+  return spans;
+}
+
+/// run() keeps skip-ahead engaged with a tracer attached; a manual step()
+/// loop never skips. Modulo the synthetic skip spans, the two must render
+/// the same events in the same order — the batched replay of skipped
+/// steering decisions is exact.
+TEST(Tracing, SkipAheadEventStreamMatchesLiveStepping) {
+  const FileGuard batched_file("test_trace_skip_batched.json");
+  const FileGuard live_file("test_trace_skip_live.json");
+  const Program program = phased_program();
+
+  MachineConfig batched_cfg;
+  batched_cfg.trace.enabled = true;
+  batched_cfg.trace.path = batched_file.path;
+  const SimResult batched = simulate(program, batched_cfg,
+                                     {.kind = PolicyKind::kSteered}, 100'000);
+  ASSERT_EQ(batched.outcome, RunOutcome::kHalted);
+
+  MachineConfig live_cfg = batched_cfg;
+  live_cfg.trace.path = live_file.path;
+  std::uint64_t live_cycles = 0;
+  std::uint64_t live_retired = 0;
+  {
+    auto cpu = make_processor(program, live_cfg,
+                              {.kind = PolicyKind::kSteered});
+    for (std::uint64_t c = 0; c < 100'000 && !cpu->halted(); ++c) {
+      cpu->step();
+    }
+    ASSERT_TRUE(cpu->halted());
+    live_cycles = cpu->stats().cycles;
+    live_retired = cpu->stats().retired;
+  }  // processor destruction finalizes the trace document
+
+  EXPECT_EQ(batched.stats.cycles, live_cycles);
+  EXPECT_EQ(batched.stats.retired, live_retired);
+
+  const std::string batched_text = slurp(batched_file.path);
+  EXPECT_GT(count_skip_spans(batched_text), 0u)
+      << "run() never engaged skip-ahead with a tracer attached";
+  EXPECT_EQ(count_skip_spans(slurp(live_file.path)), 0u);
+  EXPECT_EQ(comparable_event_lines(batched_text),
+            comparable_event_lines(slurp(live_file.path)));
+}
+
+TEST(Tracer, UnopenablePathDegradesToNullSink) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.path = "test_no_such_dir/nested/trace.json";
+  Tracer tracer(cfg);
+  EXPECT_TRUE(tracer.null_sink());
+  tracer.ensure_lane(0, "lane zero");
+  tracer.instant("tick", trace_cat::kFetch, 0, 5);
+  tracer.complete("span", trace_cat::kExecute, 1, 10, 4);
+  // Events are still accepted and counted; only rendering is discarded.
+  EXPECT_EQ(tracer.events_emitted(), 2u);
+  tracer.close();  // must not abort on the dead sink
+  std::ifstream in(cfg.path);
+  EXPECT_FALSE(in.good());
+}
+
+TEST(Tracing, NullSinkRunIsBitIdentical) {
+  MachineConfig plain_cfg;
+  MachineConfig dead_cfg;
+  dead_cfg.trace.enabled = true;
+  dead_cfg.trace.path = "test_no_such_dir/nested/trace.json";
+  const Program program = phased_program();
+  const SimResult plain =
+      simulate(program, plain_cfg, {.kind = PolicyKind::kSteered}, 100'000);
+  const SimResult dead =
+      simulate(program, dead_cfg, {.kind = PolicyKind::kSteered}, 100'000);
+  EXPECT_EQ(plain.stats.cycles, dead.stats.cycles);
+  EXPECT_EQ(plain.stats.retired, dead.stats.retired);
+  EXPECT_EQ(plain.stats.issued, dead.stats.issued);
+  EXPECT_EQ(plain.steering.selections, dead.steering.selections);
+  EXPECT_EQ(plain.loader.slots_rewritten, dead.loader.slots_rewritten);
+}
+
+/// Skip-ahead now crosses sampler territory: try_skip caps each skip at
+/// the next window boundary, so the sampler sees every boundary cycle and
+/// its output is byte-identical to a live-stepped run's.
+TEST(Sampler, WindowsBitIdenticalAcrossSkipAheadAndLiveStepping) {
+  const FileGuard batched_csv("test_sampler_skip_batched.csv");
+  const FileGuard live_csv("test_sampler_skip_live.csv");
+  const FileGuard trace_file("test_sampler_skip_trace.json");
+  const Program program = phased_program();
+
+  MachineConfig batched_cfg;
+  batched_cfg.sample.period = 97;  // prime: boundaries land mid-skip
+  batched_cfg.sample.csv_path = batched_csv.path;
+  batched_cfg.trace.enabled = true;
+  batched_cfg.trace.path = trace_file.path;
+  const SimResult batched = simulate(program, batched_cfg,
+                                     {.kind = PolicyKind::kSteered}, 100'000);
+  ASSERT_EQ(batched.outcome, RunOutcome::kHalted);
+  EXPECT_GT(count_skip_spans(slurp(trace_file.path)), 0u);
+
+  MachineConfig live_cfg;
+  live_cfg.sample.period = 97;
+  live_cfg.sample.csv_path = live_csv.path;
+  {
+    auto cpu = make_processor(program, live_cfg,
+                              {.kind = PolicyKind::kSteered});
+    for (std::uint64_t c = 0; c < 100'000 && !cpu->halted(); ++c) {
+      cpu->step();
+    }
+    ASSERT_TRUE(cpu->halted());
+    cpu->flush_sampler();  // close the final partial window, as run() does
+    EXPECT_EQ(batched.stats.cycles, cpu->stats().cycles);
+  }
+  EXPECT_EQ(slurp(batched_csv.path), slurp(live_csv.path));
+}
+
+/// Window-delta conservation (deltas sum to end-of-run totals) must hold
+/// even when entire windows are skipped rather than stepped.
+TEST(Sampler, ConservationHoldsAcrossSkippedWindows) {
+  const FileGuard trace_file("test_sampler_skip_conserve.json");
+  MachineConfig cfg;
+  cfg.sample.period = 97;
+  cfg.sample.counter_tracks = false;
+  cfg.trace.enabled = true;
+  cfg.trace.path = trace_file.path;
+  auto cpu = make_processor(phased_program(), cfg,
+                            {.kind = PolicyKind::kSteered});
+  cpu->run(100'000);
+  ASSERT_TRUE(cpu->halted());
+  cpu->tracer()->close();
+  EXPECT_GT(count_skip_spans(slurp(trace_file.path)), 0u)
+      << "no skip-ahead engaged; this test would not cover skipped windows";
+
+  const IntervalSampler* sampler = cpu->sampler();
+  ASSERT_NE(sampler, nullptr);
+  const auto& names = sampler->counter_names();
+  std::vector<double> sums(names.size(), 0.0);
+  std::uint64_t cycles_covered = 0;
+  for (const SampleWindow& w : sampler->windows()) {
+    ASSERT_EQ(w.deltas.size(), names.size());
+    cycles_covered += w.window_cycles;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      sums[i] += w.deltas[i];
+    }
+  }
+  EXPECT_EQ(cycles_covered, cpu->stats().cycles);
+
+  const MetricRegistry live = cpu->live_metrics();
+  for (const Metric& m : live.metrics()) {
+    if (m.derived) {
+      continue;
+    }
+    const auto it = std::find(names.begin(), names.end(), m.name);
+    ASSERT_NE(it, names.end()) << m.name << " missing from sampler schema";
+    const auto idx = static_cast<std::size_t>(it - names.begin());
+    EXPECT_DOUBLE_EQ(sums[idx], m.value) << m.name;
+  }
+}
+
+/// Seeded skip-cosim episodes, wakeup-cosim style: across several seeded
+/// workloads, the skip-engaged run() and a live step() loop must agree on
+/// statistics, rendered events, and sampled windows.
+TEST(SkipCosim, SeededEpisodesMatchLiveStepping) {
+  for (const std::uint64_t seed : {3u, 17u, 91u}) {
+    const std::string tag = std::to_string(seed);
+    const FileGuard batched_file("test_skip_cosim_b" + tag + ".json");
+    const FileGuard live_file("test_skip_cosim_l" + tag + ".json");
+    const FileGuard batched_csv("test_skip_cosim_b" + tag + ".csv");
+    const FileGuard live_csv("test_skip_cosim_l" + tag + ".csv");
+    const Program program =
+        generate_synthetic(alternating_phases(256, 2, seed));
+
+    MachineConfig batched_cfg;
+    batched_cfg.trace.enabled = true;
+    batched_cfg.trace.path = batched_file.path;
+    batched_cfg.sample.period = 61;
+    batched_cfg.sample.csv_path = batched_csv.path;
+    const SimResult batched = simulate(
+        program, batched_cfg, {.kind = PolicyKind::kSteered}, 100'000);
+    ASSERT_EQ(batched.outcome, RunOutcome::kHalted) << "seed " << seed;
+
+    MachineConfig live_cfg = batched_cfg;
+    live_cfg.trace.path = live_file.path;
+    live_cfg.sample.csv_path = live_csv.path;
+    {
+      auto cpu = make_processor(program, live_cfg,
+                                {.kind = PolicyKind::kSteered});
+      for (std::uint64_t c = 0; c < 100'000 && !cpu->halted(); ++c) {
+        cpu->step();
+      }
+      ASSERT_TRUE(cpu->halted()) << "seed " << seed;
+      cpu->flush_sampler();
+      EXPECT_EQ(batched.stats.cycles, cpu->stats().cycles) << "seed " << seed;
+      EXPECT_EQ(batched.stats.retired, cpu->stats().retired)
+          << "seed " << seed;
+    }
+    EXPECT_EQ(comparable_event_lines(slurp(batched_file.path)),
+              comparable_event_lines(slurp(live_file.path)))
+        << "seed " << seed;
+    EXPECT_EQ(slurp(batched_csv.path), slurp(live_csv.path))
+        << "seed " << seed;
+  }
+}
+
 // --- Steering audit log. -------------------------------------------------
 
 TEST(Audit, SummaryMatchesPolicySelectionCounters) {

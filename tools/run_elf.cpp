@@ -3,6 +3,7 @@
 // reconfigurable superscalar, printing the full statistics report.
 //
 //   $ ./tools/run_elf program.elf [policy] [--dump-words N] [--report ID]
+//                      [--trace PATH]
 //   $ ./tools/run_elf --fixture rv32_phases steered --report elf_smoke
 //
 // policy ∈ steered|static-ffu|static-integer|static-memory|static-float|
@@ -12,6 +13,9 @@
 // same report path every bench uses), so tools/bench_compare can diff two
 // runs — CI runs the committed fixtures twice and requires the simulated
 // metrics to be bit-identical.
+//
+// --trace PATH streams a Chrome trace-event JSON of the run (open in
+// Perfetto / chrome://tracing); see docs/OBSERVABILITY.md.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,7 +36,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (program.elf | --fixture NAME) [policy] "
-               "[--dump-words N] [--report ID]\n"
+               "[--dump-words N] [--report ID] [--trace PATH]\n"
                "fixtures:",
                argv0);
   for (const Rv32Fixture& fx : rv32_fixture_library()) {
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
   PolicySpec spec;
   unsigned dump_words = 0;
   std::string report_id;
+  std::string trace_path;
 
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--fixture") == 0 && a + 1 < argc) {
@@ -68,6 +73,8 @@ int main(int argc, char** argv) {
       dump_words = static_cast<unsigned>(std::atoi(argv[++a]));
     } else if (std::strcmp(argv[a], "--report") == 0 && a + 1 < argc) {
       report_id = argv[++a];
+    } else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc) {
+      trace_path = argv[++a];
     } else if (input_name.empty() && argv[a][0] != '-') {
       input_name = argv[a];
       std::ifstream file(input_name, std::ios::binary);
@@ -101,12 +108,22 @@ int main(int argc, char** argv) {
               program.code.size(), program.data.size(), image.size());
 
   MachineConfig config;
+  if (!trace_path.empty()) {
+    config.trace.enabled = true;
+    config.trace.path = trace_path;
+  }
   auto cpu = make_processor(program, config, spec);
   const std::uint64_t max_cycles = bench::cycle_budget();
   const RunOutcome outcome = cpu->run(max_cycles);
 
   const SimResult result = collect_result(*cpu, spec, outcome);
   std::fputs(format_report(result).c_str(), stdout);
+  if (!trace_path.empty()) {
+    cpu->tracer()->close();  // finalize the JSON document before reporting
+    std::printf("trace: %s (%llu events)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(
+                    cpu->tracer()->events_emitted()));
+  }
 
   if (outcome == RunOutcome::kFault || outcome == RunOutcome::kStalled) {
     std::fprintf(stderr, "%s\n", cpu->fault_message().c_str());

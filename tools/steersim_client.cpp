@@ -40,7 +40,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <socket-path> ping|stats|shutdown [common flags]\n"
+      "usage: %s <socket-path> ping|stats|--stats|shutdown [common flags]\n"
       "       %s <socket-path> submit (--kernel NAME | --asm-file PATH |"
       " --elf NAME)\n"
       "           [--policy P] [--max-cycles N] [--wall-ms N]\n"
@@ -70,7 +70,8 @@ int main(int argc, char** argv) {
   const bool is_submit = command == "submit";
   if (command == "ping") {
     request.type = RequestType::kPing;
-  } else if (command == "stats") {
+  } else if (command == "stats" || command == "--stats") {
+    // `--stats` is a flag-spelled alias: "show me the live svc.* registry".
     request.type = RequestType::kStats;
   } else if (command == "shutdown") {
     request.type = RequestType::kShutdown;
