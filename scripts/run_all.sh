@@ -48,6 +48,15 @@ done
   --expect-cache miss
 ./build/tools/steersim_client "$sock" submit --elf rv32_phases \
   --expect-cache hit
+# Multi-core smoke (docs/SERVICE.md §The multi job kind): a contended
+# two-core job must complete, replay as a cache hit, and a different
+# arbiter must be distinct work (a miss, not a hit).
+./build/tools/steersim_client "$sock" submit --multi dot_int \
+  --multi saxpy:greedy --expect-cache miss
+./build/tools/steersim_client "$sock" submit --multi dot_int \
+  --multi saxpy:greedy --expect-cache hit
+./build/tools/steersim_client "$sock" submit --multi dot_int \
+  --multi saxpy:greedy --arbiter prop-share --expect-cache miss
 # Live introspection: the svc.* registry snapshot must be well-formed and
 # reflect the submits above (docs/SERVICE.md §stats).
 snapshot=$(./build/tools/steersim_client "$sock" --stats)

@@ -16,7 +16,54 @@ ConfigurationLoader::ConfigurationLoader(const LoaderParams& params,
   STEERSIM_EXPECTS(params.cycles_per_slot >= 1);
   STEERSIM_EXPECTS(params.max_concurrent_regions >= 1);
   STEERSIM_EXPECTS(allocation_.num_slots() == params.num_slots);
+  for (unsigned i = 0; i < params_.num_slots; ++i) {
+    quota_.set(i);
+  }
   refresh_target_regions();
+}
+
+unsigned ConfigurationLoader::set_quota(SlotMask quota) {
+  SlotMask allowed;
+  for (unsigned i = 0; i < params_.num_slots; ++i) {
+    if (quota.test(i)) {
+      allowed.set(i);
+    }
+  }
+  if (allowed == quota_) {
+    return 0;
+  }
+  quota_ = allowed;
+  barred_ = SlotMask{};
+  for (unsigned i = 0; i < params_.num_slots; ++i) {
+    if (!quota_.test(i)) {
+      barred_.set(i);
+    }
+  }
+  // Revoked slots behave like a fence arriving: abort rewrites touching
+  // them and evict units straddling them — the slots now belong to some
+  // other core's partition.
+  unsigned evicted = 0;
+  std::erase_if(active_, [this](const Rewrite& rewrite) {
+    for (unsigned i = 0; i < rewrite.region.len; ++i) {
+      if (barred_.test(rewrite.region.base + i)) {
+        return true;
+      }
+    }
+    return false;
+  });
+  for (const auto& region : allocation_.regions()) {
+    bool hit = false;
+    for (unsigned i = 0; i < region.len; ++i) {
+      hit = hit || barred_.test(region.base + i);
+    }
+    if (hit) {
+      allocation_.clear_span(region.base, region.len);
+      ++evicted;
+    }
+  }
+  stats_.quota_evictions += evicted;
+  retarget();
+  return evicted;
 }
 
 void ConfigurationLoader::refresh_target_regions() {
@@ -41,7 +88,7 @@ void ConfigurationLoader::request(const AllocationVector& target) {
 }
 
 void ConfigurationLoader::retarget() {
-  if (fenced_.none()) {
+  if (unplaceable().none()) {
     target_ = requested_;
     refresh_target_regions();
     return;
@@ -65,11 +112,11 @@ void ConfigurationLoader::retarget() {
 
 AllocationVector ConfigurationLoader::place_avoiding_fence(
     const AllocationVector& wanted, unsigned* dropped) const {
-  if (fenced_.none()) {
+  if (unplaceable().none()) {
     return wanted;
   }
   AllocationVector placed(params_.num_slots);
-  SlotMask used = fenced_;
+  SlotMask used = unplaceable();
   for (const auto& region : wanted.regions()) {
     bool fits = false;
     for (unsigned base = 0; base + region.len <= params_.num_slots; ++base) {
@@ -170,12 +217,16 @@ unsigned ConfigurationLoader::reconfig_cost(
   return cost;
 }
 
-AllocationVector ConfigurationLoader::effective_allocation() const {
+const AllocationVector& ConfigurationLoader::effective_allocation() const {
   const SlotMask broken = corrupted_ | fenced_;
-  AllocationVector effective = allocation_;
   if (broken.none()) {
-    return effective;
+    return allocation_;
   }
+  if (effective_valid_ && broken == effective_broken_ &&
+      allocation_ == effective_base_) {
+    return effective_;
+  }
+  AllocationVector effective = allocation_;
   for (const auto& region : allocation_.regions()) {
     bool hit = false;
     for (unsigned i = 0; i < region.len; ++i) {
@@ -191,7 +242,11 @@ AllocationVector ConfigurationLoader::effective_allocation() const {
       effective.clear_span(slot, 1);
     }
   }
-  return effective;
+  effective_broken_ = broken;
+  effective_base_ = allocation_;
+  effective_ = std::move(effective);
+  effective_valid_ = true;
+  return effective_;
 }
 
 bool ConfigurationLoader::corrupt_slot(unsigned slot) {
@@ -419,6 +474,14 @@ void ConfigurationLoader::step_partial(SlotMask slot_busy) {
       blocked = true;
       continue;
     }
+    // The shared configuration port must be ours before frames move. A
+    // denial blocks every start this cycle (the port is core-granular),
+    // but in-flight rewrites still tick below — the holder's port is
+    // released only once its loader drains idle.
+    if (port_ != nullptr && !port_->acquire(port_core_)) {
+      ++stats_.port_denied_cycles;
+      break;
+    }
     // Evict current units overlapping the span, then begin loading.
     for (const auto& current : allocation_.regions()) {
       const unsigned lo = std::max(current.base, region.base);
@@ -491,6 +554,10 @@ void ConfigurationLoader::step_full(SlotMask slot_busy) {
     // and only when every slot is idle.
     if (slot_busy.any()) {
       ++stats_.blocked_cycles;
+      return;
+    }
+    if (port_ != nullptr && !port_->acquire(port_core_)) {
+      ++stats_.port_denied_cycles;
       return;
     }
     allocation_.clear_span(0, params_.num_slots);

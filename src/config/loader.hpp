@@ -55,6 +55,20 @@ struct LoaderParams {
   bool ecc = false;
 };
 
+/// Shared configuration write port (multi-core fabric, docs/DESIGN.md
+/// §Multi-core shared fabric). When several loaders feed one fabric, each
+/// is wired to the fabric's arbiter; a loader asks acquire() at the moment
+/// it would otherwise begin a rewrite, and the arbiter answers whether the
+/// port is (or just became) this core's. A core that holds the port keeps
+/// it until its loader drains idle — the fabric polls and releases.
+class ConfigPortArbiter {
+ public:
+  virtual ~ConfigPortArbiter() = default;
+  /// True if `core` may start rewrites this cycle (idempotent within a
+  /// cycle for the holder).
+  virtual bool acquire(unsigned core) = 0;
+};
+
 struct LoaderStats {
   std::uint64_t targets_requested = 0;  ///< distinct target changes
   std::uint64_t regions_started = 0;
@@ -62,6 +76,11 @@ struct LoaderStats {
   /// Cycles in which at least one wanted region could not start because a
   /// slot it needs was busy executing.
   std::uint64_t blocked_cycles = 0;
+  /// Cycles a wanted rewrite could not start because the shared
+  /// configuration port was granted to another core (grant latency).
+  std::uint64_t port_denied_cycles = 0;
+  /// Units evicted because a quota repartition revoked their slots.
+  std::uint64_t quota_evictions = 0;
 
   // Scrubbing / fault-recovery side (see docs/FAULTS.md).
   std::uint64_t scrub_reads = 0;       ///< readback operations performed
@@ -87,6 +106,8 @@ struct LoaderStats {
     visit("regions_started", static_cast<double>(regions_started));
     visit("slots_rewritten", static_cast<double>(slots_rewritten));
     visit("blocked_cycles", static_cast<double>(blocked_cycles));
+    visit("port_denied_cycles", static_cast<double>(port_denied_cycles));
+    visit("quota_evictions", static_cast<double>(quota_evictions));
     visit("scrub_reads", static_cast<double>(scrub_reads));
     visit("upsets_detected", static_cast<double>(upsets_detected));
     visit("slots_repaired", static_cast<double>(slots_repaired));
@@ -129,8 +150,13 @@ class ConfigurationLoader {
 
   /// The allocation the execution engine may actually use: regions
   /// overlapping corrupted or fenced slots are masked out, so no
-  /// instruction ever issues to a broken unit.
-  AllocationVector effective_allocation() const;
+  /// instruction ever issues to a broken unit. Fault-free (the hot case —
+  /// this sat atop the cycle-loop profile as a per-cycle copy) it is
+  /// `allocation()` itself; with fault state present the masked form is
+  /// memoized against the exact (allocation, broken-mask) inputs, so
+  /// repeated reads between slot writes cost one comparison. The returned
+  /// reference is invalidated by any mutating loader call.
+  const AllocationVector& effective_allocation() const;
 
   SlotMask reconfiguring() const;
   bool idle() const { return active_.empty() && full_remaining_ == 0; }
@@ -166,6 +192,25 @@ class ConfigurationLoader {
   /// Detected-damage slots whose repair rewrite has not completed yet.
   SlotMask repairing() const { return repairing_; }
 
+  // Multi-core fabric hooks (src/multicore/). Both default to the
+  // single-core identity: no arbiter installed, quota = every slot.
+  /// Wires this loader to a shared configuration-port arbiter as `core`.
+  /// nullptr detaches (rewrites start unconditionally again).
+  void set_port_arbiter(ConfigPortArbiter* arbiter, unsigned core) {
+    port_ = arbiter;
+    port_core_ = core;
+  }
+  /// Restricts placement to `quota` (intersected with the real slot
+  /// range): targets are re-placed inside it and units sitting on revoked
+  /// slots are evicted, their rewrites aborted. Returns the number of
+  /// units evicted. A full quota restores single-core behaviour exactly.
+  unsigned set_quota(SlotMask quota);
+  SlotMask quota() const { return quota_; }
+  /// Slots placement must avoid: fenced plus outside-quota. reconfig_cost
+  /// is a pure function of (allocation, unplaceable); policy cost memos
+  /// key on this.
+  SlotMask unplaceable() const { return fenced_ | barred_; }
+
   const LoaderStats& stats() const { return stats_; }
   const LoaderParams& params() const { return params_; }
 
@@ -188,9 +233,10 @@ class ConfigurationLoader {
   void step_partial(SlotMask slot_busy);
   void step_full(SlotMask slot_busy);
 
-  /// Re-places `wanted`'s unit regions onto non-fenced slots, first fit in
-  /// the candidate's own region order; units that fit nowhere are dropped
-  /// (counted into *dropped if given). Identity when nothing is fenced.
+  /// Re-places `wanted`'s unit regions onto non-fenced, in-quota slots,
+  /// first fit in the candidate's own region order; units that fit nowhere
+  /// are dropped (counted into *dropped if given). Identity when nothing
+  /// is fenced and the quota is full.
   AllocationVector place_avoiding_fence(const AllocationVector& wanted,
                                         unsigned* dropped = nullptr) const;
   /// Recomputes target_ from requested_ after the fence set grew.
@@ -225,6 +271,12 @@ class ConfigurationLoader {
   std::vector<Rewrite> active_;
   unsigned full_remaining_ = 0;  ///< full-reconfig mode countdown
 
+  // Multi-core fabric state (identity defaults for single-core use).
+  ConfigPortArbiter* port_ = nullptr;  ///< shared write port; never owns
+  unsigned port_core_ = 0;             ///< this loader's core id at the port
+  SlotMask quota_;                     ///< slots this core may place onto
+  SlotMask barred_;                    ///< complement of quota_ over the fabric
+
   // Fault state.
   SlotMask corrupted_;   ///< silent upsets not yet detected or overwritten
   SlotMask fenced_;      ///< permanently failed slots
@@ -238,6 +290,14 @@ class ConfigurationLoader {
   unsigned scrub_countdown_ = 0;
   unsigned scrub_ptr_ = 0;        ///< next slot the readback pass visits
   std::uint64_t full_start_ = 0;  ///< full-reconfig start cycle (tracing)
+
+  /// effective_allocation() memo for the degraded path (fault state
+  /// present): self-validating against the exact inputs the masked form
+  /// was derived from, so no mutation site needs an invalidation hook.
+  mutable bool effective_valid_ = false;
+  mutable SlotMask effective_broken_;
+  mutable AllocationVector effective_base_;
+  mutable AllocationVector effective_;
 
   Tracer* tracer_ = nullptr;  ///< optional observer; never owns
   LoaderStats stats_;

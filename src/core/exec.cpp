@@ -130,6 +130,12 @@ ExecOutput execute_op(const Instruction& inst, const ExecInput& in) {
     case Opcode::kBge:
       branch_to(a >= b);
       break;
+    case Opcode::kBltu:
+      branch_to(u(a) < u(b));
+      break;
+    case Opcode::kBgeu:
+      branch_to(u(a) >= u(b));
+      break;
     case Opcode::kJ:
       out.next_pc = static_cast<std::uint32_t>(
           static_cast<std::int64_t>(in.pc) + inst.imm);

@@ -34,12 +34,13 @@ SteeredPolicy::SteeredPolicy(const SteeringSet& set, CemMode cem,
 
 const std::array<unsigned, kNumCandidates>& SteeredPolicy::candidate_costs(
     const ConfigurationLoader& loader) {
-  // reconfig_cost is a pure function of the loader's allocation and fence
-  // set; both are stable between reconfigurations.
+  // reconfig_cost is a pure function of the loader's allocation and its
+  // unplaceable set (fenced plus outside-quota slots); both are stable
+  // between reconfigurations and quota repartitions.
   if (!have_costs_ || loader.allocation() != cost_alloc_ ||
-      loader.fenced() != cost_fenced_) {
+      loader.unplaceable() != cost_avoid_) {
     cost_alloc_ = loader.allocation();
-    cost_fenced_ = loader.fenced();
+    cost_avoid_ = loader.unplaceable();
     cost_[0] = 0;  // staying on the current configuration rewrites nothing
     for (unsigned p = 0; p < kNumPresetConfigs; ++p) {
       cost_[p + 1] = loader.reconfig_cost(preset_allocs_[p]);

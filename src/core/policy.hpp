@@ -121,7 +121,8 @@ class SteeredPolicy final : public SteeringPolicy {
 
  private:
   /// Candidate costs for the current loader state, recomputed only when
-  /// the allocation or fence set moved (reconfig_cost is pure in those).
+  /// the allocation or unplaceable set moved (reconfig_cost is pure in
+  /// those).
   const std::array<unsigned, kNumCandidates>& candidate_costs(
       const ConfigurationLoader& loader);
   /// Requirement encoding of the ready set, recomputed only when the set
@@ -152,7 +153,7 @@ class SteeredPolicy final : public SteeringPolicy {
   FuCounts base_required_{};
   bool have_costs_ = false;
   AllocationVector cost_alloc_;
-  SlotMask cost_fenced_;
+  SlotMask cost_avoid_;
   std::array<unsigned, kNumCandidates> cost_{};
   bool have_selection_ = false;
   FuCounts sel_required_{};

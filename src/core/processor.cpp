@@ -381,7 +381,7 @@ void Processor::stage_issue() {
   // Issue consults the *effective* allocation: units overlapping corrupted
   // or fenced slots are masked out so nothing issues to broken hardware.
   // Without faults this is exactly loader_.allocation().
-  const AllocationVector effective = loader_.effective_allocation();
+  const AllocationVector& effective = loader_.effective_allocation();
   engine_.begin_cycle(effective);
   const auto view = engine_.issue_view();
 
@@ -536,6 +536,12 @@ void Processor::refresh_ready_ops() {
   ready_dirty_ = true;
 }
 
+FuCounts Processor::ready_requirements() {
+  refresh_ready_ops();
+  return encode_requirements(
+      {ready_ops_cache_.begin(), ready_ops_cache_.end()});
+}
+
 void Processor::stage_steer() {
   // The configuration manager inspects the queue entries that are ready to
   // be executed (valid, not yet scheduled), oldest first. The list (and
@@ -590,7 +596,7 @@ std::uint64_t Processor::try_skip(std::uint64_t budget) {
   }
   // Nothing can issue this cycle (and therefore for the whole window: the
   // dependence and availability inputs cannot change while nothing wakes).
-  const AllocationVector effective = loader_.effective_allocation();
+  const AllocationVector& effective = loader_.effective_allocation();
   engine_.begin_cycle(effective);
   const auto view = engine_.issue_view();
   const EntryMask dep_ready = wakeup_.dep_ready();

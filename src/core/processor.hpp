@@ -159,10 +159,17 @@ class Processor {
   RunOutcome run(std::uint64_t max_cycles = 50'000'000);
 
   bool halted() const { return halted_; }
+  /// True once an injected fault escaped recovery (run() would return
+  /// RunOutcome::kFault); the multi-core lockstep driver mirrors run()'s
+  /// loop condition through this.
+  bool faulted() const { return faulted_; }
   const SimStats& stats() const { return stats_; }
   const RegisterFile& registers() const { return regs_; }
   const DataMemory& memory() const { return mem_; }
   const ConfigurationLoader& loader() const { return loader_; }
+  /// Mutable loader access for the multi-core fabric (port arbiter wiring
+  /// and quota repartitions); single-core code never needs it.
+  ConfigurationLoader& loader() { return loader_; }
   const ExecutionEngine& engine() const { return engine_; }
   const WakeupArray& wakeup() const { return wakeup_; }
   const SteeringPolicy& policy() const { return *policy_; }
@@ -200,6 +207,12 @@ class Processor {
   void set_retire_hook(std::function<void(const RuuEntry&)> hook) {
     retire_hook_ = std::move(hook);
   }
+
+  /// Requirement encoding of the current ready set (the per-core demand
+  /// signal the multi-core fabric's proportional-share arbiter samples).
+  /// Reuses the steer stage's memoized ready list, so interleaving calls
+  /// with step() never changes what the policy observes.
+  FuCounts ready_requirements();
 
  private:
   /// Throws std::invalid_argument on an inconsistent configuration; called

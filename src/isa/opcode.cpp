@@ -83,6 +83,8 @@ constexpr std::array<OpInfo, kNumOpcodes> build_table() {
   at(Opcode::kBne) = make_branch("bne");
   at(Opcode::kBlt) = make_branch("blt");
   at(Opcode::kBge) = make_branch("bge");
+  at(Opcode::kBltu) = make_branch("bltu");
+  at(Opcode::kBgeu) = make_branch("bgeu");
   at(Opcode::kJ) = {"j",             FuType::kIntAlu, Format::kJ,      1,
                     RegClass::kNone, RegClass::kNone, RegClass::kNone,
                     false,           true,            false,           false,

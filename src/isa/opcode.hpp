@@ -41,6 +41,8 @@ enum class Opcode : std::uint8_t {
   kBne,
   kBlt,
   kBge,
+  kBltu,
+  kBgeu,
   kJ,
   kJal,
   kJr,

@@ -70,6 +70,8 @@ constexpr std::array kTable = {
     Rv32Op{"bne",      kMajBranch, 1, kAnyF7, Format::kB, Expand::kBranch, Opcode::kBne},
     Rv32Op{"blt",      kMajBranch, 4, kAnyF7, Format::kB, Expand::kBranch, Opcode::kBlt},
     Rv32Op{"bge",      kMajBranch, 5, kAnyF7, Format::kB, Expand::kBranch, Opcode::kBge},
+    Rv32Op{"bltu",     kMajBranch, 6, kAnyF7, Format::kB, Expand::kBranch, Opcode::kBltu},
+    Rv32Op{"bgeu",     kMajBranch, 7, kAnyF7, Format::kB, Expand::kBranch, Opcode::kBgeu},
     Rv32Op{"jal",      kMajJal,  kAnyF3, kAnyF7, Format::kJ, Expand::kJal, Opcode::kJal},
     Rv32Op{"jalr",     kMajJalr, 0, kAnyF7, Format::kI, Expand::kJalr, Opcode::kJr},
     // Fences order nothing in this single-core model.
@@ -112,11 +114,6 @@ std::optional<std::string_view> describe_unsupported(const Fields& f) {
     case kMajStore:
       if (f.funct3 == 1) {
         return "halfword stores (sh) are not modelled";
-      }
-      break;
-    case kMajBranch:
-      if (f.funct3 == 6 || f.funct3 == 7) {
-        return "unsigned branches (bltu/bgeu) have no internal mapping";
       }
       break;
     case kMajOp:

@@ -1,0 +1,96 @@
+#include "multicore/arbiter.hpp"
+
+#include <bit>
+
+#include "common/contracts.hpp"
+
+namespace steersim {
+
+std::string_view arbiter_name(ArbiterKind kind) {
+  switch (kind) {
+    case ArbiterKind::kRoundRobin:
+      return "round-robin";
+    case ArbiterKind::kPriority:
+      return "priority";
+    case ArbiterKind::kPropShare:
+      return "prop-share";
+  }
+  return "?";
+}
+
+bool parse_arbiter(const std::string& name, ArbiterKind& kind) {
+  for (const ArbiterKind candidate : all_arbiters()) {
+    if (name == arbiter_name(candidate)) {
+      kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ArbiterKind> all_arbiters() {
+  return {ArbiterKind::kRoundRobin, ArbiterKind::kPriority,
+          ArbiterKind::kPropShare};
+}
+
+Arbiter::Arbiter(ArbiterKind kind, unsigned num_cores, FabricStats& stats)
+    : kind_(kind), num_cores_(num_cores), stats_(stats),
+      wait_start_(num_cores, 0) {
+  STEERSIM_EXPECTS(num_cores >= 1 && num_cores <= 64);
+}
+
+unsigned Arbiter::pick_waiter() const {
+  STEERSIM_EXPECTS(waiting_ != 0);
+  if (kind_ == ArbiterKind::kPriority) {
+    return static_cast<unsigned>(std::countr_zero(waiting_));
+  }
+  // Round-robin (prop-share shares the port policy; its fairness lever is
+  // the quota repartition): first waiter scanning from last_granted_ + 1.
+  for (unsigned off = 1; off <= num_cores_; ++off) {
+    const unsigned core = (last_granted_ + off) % num_cores_;
+    if ((waiting_ >> core) & 1u) {
+      return core;
+    }
+  }
+  STEERSIM_UNREACHABLE("waiting mask empty");
+}
+
+void Arbiter::begin_cycle(std::uint64_t cycle, std::uint64_t idle_mask) {
+  cycle_ = cycle;
+  if (holder_ >= 0 && ((idle_mask >> holder_) & 1u)) {
+    holder_ = -1;  // drained: rewrites done, port freed
+  }
+  if (holder_ < 0 && waiting_ != 0) {
+    const unsigned next = pick_waiter();
+    waiting_ &= ~(std::uint64_t{1} << next);
+    holder_ = static_cast<int>(next);
+    last_granted_ = next;
+    ++stats_.port_grants;
+    stats_.grant_latency.add(static_cast<double>(cycle_ -
+                                                 wait_start_[next]));
+  }
+  if (holder_ >= 0) {
+    ++stats_.port_busy_cycles;
+  }
+}
+
+bool Arbiter::acquire(unsigned core) {
+  STEERSIM_EXPECTS(core < num_cores_);
+  if (holder_ == static_cast<int>(core)) {
+    return true;
+  }
+  if (holder_ < 0) {
+    holder_ = static_cast<int>(core);
+    last_granted_ = core;
+    ++stats_.port_grants;
+    return true;
+  }
+  if (((waiting_ >> core) & 1u) == 0) {
+    waiting_ |= std::uint64_t{1} << core;
+    wait_start_[core] = cycle_;
+  }
+  ++stats_.port_denials;
+  return false;
+}
+
+}  // namespace steersim

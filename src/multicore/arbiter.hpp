@@ -1,0 +1,116 @@
+// Configuration-port arbitration for the multi-core shared fabric
+// (docs/DESIGN.md §Multi-core shared fabric).
+//
+// N cores share one RFU slot pool and — like the single-core machine —
+// exactly one configuration write port. Each core's ConfigurationLoader
+// asks the arbiter for the port at the moment it would begin a rewrite;
+// the arbiter serializes competing requests. A core that wins keeps the
+// port until its loader drains idle, so one core's multi-cycle region
+// rewrite is never interleaved with another's (an ICAP cannot switch
+// masters mid-frame). Waiters are queued and re-granted by policy:
+//
+//   round-robin  — rotate among waiting cores from the last grant
+//   priority     — lowest core index first (static priority)
+//   prop-share   — round-robin port + periodic quota repartitioning of
+//                  the slot pool proportional to per-core CEM demand
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "config/loader.hpp"
+
+namespace steersim {
+
+enum class ArbiterKind : std::uint8_t {
+  kRoundRobin,
+  kPriority,
+  kPropShare,
+};
+
+/// Canonical policy label ("round-robin" | "priority" | "prop-share").
+std::string_view arbiter_name(ArbiterKind kind);
+/// Parses an arbiter_name() label; returns false on an unknown name.
+bool parse_arbiter(const std::string& name, ArbiterKind& kind);
+/// The full roster, for benches and tests.
+std::vector<ArbiterKind> all_arbiters();
+
+/// Fabric-level contention counters (per-core counters stay in each
+/// core's own LoaderStats: port_denied_cycles, quota_evictions).
+struct FabricStats {
+  std::uint64_t cycles = 0;             ///< lockstep rounds stepped
+  std::uint64_t port_grants = 0;        ///< port handovers to a core
+  std::uint64_t port_denials = 0;       ///< acquire() calls refused
+  std::uint64_t port_busy_cycles = 0;   ///< cycles some core held the port
+  std::uint64_t repartitions = 0;       ///< prop-share quota recomputes
+  std::uint64_t steal_events = 0;       ///< slots that changed owning core
+  std::uint64_t quota_evictions = 0;    ///< units evicted by repartitions
+  std::uint64_t slot_cycles_used = 0;   ///< Σ configured slots per cycle
+  std::uint64_t slot_cycles_total = 0;  ///< num_slots * cycles
+  std::uint64_t total_retired = 0;      ///< Σ per-core committed (collect)
+  /// Port wait time of every granted-after-waiting request, in cycles.
+  RunningStat grant_latency;
+
+  template <typename V>
+  void visit_metrics(V&& visit) const {
+    visit("cycles", static_cast<double>(cycles));
+    visit("port_grants", static_cast<double>(port_grants));
+    visit("port_denials", static_cast<double>(port_denials));
+    visit("port_busy_cycles", static_cast<double>(port_busy_cycles));
+    visit("repartitions", static_cast<double>(repartitions));
+    visit("steal_events", static_cast<double>(steal_events));
+    visit("quota_evictions", static_cast<double>(quota_evictions));
+    visit("slot_cycles_used", static_cast<double>(slot_cycles_used));
+    visit("slot_cycles_total", static_cast<double>(slot_cycles_total));
+    visit("total_retired", static_cast<double>(total_retired));
+    if (slot_cycles_total > 0) {
+      visit("utilization", static_cast<double>(slot_cycles_used) /
+                               static_cast<double>(slot_cycles_total),
+            true);
+    }
+    if (grant_latency.count() > 0) {
+      visit("grant_latency_mean", grant_latency.mean(), true);
+      visit("grant_latency_max", grant_latency.max(), true);
+    }
+  }
+};
+
+/// The shared-port state machine. Within a cycle, cores step in index
+/// order and ask acquire() when they want to start rewrites; across
+/// cycles, begin_cycle() releases a drained holder and pre-grants the
+/// port to a waiting core chosen by policy — waiters therefore always
+/// beat fresh same-cycle claimants, which is what makes the policies
+/// meaningfully different under sustained contention.
+class Arbiter final : public ConfigPortArbiter {
+ public:
+  Arbiter(ArbiterKind kind, unsigned num_cores, FabricStats& stats);
+
+  /// ConfigPortArbiter: true if `core` holds (or just claimed) the port.
+  bool acquire(unsigned core) override;
+
+  /// Top-of-cycle bookkeeping: `idle_mask` bit k set means core k's
+  /// loader is idle (no rewrite in flight). Releases a drained holder,
+  /// then grants a waiting core by policy.
+  void begin_cycle(std::uint64_t cycle, std::uint64_t idle_mask);
+
+  /// Holding core index, or -1 when the port is free.
+  int holder() const { return holder_; }
+  ArbiterKind kind() const { return kind_; }
+
+ private:
+  /// Next waiting core by policy; requires waiting_ != 0.
+  unsigned pick_waiter() const;
+
+  ArbiterKind kind_;
+  unsigned num_cores_;
+  FabricStats& stats_;
+  int holder_ = -1;
+  unsigned last_granted_ = 0;  ///< rotation anchor (round-robin)
+  std::uint64_t waiting_ = 0;  ///< bit k: core k denied while port held
+  std::uint64_t cycle_ = 0;
+  std::vector<std::uint64_t> wait_start_;  ///< first denial cycle per core
+};
+
+}  // namespace steersim

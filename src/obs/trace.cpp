@@ -140,7 +140,9 @@ TraceArgs& TraceArgs::str(std::string_view k, std::string_view value) {
   return *this;
 }
 
-Tracer::Tracer(const TraceConfig& config) : config_(config) {
+Tracer::Tracer(const TraceConfig& config)
+    : config_(config),
+      pid_frag_(",\"pid\":" + std::to_string(config.pid)) {
   STEERSIM_EXPECTS(!config.path.empty());
   STEERSIM_EXPECTS(config.start_cycle <= config.end_cycle);
   out_.open(config_.path);
@@ -445,7 +447,8 @@ void Tracer::render(const TraceRecord& rec) {
           p = put(p, R"(","ph":"i","s":"t","ts":)"sv);
         }
         p = put_ts(p, rec.ts);
-        p = put(p, R"(,"pid":0,"tid":)"sv);
+        p = put(p, pid_frag_);
+        p = put(p, R"(,"tid":)"sv);
         p = put_u64(p, rec.lane);
         p = put(p, R"(,"args":{"pc":)"sv);
         p = put_u64(p, rec.a);
@@ -461,7 +464,8 @@ void Tracer::render(const TraceRecord& rec) {
         p = put_ts(p, rec.ts);
         p = put(p, R"(,"dur":)"sv);
         p = put_u64(p, rec.dur);
-        p = put(p, R"(,"pid":0,"tid":)"sv);
+        p = put(p, pid_frag_);
+        p = put(p, R"(,"tid":)"sv);
         p = put_u64(p, rec.lane);
         p = put(p, R"(,"args":{"pc":)"sv);
         p = put_u64(p, rec.a);
@@ -473,7 +477,8 @@ void Tracer::render(const TraceRecord& rec) {
       case Shape::kFetch: {
         p = put(p, R"({"name":"fetch","cat":"fetch","ph":"i","s":"t","ts":)"sv);
         p = put_ts(p, rec.ts);
-        p = put(p, R"(,"pid":0,"tid":0,"args":{"pc":)"sv);
+        p = put(p, pid_frag_);
+        p = put(p, R"(,"tid":0,"args":{"pc":)"sv);
         p = put_u64(p, rec.a);
         p = put(p, R"(,"count":)"sv);
         p = put_u64(p, rec.b);
@@ -485,7 +490,8 @@ void Tracer::render(const TraceRecord& rec) {
       case Shape::kSteer: {
         p = put(p, R"({"name":"steer","cat":"steer","ph":"i","s":"t","ts":)"sv);
         p = put_ts(p, rec.ts);
-        p = put(p, R"(,"pid":0,"tid":3,"args":{"selection":)"sv);
+        p = put(p, pid_frag_);
+        p = put(p, R"(,"tid":3,"args":{"selection":)"sv);
         p = put_u64(p, rec.a);
         p = put(p, R"(,"error":)"sv);
         if (memo_len_ != 0 && rec.b == memo_bits_) {
@@ -521,7 +527,8 @@ void Tracer::render(const TraceRecord& rec) {
         p = put_ts(p, rec.ts);
         p = put(p, R"(,"dur":)"sv);
         p = put_u64(p, rec.dur);
-        p = put(p, R"(,"pid":0,"tid":7,"args":{"cycles":)"sv);
+        p = put(p, pid_frag_);
+        p = put(p, R"(,"tid":7,"args":{"cycles":)"sv);
         p = put_u64(p, rec.dur);
         p = put(p, "}}"sv);
         break;
@@ -544,14 +551,18 @@ void Tracer::render_general(const TraceRecord& rec, std::string& out) {
   using Shape = TraceRecord::Shape;
   if (rec.shape == Shape::kLaneMeta) {
     begin_event(out);
-    out += R"({"name":"thread_name","ph":"M","pid":0,"tid":)"sv;
+    out += R"({"name":"thread_name","ph":"M")"sv;
+    out += pid_frag_;
+    out += R"(,"tid":)"sv;
     append_u64(out, rec.lane);
     out += R"(,"args":{"name":")"sv;
     append_escaped(out, pool_[rec.name_index]);
     out += "\"}}"sv;
     // Sort-index metadata keeps lanes in our numeric order in the viewer.
     begin_event(out);
-    out += R"({"name":"thread_sort_index","ph":"M","pid":0,"tid":)"sv;
+    out += R"({"name":"thread_sort_index","ph":"M")"sv;
+    out += pid_frag_;
+    out += R"(,"tid":)"sv;
     append_u64(out, rec.lane);
     out += R"(,"args":{"sort_index":)"sv;
     append_u64(out, rec.lane);
@@ -564,7 +575,8 @@ void Tracer::render_general(const TraceRecord& rec, std::string& out) {
     append_escaped(out, pool_[rec.name_index]);
     out += R"(","cat":"counter","ph":"C","ts":)"sv;
     append_u64(out, rec.ts);
-    out += R"(,"pid":0,"args":{"value":)"sv;
+    out += pid_frag_;
+    out += R"(,"args":{"value":)"sv;
     out += json_number(std::bit_cast<double>(rec.a));
     out += "}}"sv;
     return;
@@ -604,7 +616,8 @@ void Tracer::render_general(const TraceRecord& rec, std::string& out) {
     out += R"(","ph":"i","s":"t","ts":)"sv;
     append_u64(out, rec.ts);
   }
-  out += R"(,"pid":0,"tid":)"sv;
+  out += pid_frag_;
+  out += R"(,"tid":)"sv;
   append_u64(out, rec.lane);
   switch (rec.shape) {
     case Shape::kInstantBody:

@@ -83,6 +83,10 @@ struct TraceConfig {
   /// Only cycles in [start_cycle, end_cycle] are traced (inclusive).
   std::uint64_t start_cycle = 0;
   std::uint64_t end_cycle = ~0ull;
+  /// Chrome trace-event "pid" stamped on every event. Single-core traces
+  /// keep 0; the multi-core fabric gives each core its own pid so merged
+  /// traces render one process group per core (plus one for the fabric).
+  unsigned pid = 0;
 };
 
 /// Ordered key/value bag rendered as the event's "args" object. Keys must
@@ -254,6 +258,9 @@ class Tracer {
   char* put_ts(char* p, std::uint64_t ts);
 
   TraceConfig config_;
+  /// Pre-rendered `,"pid":N` fragment every event embeds (byte-identical
+  /// to the historical literal when pid == 0).
+  std::string pid_frag_;
   std::ofstream out_;
   bool open_ = false;
   bool sink_ok_ = false;

@@ -2,18 +2,23 @@
 
 namespace steersim {
 
+void collect_metrics_into(MetricRegistry& reg, const SimResult& result,
+                          const std::string& scope) {
+  result.stats.visit_metrics(reg.prefixed(scope + "sim."));
+  result.loader.visit_metrics(reg.prefixed(scope + "loader."));
+  result.steering.visit_metrics(reg.prefixed(scope + "steer."));
+  result.engine.visit_metrics(reg.prefixed(scope + "engine."));
+  result.fetch.visit_metrics(reg.prefixed(scope + "fetch."));
+  result.trace_cache.visit_metrics(reg.prefixed(scope + "tcache."));
+  result.wakeup.visit_metrics(reg.prefixed(scope + "wakeup."));
+  result.dcache.visit_metrics(reg.prefixed(scope + "dcache."));
+  result.fault.visit_metrics(reg.prefixed(scope + "fault."));
+  result.recovery.visit_metrics(reg.prefixed(scope + "recovery."));
+}
+
 MetricRegistry collect_metrics(const SimResult& result) {
   MetricRegistry reg;
-  result.stats.visit_metrics(reg.prefixed("sim."));
-  result.loader.visit_metrics(reg.prefixed("loader."));
-  result.steering.visit_metrics(reg.prefixed("steer."));
-  result.engine.visit_metrics(reg.prefixed("engine."));
-  result.fetch.visit_metrics(reg.prefixed("fetch."));
-  result.trace_cache.visit_metrics(reg.prefixed("tcache."));
-  result.wakeup.visit_metrics(reg.prefixed("wakeup."));
-  result.dcache.visit_metrics(reg.prefixed("dcache."));
-  result.fault.visit_metrics(reg.prefixed("fault."));
-  result.recovery.visit_metrics(reg.prefixed("recovery."));
+  collect_metrics_into(reg, result, "");
   return reg;
 }
 

@@ -13,6 +13,13 @@ namespace steersim {
 
 MetricRegistry collect_metrics(const SimResult& result);
 
+/// The collection walk itself, reusable under an outer namespace: every
+/// subsystem of `result` lands in `reg` as `<scope><subsystem>.<metric>`.
+/// collect_metrics() is the `scope == ""` case; the multi-core fabric
+/// collects each core under "coreK.".
+void collect_metrics_into(MetricRegistry& reg, const SimResult& result,
+                          const std::string& scope);
+
 /// collect_metrics() rendered as CSV ("metric,value" rows).
 std::string metrics_csv(const SimResult& result);
 

@@ -189,6 +189,33 @@ std::string Request::to_json() const {
     if (seed != 42) {
       append_u64_field(out, "seed", seed, first);
     }
+    if (!multi.empty()) {
+      std::string entries = "[";
+      for (std::size_t k = 0; k < multi.size(); ++k) {
+        if (k > 0) {
+          entries += ',';
+        }
+        entries += '{';
+        bool entry_first = true;
+        if (!multi[k].kernel.empty()) {
+          append_string_field(entries, "kernel", multi[k].kernel,
+                              entry_first);
+        }
+        if (!multi[k].elf.empty()) {
+          append_string_field(entries, "elf", multi[k].elf, entry_first);
+        }
+        if (multi[k].policy != "steered") {
+          append_string_field(entries, "policy", multi[k].policy,
+                              entry_first);
+        }
+        entries += '}';
+      }
+      entries += ']';
+      append_raw_field(out, "multi", entries, first);
+      if (arbiter != "round-robin") {
+        append_string_field(out, "arbiter", arbiter, first);
+      }
+    }
     if (!config.empty()) {
       auto sorted = config;
       std::sort(sorted.begin(), sorted.end());
@@ -242,6 +269,24 @@ bool Request::parse(std::string_view text, Request& out, std::string& error) {
   parsed.confirm = read_u64(doc, "confirm", 1, ok, error);
   parsed.lookahead = read_bool(doc, "lookahead", false, ok, error);
   parsed.seed = read_u64(doc, "seed", 42, ok, error);
+  if (const JsonValue* entries = doc.get("multi")) {
+    if (entries->kind != JsonValue::Kind::kArray) {
+      error = "field 'multi' must be an array";
+      return false;
+    }
+    for (const JsonValue& entry : entries->array) {
+      if (entry.kind != JsonValue::Kind::kObject) {
+        error = "field 'multi' entries must be objects";
+        return false;
+      }
+      MultiEntry core;
+      core.kernel = read_string(entry, "kernel", "", ok, error);
+      core.elf = read_string(entry, "elf", "", ok, error);
+      core.policy = read_string(entry, "policy", "steered", ok, error);
+      parsed.multi.push_back(std::move(core));
+    }
+    parsed.arbiter = read_string(doc, "arbiter", "round-robin", ok, error);
+  }
   if (const JsonValue* knobs = doc.get("config")) {
     if (knobs->kind != JsonValue::Kind::kObject) {
       error = "field 'config' must be an object";

@@ -33,6 +33,16 @@ enum class RequestType : std::uint8_t {
 
 std::string_view request_type_name(RequestType type);
 
+/// One core's workload in a multi-core submit: a named kernel or a named
+/// RV32 ELF fixture (exactly one), plus that core's steering policy.
+struct MultiEntry {
+  std::string kernel;
+  std::string elf;
+  std::string policy = "steered";
+
+  bool operator==(const MultiEntry&) const = default;
+};
+
 /// One client request. Submit fields are meaningful only for kSubmit;
 /// defaults here are the protocol defaults (absent keys parse to these,
 /// and default-valued fields are omitted on the wire, so a round trip is
@@ -70,6 +80,12 @@ struct Request {
   std::uint64_t confirm = 1;
   bool lookahead = false;
   std::uint64_t seed = 42;
+  /// Multi-core submit: one entry per core (1..8), exclusive with
+  /// `kernel`/`asm_source`/`elf`. Empty = single-core submit.
+  std::vector<MultiEntry> multi;
+  /// Fabric arbiter policy for multi-core submits:
+  /// round-robin|priority|prop-share.
+  std::string arbiter = "round-robin";
   /// MachineConfig overrides as (knob, value) pairs, kept sorted by knob
   /// name (canonical order for digesting and round-trip equality). Knob
   /// names are validated server-side; unknown knobs are a bad_request.

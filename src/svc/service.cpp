@@ -13,6 +13,7 @@
 #include "frontend/elf_loader.hpp"
 #include "isa/assembler.hpp"
 #include "isa/rv32.hpp"
+#include "multicore/multicore.hpp"
 #include "svc/chaos.hpp"
 #include "obs/profile.hpp"
 #include "sim/metrics.hpp"
@@ -151,6 +152,10 @@ struct SimService::Job {
   Program program;
   MachineConfig machine;
   PolicySpec spec;
+  /// Multi-core workload (one CoreSpec per core); empty = single-core job
+  /// using `program`/`spec` above.
+  std::vector<CoreSpec> cores;
+  ArbiterKind arbiter = ArbiterKind::kRoundRobin;
   std::uint64_t budget = 0;
   std::uint64_t key = 0;
   std::string digest_hex;
@@ -261,58 +266,123 @@ Reply SimService::handle_submit(const Request& request) {
   const bool has_kernel = !request.kernel.empty();
   const bool has_asm = !request.asm_source.empty();
   const bool has_elf = !request.elf.empty();
-  if (static_cast<int>(has_kernel) + static_cast<int>(has_asm) +
-          static_cast<int>(has_elf) !=
-      1) {
+  const bool is_multi = !request.multi.empty();
+  if (is_multi) {
+    if (has_kernel || has_asm || has_elf) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      return Reply::error(request.id, error_code::kBadRequest,
+                          "'multi' is exclusive with 'kernel', 'asm' and "
+                          "'elf'");
+    }
+    if (request.multi.size() > 8) {
+      bad_requests_.fetch_add(1, std::memory_order_relaxed);
+      return Reply::error(request.id, error_code::kBadRequest,
+                          "'multi' supports 1..8 cores");
+    }
+  } else if (static_cast<int>(has_kernel) + static_cast<int>(has_asm) +
+                 static_cast<int>(has_elf) !=
+             1) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
     return Reply::error(request.id, error_code::kBadRequest,
                         "exactly one of 'kernel', 'asm' and 'elf' is "
                         "required");
   }
-  // `source` is what the job digest covers alongside the effective
-  // config: asm text for kernel/asm jobs, the raw ELF image bytes for elf
-  // jobs (identical binaries share one cache entry whatever name they
-  // were submitted under).
-  std::string elf_image_bytes;
-  std::string_view source;
-  std::string program_name;
-  if (has_kernel) {
-    const Kernel* kernel = find_kernel(request.kernel);
-    if (kernel == nullptr) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
-      return Reply::error(request.id, error_code::kBadRequest,
-                          "unknown kernel '" + request.kernel + "'");
-    }
-    source = kernel->source;
-    program_name = kernel->name;
-  } else if (has_elf) {
-    const Rv32Fixture* fixture = rv32_fixture_find(request.elf);
-    if (fixture == nullptr) {
-      bad_requests_.fetch_add(1, std::memory_order_relaxed);
-      return Reply::error(request.id, error_code::kBadRequest,
-                          "unknown elf fixture '" + request.elf + "'");
-    }
-    const std::vector<std::uint8_t> image = rv32_fixture_elf(*fixture);
-    elf_image_bytes.assign(image.begin(), image.end());
-    source = elf_image_bytes;
-    program_name = fixture->name;
-  } else {
-    source = request.asm_source;
-    program_name = "asm";
-  }
-
   auto job = std::make_shared<Job>();
   job->request = request;
   job->wall_ms = request.wall_ms;
+  if (is_multi && !parse_arbiter(request.arbiter, job->arbiter)) {
+    bad_requests_.fetch_add(1, std::memory_order_relaxed);
+    return Reply::error(request.id, error_code::kBadRequest,
+                        "unknown arbiter '" + request.arbiter + "'");
+  }
+  // `source` is what the job digest covers alongside the effective
+  // config: asm text for kernel/asm jobs, the raw ELF image bytes for elf
+  // jobs (identical binaries share one cache entry whatever name they
+  // were submitted under). Multi-core jobs digest every core's source and
+  // policy label plus the arbiter, accumulated into `multi_digest`.
+  std::string elf_image_bytes;
+  std::string_view source;
+  std::string program_name;
+  Fnv1a multi_digest;
   try {
-    if (has_elf) {
-      const auto* bytes =
-          reinterpret_cast<const std::uint8_t*>(elf_image_bytes.data());
-      job->program = elf::load_elf_program(
-          std::span<const std::uint8_t>(bytes, elf_image_bytes.size()),
-          program_name);
+    if (is_multi) {
+      multi_digest.mix("multi");
+      for (const MultiEntry& entry : request.multi) {
+        const bool entry_kernel = !entry.kernel.empty();
+        const bool entry_elf = !entry.elf.empty();
+        if (entry_kernel == entry_elf) {
+          bad_requests_.fetch_add(1, std::memory_order_relaxed);
+          return Reply::error(request.id, error_code::kBadRequest,
+                              "each 'multi' entry needs exactly one of "
+                              "'kernel' and 'elf'");
+        }
+        CoreSpec core;
+        if (!parse_policy(entry.policy, core.policy)) {
+          bad_requests_.fetch_add(1, std::memory_order_relaxed);
+          return Reply::error(request.id, error_code::kBadRequest,
+                              "unknown policy '" + entry.policy + "'");
+        }
+        if (entry_kernel) {
+          const Kernel* kernel = find_kernel(entry.kernel);
+          if (kernel == nullptr) {
+            bad_requests_.fetch_add(1, std::memory_order_relaxed);
+            return Reply::error(request.id, error_code::kBadRequest,
+                                "unknown kernel '" + entry.kernel + "'");
+          }
+          multi_digest.mix(kernel->source);
+          core.program = assemble(kernel->source, kernel->name);
+        } else {
+          const Rv32Fixture* fixture = rv32_fixture_find(entry.elf);
+          if (fixture == nullptr) {
+            bad_requests_.fetch_add(1, std::memory_order_relaxed);
+            return Reply::error(request.id, error_code::kBadRequest,
+                                "unknown elf fixture '" + entry.elf + "'");
+          }
+          const std::vector<std::uint8_t> image = rv32_fixture_elf(*fixture);
+          multi_digest.mix(std::string_view(
+              reinterpret_cast<const char*>(image.data()), image.size()));
+          core.program = elf::load_elf_program(
+              std::span<const std::uint8_t>(image.data(), image.size()),
+              fixture->name);
+        }
+        multi_digest.mix(entry.policy);
+        job->cores.push_back(std::move(core));
+      }
+      multi_digest.mix(arbiter_name(job->arbiter));
     } else {
-      job->program = assemble(source, program_name);
+      if (has_kernel) {
+        const Kernel* kernel = find_kernel(request.kernel);
+        if (kernel == nullptr) {
+          bad_requests_.fetch_add(1, std::memory_order_relaxed);
+          return Reply::error(request.id, error_code::kBadRequest,
+                              "unknown kernel '" + request.kernel + "'");
+        }
+        source = kernel->source;
+        program_name = kernel->name;
+      } else if (has_elf) {
+        const Rv32Fixture* fixture = rv32_fixture_find(request.elf);
+        if (fixture == nullptr) {
+          bad_requests_.fetch_add(1, std::memory_order_relaxed);
+          return Reply::error(request.id, error_code::kBadRequest,
+                              "unknown elf fixture '" + request.elf + "'");
+        }
+        const std::vector<std::uint8_t> image = rv32_fixture_elf(*fixture);
+        elf_image_bytes.assign(image.begin(), image.end());
+        source = elf_image_bytes;
+        program_name = fixture->name;
+      } else {
+        source = request.asm_source;
+        program_name = "asm";
+      }
+      if (has_elf) {
+        const auto* bytes =
+            reinterpret_cast<const std::uint8_t*>(elf_image_bytes.data());
+        job->program = elf::load_elf_program(
+            std::span<const std::uint8_t>(bytes, elf_image_bytes.size()),
+            program_name);
+      } else {
+        job->program = assemble(source, program_name);
+      }
     }
   } catch (const AssemblyError& e) {
     bad_requests_.fetch_add(1, std::memory_order_relaxed);
@@ -343,6 +413,14 @@ Reply SimService::handle_submit(const Request& request) {
   job->spec.confirm = static_cast<unsigned>(request.confirm);
   job->spec.lookahead = request.lookahead;
   job->spec.seed = request.seed;
+  // Steering cadence / seed are shared across cores; only the policy kind
+  // is per-core.
+  for (CoreSpec& core : job->cores) {
+    core.policy.interval = job->spec.interval;
+    core.policy.confirm = job->spec.confirm;
+    core.policy.lookahead = job->spec.lookahead;
+    core.policy.seed = job->spec.seed;
+  }
 
   for (const auto& [name, value] : request.config) {
     std::string error;
@@ -358,7 +436,8 @@ Reply SimService::handle_submit(const Request& request) {
                                config_.max_cycles_ceiling);
   const std::string config_key =
       effective_config_key(job->machine, job->spec, job->budget);
-  job->key = job_digest(source, config_key);
+  job->key = is_multi ? multi_digest.mix(config_key).value()
+                      : job_digest(source, config_key);
   char hex[32];
   std::snprintf(hex, sizeof(hex), "%016llx",
                 static_cast<unsigned long long>(job->key));
@@ -438,6 +517,16 @@ void SimService::run_job(Job& job) {
     return;
   }
   try {
+    if (!job.cores.empty()) {
+      run_multi(job, reply);
+      if (deliver(job, std::move(reply))) {
+        record_latency(timer.seconds());
+      }
+      job.worker_slot.store(WorkerPool<JobPtr>::kNoSlot,
+                            std::memory_order_release);
+      unregister_watch(job);
+      return;
+    }
     auto cpu = make_processor(job.program, job.machine, job.spec);
     // Deadline via the cycle budget, cancellation at sampler-window
     // granularity: run() is resumable (max_cycles is an absolute target),
@@ -517,6 +606,80 @@ void SimService::run_job(Job& job) {
   job.worker_slot.store(WorkerPool<JobPtr>::kNoSlot,
                         std::memory_order_release);
   unregister_watch(job);
+}
+
+void SimService::run_multi(Job& job, Reply& reply) {
+  MultiCoreParams params;
+  params.arbiter = job.arbiter;
+  params.machine = job.machine;
+  MultiCoreSim sim(job.cores, params);
+  const std::uint64_t window = job.machine.sample.enabled()
+                                   ? job.machine.sample.period
+                                   : config_.cancel_check_cycles;
+  RunOutcome outcome = RunOutcome::kMaxCycles;
+  bool cancelled = false;
+  bool wall_expired = false;
+  while (true) {
+    const std::uint64_t target = std::min(job.budget, sim.cycles() + window);
+    outcome = sim.run(target);
+    if (outcome != RunOutcome::kMaxCycles || sim.cycles() >= job.budget) {
+      break;
+    }
+    if (stop_now_.load(std::memory_order_relaxed)) {
+      cancelled = true;
+      break;
+    }
+    if (job.cancel.load(std::memory_order_relaxed)) {
+      wall_expired = true;
+      break;
+    }
+  }
+  if (cancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+    reply = Reply::error(job.request.id, error_code::kCancelled,
+                         "cancelled at cycle " +
+                             std::to_string(sim.cycles()));
+  } else if (wall_expired) {
+    reply = Reply::error(job.request.id, error_code::kWallDeadline,
+                         "wall deadline " + std::to_string(job.wall_ms) +
+                             " ms exceeded at cycle " +
+                             std::to_string(sim.cycles()) + "; resubmit",
+                         /*retriable=*/true);
+  } else if (outcome == RunOutcome::kMaxCycles) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    reply = Reply::error(job.request.id, error_code::kDeadline,
+                         "cycle budget " + std::to_string(job.budget) +
+                             " exhausted before every core halted");
+  } else if (outcome == RunOutcome::kStalled ||
+             outcome == RunOutcome::kFault) {
+    sim_faults_.fetch_add(1, std::memory_order_relaxed);
+    std::string message = "multi-core simulation did not halt";
+    for (unsigned k = 0; k < sim.num_cores(); ++k) {
+      const RunOutcome core_outcome = sim.core_outcome(k);
+      if (core_outcome == RunOutcome::kFault ||
+          core_outcome == RunOutcome::kStalled) {
+        const std::string& fault = sim.core(k).fault_message();
+        message = "core" + std::to_string(k) + ": " +
+                  (fault.empty() ? std::string(outcome_name(core_outcome))
+                                 : fault);
+        break;
+      }
+    }
+    reply = Reply::error(job.request.id, error_code::kSimFault, message);
+  } else {
+    const MultiCoreResult result = sim.collect();
+    reply.type = ReplyType::kResult;
+    reply.cache = "miss";
+    reply.digest = job.digest_hex;
+    reply.policy = "multi:" + std::string(arbiter_name(job.arbiter));
+    reply.outcome = std::string(outcome_name(outcome));
+    reply.cycles = result.cycles;
+    reply.retired = result.fabric.total_retired;
+    reply.metrics_json =
+        canonical_metrics_json(collect_multicore_metrics(result));
+    cache_.insert(job.key, reply);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 bool SimService::deliver(Job& job, Reply reply) {

@@ -175,6 +175,10 @@ class SimService {
 
   Reply handle_submit(const Request& request);
   void run_job(Job& job);
+  /// Multi-core (`multi` job kind) body of run_job: drives a lockstep
+  /// MultiCoreSim under the same budget/cancellation windows and shapes
+  /// `reply` (result or typed error).
+  void run_multi(Job& job, Reply& reply);
   /// Deliver-once latch: sets the job's promise if nobody has yet.
   /// Returns true when this call won the race (worker vs watchdog vs
   /// crash handler).

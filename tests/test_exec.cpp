@@ -99,6 +99,28 @@ TEST(Exec, BranchesResolveTargets) {
   EXPECT_FALSE(out.branch_taken);
 }
 
+TEST(Exec, UnsignedBranchesIgnoreTheSignBit) {
+  ExecInput in;
+  in.pc = 100;
+  in.rs1_int = -1;  // largest unsigned value
+  in.rs2_int = 1;
+  auto out = execute_op(make_branch(Opcode::kBltu, 1, 2, 4), in);
+  EXPECT_FALSE(out.branch_taken);  // signed blt would have taken
+  EXPECT_EQ(out.next_pc, 101u);
+  out = execute_op(make_branch(Opcode::kBgeu, 1, 2, 4), in);
+  EXPECT_TRUE(out.branch_taken);
+  EXPECT_EQ(out.next_pc, 104u);
+
+  in.rs1_int = 3;  // small vs small stays ordinary
+  out = execute_op(make_branch(Opcode::kBltu, 1, 2, 4), in);
+  EXPECT_FALSE(out.branch_taken);  // 3 < 1 is false either way
+  in.rs2_int = 3;
+  out = execute_op(make_branch(Opcode::kBgeu, 1, 2, 4), in);
+  EXPECT_TRUE(out.branch_taken);  // equal -> bgeu taken
+  out = execute_op(make_branch(Opcode::kBltu, 1, 2, 4), in);
+  EXPECT_FALSE(out.branch_taken);
+}
+
 TEST(Exec, JumpAndLink) {
   ExecInput in;
   in.pc = 50;

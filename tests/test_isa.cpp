@@ -61,6 +61,8 @@ TEST(Encoding, RoundTripRepresentative) {
       make_ri(Opcode::kLw, 7, 2, 8),
       make_store(Opcode::kSw, 9, 2, -16),
       make_branch(Opcode::kBne, 3, 0, -100),
+      make_branch(Opcode::kBltu, 1, 2, 32),
+      make_branch(Opcode::kBgeu, 4, 5, -8),
       make_jump(Opcode::kJal, 31, 12345),
       Instruction{Opcode::kJr, 0, 31, 0, 0},
       Instruction{Opcode::kHalt, 0, 0, 0, 0},

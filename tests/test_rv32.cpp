@@ -211,6 +211,108 @@ TEST(Rv32Translate, LbuZeroExtendsWhereLbSignExtends) {
   EXPECT_EQ(run_and_load(lb_text, 8), -1);
 }
 
+TEST(Rv32Decode, UnsignedBranchesDecodeToTheirOwnInternalOpcodes) {
+  const rv::Rv32Op* bltu = rv::lookup(rv::enc_b(kMajBranch, 6, 1, 2, 8));
+  ASSERT_NE(bltu, nullptr);
+  EXPECT_EQ(bltu->mnemonic, std::string_view("bltu"));
+  EXPECT_EQ(bltu->internal, Opcode::kBltu);
+  const rv::Rv32Op* bgeu = rv::lookup(rv::enc_b(kMajBranch, 7, 1, 2, 8));
+  ASSERT_NE(bgeu, nullptr);
+  EXPECT_EQ(bgeu->mnemonic, std::string_view("bgeu"));
+  EXPECT_EQ(bgeu->internal, Opcode::kBgeu);
+  // Branch-kind metadata carries through to the internal ISA.
+  EXPECT_TRUE(op_info(Opcode::kBltu).is_branch);
+  EXPECT_TRUE(op_info(Opcode::kBgeu).is_branch);
+  EXPECT_EQ(fu_type_of(Opcode::kBltu), FuType::kIntAlu);
+}
+
+TEST(Rv32Translate, BltuAndBgeuCompareUnsigned) {
+  const auto bltu = [](std::uint8_t rs1, std::uint8_t rs2,
+                       std::int32_t offset) {
+    return rv::enc_b(kMajBranch, 6, rs1, rs2, offset);
+  };
+  const auto bgeu = [](std::uint8_t rs1, std::uint8_t rs2,
+                       std::int32_t offset) {
+    return rv::enc_b(kMajBranch, 7, rs1, rs2, offset);
+  };
+  // -1 is the largest unsigned value, so bltu x1(-1), x2(1) must fall
+  // through (where the signed blt would have been taken).
+  EXPECT_EQ(run_and_load({rv::addi(1, 0, -1),   // x1 = 0xffff...
+                          rv::addi(2, 0, 1),    // x2 = 1
+                          rv::addi(3, 0, 7),
+                          bltu(1, 2, 8),        // not taken: -1u > 1u
+                          rv::addi(3, 0, 9),    // executes
+                          rv::sw(0, 3, 0), rv::ecall()},
+                         0),
+            9);
+  // bgeu with the same operands is taken and skips the overwrite.
+  EXPECT_EQ(run_and_load({rv::addi(1, 0, -1),
+                          rv::addi(2, 0, 1),
+                          rv::addi(3, 0, 7),
+                          bgeu(1, 2, 8),        // taken: -1u >= 1u
+                          rv::addi(3, 0, 9),    // skipped
+                          rv::sw(0, 3, 0), rv::ecall()},
+                         0),
+            7);
+  // Equal operands: bltu falls through, bgeu takes.
+  EXPECT_EQ(run_and_load({rv::addi(1, 0, 5),
+                          rv::addi(2, 0, 5),
+                          rv::addi(3, 0, 1),
+                          bltu(1, 2, 8),
+                          rv::addi(3, 0, 2),
+                          rv::sw(0, 3, 0), rv::ecall()},
+                         0),
+            2);
+}
+
+TEST(Rv32Equivalence, UnsignedBranchLoopMatchesHandWrittenAsmTwin) {
+  // A count-down loop steered by bgeu, written once as RV32 words and
+  // once in the internal grammar: both front ends must emit the exact
+  // same instruction vector and simulate bit-identically.
+  const auto bgeu = [](std::uint8_t rs1, std::uint8_t rs2,
+                       std::int32_t offset) {
+    return rv::enc_b(kMajBranch, 7, rs1, rs2, offset);
+  };
+  const std::vector<std::uint32_t> real_text = {
+      rv::addi(10, 0, 1),      // i = 1
+      rv::addi(12, 0, 50),     // limit = 50
+      rv::addi(11, 0, 0),      // sum = 0
+      rv::add(11, 11, 10),     // loop: sum += i
+      rv::addi(10, 10, 1),     //       i += 1
+      bgeu(12, 10, -8),        //       while (limit >= i unsigned)
+      rv::sw(0, 11, 0),
+      rv::ecall(),
+  };
+  const rv::Translation tr = rv::translate(real_text, 0, 0);
+  Program from_elf;
+  from_elf.name = "bgeu-loop";
+  from_elf.code = tr.code;
+  const Program from_asm = assemble(R"(
+      addi r10, r0, 1
+      addi r12, r0, 50
+      addi r11, r0, 0
+    loop:
+      add  r11, r11, r10
+      addi r10, r10, 1
+      bgeu r12, r10, loop
+      sw   r11, 0(r0)
+      halt
+  )",
+                                    "bgeu-loop-twin");
+  ASSERT_EQ(from_elf.code.size(), from_asm.code.size());
+  for (std::size_t i = 0; i < from_elf.code.size(); ++i) {
+    EXPECT_EQ(from_elf.code[i], from_asm.code[i]) << "instruction " << i;
+  }
+  auto elf_cpu = make_processor(from_elf, MachineConfig{}, PolicySpec{});
+  auto asm_cpu = make_processor(from_asm, MachineConfig{}, PolicySpec{});
+  ASSERT_EQ(elf_cpu->run(1'000'000), RunOutcome::kHalted);
+  ASSERT_EQ(asm_cpu->run(1'000'000), RunOutcome::kHalted);
+  EXPECT_EQ(elf_cpu->stats().cycles, asm_cpu->stats().cycles);
+  EXPECT_EQ(elf_cpu->stats().retired, asm_cpu->stats().retired);
+  EXPECT_EQ(elf_cpu->memory().load_word(0), 50 * 51 / 2);
+  EXPECT_EQ(asm_cpu->memory().load_word(0), 50 * 51 / 2);
+}
+
 TEST(Rv32Translate, SltiuComparesUnsigned) {
   const auto sltiu = [](std::uint8_t rd, std::uint8_t rs1,
                         std::int32_t imm) {
@@ -278,9 +380,6 @@ TEST(Rv32Errors, EveryRejectionHasATypedKind) {
   // Valid RISC-V outside the mapped subset.
   EXPECT_EQ(translate_error({rv::enc_i(kMajLoad, 1, 1, 2, 0)}),
             Kind::kUnsupported);  // lh
-  EXPECT_EQ(translate_error({rv::enc_b(kMajBranch, 6, 1, 2, 8),
-                             rv::ecall(), rv::ecall()}),
-            Kind::kUnsupported);  // bltu
   EXPECT_EQ(translate_error({rv::enc_r(kMajOp, 5, 0x01, 1, 2, 3)}),
             Kind::kUnsupported);  // divu
   // Operand constraints.

@@ -45,6 +45,20 @@ Reply parsed_reply(const Reply& in) {
   return out;
 }
 
+MultiEntry kernel_entry(std::string name, std::string policy = "steered") {
+  MultiEntry entry;
+  entry.kernel = std::move(name);
+  entry.policy = std::move(policy);
+  return entry;
+}
+
+MultiEntry elf_entry(std::string name, std::string policy = "steered") {
+  MultiEntry entry;
+  entry.elf = std::move(name);
+  entry.policy = std::move(policy);
+  return entry;
+}
+
 TEST(Protocol, RequestRoundTripsEveryKind) {
   for (const RequestType type :
        {RequestType::kPing, RequestType::kStats, RequestType::kShutdown}) {
@@ -118,6 +132,26 @@ TEST(Protocol, ElfSubmitRoundTrips) {
   request.max_cycles = 250000;
   EXPECT_EQ(parsed_request(request), request);
   EXPECT_EQ(parsed_request(request).to_json(), request.to_json());
+}
+
+TEST(Protocol, MultiSubmitRoundTrips) {
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.id = "multi-1";
+  request.multi.push_back(kernel_entry("fib"));
+  request.multi.push_back(elf_entry("rv32_int", "greedy"));
+  request.arbiter = "prop-share";
+  request.max_cycles = 100000;
+  EXPECT_EQ(parsed_request(request), request);
+  EXPECT_EQ(parsed_request(request).to_json(), request.to_json());
+
+  // Default arbiter and default per-core policies stay off the wire.
+  Request defaults;
+  defaults.type = RequestType::kSubmit;
+  defaults.multi.push_back(kernel_entry("fib"));
+  EXPECT_EQ(parsed_request(defaults), defaults);
+  EXPECT_EQ(defaults.to_json().find("arbiter"), std::string::npos);
+  EXPECT_EQ(defaults.to_json().find("policy"), std::string::npos);
 }
 
 TEST(Protocol, ReplyRoundTripsEveryKind) {
@@ -476,6 +510,85 @@ TEST(SimService, ElfSubmitRunsAndReplaysFromCache) {
   const Reply other = service.handle(submit_elf("rv32_fp"));
   ASSERT_EQ(other.type, ReplyType::kResult) << other.message;
   EXPECT_NE(other.digest, cold.digest);
+}
+
+Request submit_multi(std::vector<MultiEntry> entries,
+                     std::string arbiter = "round-robin",
+                     std::string id = "") {
+  Request request;
+  request.type = RequestType::kSubmit;
+  request.multi = std::move(entries);
+  request.arbiter = std::move(arbiter);
+  request.id = std::move(id);
+  request.max_cycles = 60000;
+  return request;
+}
+
+TEST(SimService, MultiSubmitRunsMergesMetricsAndReplaysFromCache) {
+  SimService service({.workers = 2, .queue_capacity = 8});
+  const Request request = submit_multi(
+      {kernel_entry("fib"), kernel_entry("saxpy", "greedy")},
+      "round-robin", "mc-1");
+
+  const Reply cold = service.handle(request);
+  ASSERT_EQ(cold.type, ReplyType::kResult) << cold.message;
+  EXPECT_EQ(cold.cache, "miss");
+  EXPECT_EQ(cold.outcome, "halted");
+  EXPECT_EQ(cold.policy, "multi:round-robin");
+  EXPECT_GT(cold.cycles, 0u);
+  EXPECT_GT(cold.retired, 0u);
+  // Per-core namespaces plus fabric counters, merged in one registry.
+  EXPECT_NE(cold.metrics_json.find("\"core0.sim.ipc\""), std::string::npos);
+  EXPECT_NE(cold.metrics_json.find("\"core1.sim.ipc\""), std::string::npos);
+  EXPECT_NE(cold.metrics_json.find("\"fabric.port_grants\""),
+            std::string::npos);
+
+  const Reply hit = service.handle(request);
+  ASSERT_EQ(hit.type, ReplyType::kResult) << hit.message;
+  EXPECT_EQ(hit.cache, "hit");
+  Reply normalized = hit;
+  normalized.cache = "miss";
+  EXPECT_EQ(normalized.to_json(), cold.to_json());
+
+  // The arbiter is part of the digest: different arbitration is
+  // different work.
+  const Reply other = service.handle(submit_multi(
+      {kernel_entry("fib"), kernel_entry("saxpy", "greedy")},
+      "priority"));
+  ASSERT_EQ(other.type, ReplyType::kResult) << other.message;
+  EXPECT_EQ(other.cache, "miss");
+  EXPECT_NE(other.digest, cold.digest);
+}
+
+TEST(SimService, MultiBadRequestsAreTypedAndNotRetriable) {
+  SimService service({.workers = 1, .queue_capacity = 4});
+
+  Request mixed = submit_multi({kernel_entry("fib")});
+  mixed.kernel = "fib";
+  const Reply exclusive = service.handle(mixed);
+  ASSERT_EQ(exclusive.type, ReplyType::kError);
+  EXPECT_EQ(exclusive.code, error_code::kBadRequest);
+  EXPECT_FALSE(exclusive.retriable);
+
+  const Reply arbiter =
+      service.handle(submit_multi({kernel_entry("fib")}, "no-such-arbiter"));
+  EXPECT_EQ(arbiter.code, error_code::kBadRequest);
+
+  const Reply both = service.handle(
+      submit_multi({[] {
+        MultiEntry entry = kernel_entry("fib");
+        entry.elf = "rv32_int";
+        return entry;
+      }()}));
+  EXPECT_EQ(both.code, error_code::kBadRequest);
+
+  const Reply unknown =
+      service.handle(submit_multi({kernel_entry("no_such_kernel")}));
+  EXPECT_EQ(unknown.code, error_code::kBadRequest);
+
+  const Reply too_many = service.handle(submit_multi(
+      std::vector<MultiEntry>(9, kernel_entry("fib"))));
+  EXPECT_EQ(too_many.code, error_code::kBadRequest);
 }
 
 TEST(SimService, ElfBadRequestsAreTypedAndNotRetriable) {

@@ -42,15 +42,43 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s <socket-path> ping|stats|--stats|shutdown [common flags]\n"
       "       %s <socket-path> submit (--kernel NAME | --asm-file PATH |"
-      " --elf NAME)\n"
+      " --elf NAME\n"
+      "            | --multi PROG[:POLICY]... [--arbiter A])\n"
       "           [--policy P] [--max-cycles N] [--wall-ms N]\n"
       "           [--interval N] [--confirm N] [--lookahead] [--seed N]\n"
       "           [--set knob=value]... [--id ID]\n"
       "           [--expect-cache hit|miss] [--expect-error CODE]\n"
       "           [common flags]\n"
-      "common flags: [--retries N] [--timeout-ms N] [--backoff-ms N]\n",
+      "common flags: [--retries N] [--timeout-ms N] [--backoff-ms N]\n"
+      "--multi runs one core per occurrence; PROG is a kernel name or\n"
+      "elf:FIXTURE, with an optional per-core :POLICY suffix.\n"
+      "--arbiter is round-robin (default), priority or prop-share.\n",
       argv0, argv0);
   return 2;
+}
+
+/// Parses one --multi operand: `PROG[:POLICY]` where PROG is a kernel
+/// name or `elf:FIXTURE`. `elf:FIXTURE:POLICY` also works.
+MultiEntry parse_multi_entry(const std::string& text) {
+  MultiEntry entry;
+  std::string prog = text;
+  if (prog.rfind("elf:", 0) == 0) {
+    prog = prog.substr(4);
+    const std::size_t colon = prog.find(':');
+    if (colon != std::string::npos) {
+      entry.policy = prog.substr(colon + 1);
+      prog = prog.substr(0, colon);
+    }
+    entry.elf = prog;
+  } else {
+    const std::size_t colon = prog.find(':');
+    if (colon != std::string::npos) {
+      entry.policy = prog.substr(colon + 1);
+      prog = prog.substr(0, colon);
+    }
+    entry.kernel = prog;
+  }
+  return entry;
 }
 
 }  // namespace
@@ -145,6 +173,15 @@ int main(int argc, char** argv) {
       std::stringstream buffer;
       buffer << file.rdbuf();
       request.asm_source = buffer.str();
+    } else if (is_submit && std::strcmp(argv[a], "--multi") == 0) {
+      if (!flag_value(text) || text.empty()) {
+        return usage(argv[0]);
+      }
+      request.multi.push_back(parse_multi_entry(text));
+    } else if (is_submit && std::strcmp(argv[a], "--arbiter") == 0) {
+      if (!flag_value(request.arbiter)) {
+        return usage(argv[0]);
+      }
     } else if (is_submit && std::strcmp(argv[a], "--policy") == 0) {
       if (!flag_value(request.policy)) {
         return usage(argv[0]);
@@ -197,13 +234,18 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (is_submit && static_cast<int>(!request.kernel.empty()) +
-                           static_cast<int>(!request.asm_source.empty()) +
-                           static_cast<int>(!request.elf.empty()) !=
-                       1) {
-    std::fprintf(
-        stderr,
-        "submit needs exactly one of --kernel / --asm-file / --elf\n");
+  const int single_sources = static_cast<int>(!request.kernel.empty()) +
+                             static_cast<int>(!request.asm_source.empty()) +
+                             static_cast<int>(!request.elf.empty());
+  if (is_submit && request.multi.empty() && single_sources != 1) {
+    std::fprintf(stderr,
+                 "submit needs exactly one of --kernel / --asm-file / "
+                 "--elf, or --multi\n");
+    return 2;
+  }
+  if (is_submit && !request.multi.empty() && single_sources != 0) {
+    std::fprintf(stderr,
+                 "--multi is exclusive with --kernel / --asm-file / --elf\n");
     return 2;
   }
   if (!expect_error.empty() && !retries_set) {
